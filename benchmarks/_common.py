@@ -1,0 +1,107 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints the
+rows/series the paper reports (run pytest with ``-s`` to see them).  Trained
+mini models are cached per process so that the many algorithm-side benches do
+not retrain the same network.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.nn import CrossEntropyLoss, SGD, Trainer, evaluate_accuracy
+from repro.nn.data import SyntheticClassification, train_val_split
+from repro.nn.models import (
+    alexnet_mini,
+    efficientnet_lite_mini,
+    mobilenet_v1_mini,
+    mobilenet_v2_mini,
+    resnet18_mini,
+    resnet50_mini,
+    vgg16_mini,
+)
+
+NUM_CLASSES = 5
+IMAGE_SIZE = 16
+
+MODEL_FACTORIES: Dict[str, Callable] = {
+    "resnet18": resnet18_mini,
+    "resnet50": resnet50_mini,
+    "mobilenet_v1": mobilenet_v1_mini,
+    "mobilenet_v2": mobilenet_v2_mini,
+    "efficientnet": efficientnet_lite_mini,
+    "vgg16": vgg16_mini,
+    "alexnet": alexnet_mini,
+}
+
+
+@lru_cache(maxsize=1)
+def classification_splits():
+    dataset = SyntheticClassification(360, IMAGE_SIZE, NUM_CLASSES, seed=0)
+    return train_val_split(dataset, val_fraction=0.25)
+
+
+#: Per-model training rates: the plain (batch-norm-free) stacks need a gentler
+#: learning rate than the residual networks to train stably.
+MODEL_LR: Dict[str, float] = {"alexnet": 0.01, "vgg16": 0.03}
+MODEL_EPOCHS: Dict[str, int] = {"alexnet": 10, "vgg16": 8}
+
+
+@lru_cache(maxsize=None)
+def trained_model(name: str, epochs: int = 0, lr: float = 0.0) -> Tuple[object, float]:
+    """Train (and cache) one mini model; returns (model, baseline accuracy)."""
+    train, val = classification_splits()
+    epochs = epochs or MODEL_EPOCHS.get(name, 6)
+    lr = lr or MODEL_LR.get(name, 0.05)
+    model = MODEL_FACTORIES[name](num_classes=NUM_CLASSES, seed=1)
+    trainer = Trainer(model, CrossEntropyLoss(),
+                      SGD(model.parameters(), lr=lr, momentum=0.9), batch_size=32)
+    trainer.fit(train, epochs=epochs, val_set=val)
+    return model, evaluate_accuracy(model, val)
+
+
+def copy_of(model_name: str):
+    """A fresh, mutable copy of a cached trained model plus its baseline accuracy."""
+    model, baseline = trained_model(model_name)
+    fresh = MODEL_FACTORIES[model_name](num_classes=NUM_CLASSES, seed=1)
+    fresh.load_state_dict(model.state_dict())
+    return fresh, baseline
+
+
+def finetune(model, compressed, epochs: int = 2, lr: float = 0.02, codebook_lr: float = 3e-3):
+    """Short codebook fine-tuning pass; returns final validation accuracy."""
+    from repro.core import CodebookFinetuner
+
+    train, val = classification_splits()
+    finetuner = CodebookFinetuner(compressed, lr=codebook_lr)
+    trainer = Trainer(model, CrossEntropyLoss(),
+                      SGD(model.parameters(), lr=lr, momentum=0.9),
+                      batch_size=32, hook=finetuner.step)
+    trainer.fit(train, epochs=epochs)
+    return evaluate_accuracy(model, val)
+
+
+def validation_accuracy(model) -> float:
+    _, val = classification_splits()
+    return evaluate_accuracy(model, val)
+
+
+def print_table(title: str, header, rows) -> None:
+    """Print a paper-style table (visible with ``pytest -s``)."""
+    print(f"\n=== {title} ===")
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows)) for i, h in enumerate(header)]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def fmt(value, digits: int = 2) -> str:
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)

@@ -1,0 +1,52 @@
+"""Fig. 10: pruning-strategy sweep on ResNet-18 — pruning accuracy vs clustering
+accuracy as the N:16 keep-rate varies (6:16 ... 3:16)."""
+
+from benchmarks._common import copy_of, finetune, fmt, print_table
+from repro.core import LayerCompressionConfig, MVQCompressor
+from repro.core.pruning import SparseFinetuner
+from repro.nn import CrossEntropyLoss, SGD, Trainer, evaluate_accuracy
+from benchmarks._common import classification_splits
+
+
+def pruning_sweep(model_name: str = "resnet18", keeps=(6, 5, 4, 3)):
+    train, val = classification_splits()
+    results = {}
+    for n_keep in keeps:
+        # pruning accuracy: N:16 sparse model after brief sparse fine-tuning
+        model, baseline = copy_of(model_name)
+        sparse = SparseFinetuner(model, n_keep=n_keep, m=16, d=16)
+        trainer = Trainer(model, CrossEntropyLoss(),
+                          SGD(model.parameters(), lr=0.02, momentum=0.9),
+                          batch_size=32, hook=sparse.apply)
+        trainer.fit(train, epochs=1)
+        sparse.apply()
+        pruning_acc = evaluate_accuracy(model, val)
+
+        # clustering accuracy: masked VQ on top of the sparse model + fine-tuning
+        cfg = LayerCompressionConfig(k=32, d=16, n_keep=n_keep, m=16, max_kmeans_iterations=25)
+        compressed = MVQCompressor(cfg).compress(model)
+        compressed.apply_to_model()
+        clustering_acc = finetune(model, compressed, epochs=1)
+        results[n_keep] = {
+            "sparsity": 1 - n_keep / 16,
+            "pruning_acc": pruning_acc,
+            "clustering_acc": clustering_acc,
+            "baseline": baseline,
+        }
+    return results
+
+
+def test_fig10_pruning_sweep(benchmark):
+    results = benchmark.pedantic(pruning_sweep, rounds=1, iterations=1)
+    rows = [(f"{n}:16", f"{r['sparsity']:.0%}", fmt(r["pruning_acc"], 3),
+             fmt(r["clustering_acc"], 3), fmt(r["baseline"], 3))
+            for n, r in results.items()]
+    print_table("Fig. 10: pruning strategy sweep on ResNet-18",
+                ("pattern", "sparsity", "pruning acc", "clustering acc", "baseline"), rows)
+    # shape: the mildest pruning pattern keeps at least as much accuracy as the
+    # harshest one, and every operating point stays well above chance (20%)
+    keeps = sorted(results, reverse=True)
+    assert results[keeps[0]]["pruning_acc"] >= results[keeps[-1]]["pruning_acc"] - 0.05
+    for n in keeps:
+        assert results[n]["pruning_acc"] > 0.3
+        assert results[n]["clustering_acc"] > 0.3

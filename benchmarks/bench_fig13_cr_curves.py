@@ -1,0 +1,61 @@
+"""Fig. 13: compression-ratio vs accuracy curves on ResNet-18 and ResNet-50 —
+layerwise MVQ, crosslayer MVQ, PQF and BGD over a sweep of codebook sizes."""
+
+import numpy as np
+
+from benchmarks._common import copy_of, finetune, fmt, print_table
+from repro.baselines import BGDCompressor, PQFCompressor
+from repro.core import LayerCompressionConfig, MVQCompressor
+
+K_SWEEP = (16, 32, 64)
+
+
+def cr_accuracy_curves(model_name: str = "resnet18"):
+    curves = {}
+
+    def point(method, k):
+        model, _ = copy_of(model_name)
+        if method == "layerwise-MVQ" or method == "crosslayer-MVQ":
+            # the mini models tolerate 50% (not 75%) sparsity, mirroring how the
+            # paper picks the pruning rate per model family (Section 6.2)
+            cfg = LayerCompressionConfig(k=k, d=16, n_keep=8, m=16, max_kmeans_iterations=25)
+            compressed = MVQCompressor(cfg, crosslayer=(method == "crosslayer-MVQ")).compress(model)
+        elif method == "PQF":
+            cfg = LayerCompressionConfig(k=k * 2, d=8, max_kmeans_iterations=25)
+            compressed = PQFCompressor(cfg, permutation_iterations=25).compress(model)
+        else:  # BGD
+            cfg = LayerCompressionConfig(k=k * 2, d=8, max_kmeans_iterations=25)
+            compressed = BGDCompressor(cfg).compress(model)
+        compressed.apply_to_model()
+        accuracy = finetune(model, compressed, epochs=2)
+        return compressed.compression_ratio(), accuracy
+
+    for method in ("layerwise-MVQ", "crosslayer-MVQ", "PQF", "BGD"):
+        curves[method] = [point(method, k) for k in K_SWEEP]
+    return curves
+
+
+def test_fig13_cr_curves(benchmark):
+    curves = benchmark.pedantic(cr_accuracy_curves, rounds=1, iterations=1)
+    rows = []
+    for method, points in curves.items():
+        for k, (ratio, acc) in zip(K_SWEEP, points):
+            rows.append((method, k, fmt(ratio, 1) + "x", fmt(acc, 3)))
+    print_table("Fig. 13: compression ratio vs accuracy (ResNet-18)",
+                ("method", "k", "compression ratio", "accuracy"), rows)
+
+    def best_accuracy(method):
+        return max(acc for _, acc in curves[method])
+
+    # Shape checks.  On the easy synthetic task every VQ method recovers most of
+    # the accuracy, so the discriminating claims are: (i) MVQ stays within a few
+    # points of the dense-VQ baselines while ALSO making the model 50% sparse
+    # (the FLOPs advantage of Table 4), and (ii) MVQ accuracy improves (or at
+    # least does not degrade) as the codebook grows.
+    assert best_accuracy("layerwise-MVQ") >= max(best_accuracy("PQF"),
+                                                 best_accuracy("BGD")) - 0.15
+    mvq = [acc for _, acc in curves["layerwise-MVQ"]]
+    assert mvq[-1] >= mvq[0] - 0.05
+    # every method reaches a usable operating point at >10x compression
+    for method, points in curves.items():
+        assert any(ratio > 10 and acc > 0.5 for ratio, acc in points), method

@@ -1,0 +1,34 @@
+"""Fig. 14: data-access cost ratio of different memory levels for five CNNs."""
+
+from benchmarks._common import fmt, print_table
+from repro.accelerator.config import HardwareSetting, standard_setting
+from repro.accelerator.dataflow import analyze_network
+from repro.accelerator.energy import EnergyModel
+from repro.accelerator.workloads import WORKLOADS
+
+NETWORKS = ("resnet18", "resnet50", "vgg16", "mobilenet_v1", "alexnet")
+
+
+def access_ratios(array_size: int = 64):
+    model = EnergyModel()
+    config = standard_setting(HardwareSetting.EWS_BASE, array_size)
+    result = {}
+    for name in NETWORKS:
+        layers = WORKLOADS[name]()
+        analysis = analyze_network(layers, config)
+        by_level = model.data_access_by_level(analysis, config)
+        total = sum(by_level.values())
+        result[name] = {level: value / total for level, value in by_level.items()}
+    return result
+
+
+def test_fig14_access_breakdown(benchmark):
+    ratios = benchmark(access_ratios)
+    levels = ("dram", "l2", "l1", "prf", "arf", "wrf", "crf")
+    rows = [(name, *(fmt(ratios[name][lvl] * 100, 1) + "%" for lvl in levels))
+            for name in NETWORKS]
+    print_table("Fig. 14: data access cost ratio by memory level (EWS base, 64x64)",
+                ("network", *levels), rows)
+    # the paper's observation: DRAM access overhead accounts for the majority
+    for name in NETWORKS:
+        assert ratios[name]["dram"] > 0.5

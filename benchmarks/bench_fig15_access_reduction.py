@@ -1,0 +1,38 @@
+"""Fig. 15: data-access cost reduction from MVQ compression (5 CNNs x 3 array sizes)."""
+
+from benchmarks._common import fmt, print_table
+from repro.accelerator.config import HardwareSetting, standard_setting
+from repro.accelerator.energy import data_access_reduction
+from repro.accelerator.workloads import WORKLOADS
+
+NETWORKS = ("resnet18", "resnet50", "vgg16", "mobilenet_v1", "alexnet")
+PAPER_64 = {"resnet18": 4.1, "resnet50": 3.4, "vgg16": 1.9, "mobilenet_v1": 1.9, "alexnet": 3.0}
+
+
+def reductions():
+    table = {}
+    for name in NETWORKS:
+        layers = WORKLOADS[name]()
+        skip_dw = name.startswith("mobilenet")
+        table[name] = {
+            size: data_access_reduction(
+                layers,
+                standard_setting(HardwareSetting.EWS_BASE, size),
+                standard_setting(HardwareSetting.EWS_CMS, size),
+                skip_depthwise=skip_dw,
+            )
+            for size in (16, 32, 64)
+        }
+    return table
+
+
+def test_fig15_access_reduction(benchmark):
+    table = benchmark(reductions)
+    rows = [(name, fmt(table[name][16]), fmt(table[name][32]), fmt(table[name][64]),
+             fmt(PAPER_64[name], 1))
+            for name in NETWORKS]
+    print_table("Fig. 15: data access cost reduction (base EWS / EWS-CMS)",
+                ("network", "16x16", "32x32", "64x64", "paper@64"), rows)
+    # shape: every network benefits, ResNet-18 the most, VGG-16 the least at 64x64
+    assert all(table[n][64] > 1.3 for n in NETWORKS)
+    assert table["resnet18"][64] > table["vgg16"][64]

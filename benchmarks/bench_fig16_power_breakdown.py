@@ -1,0 +1,44 @@
+"""Fig. 16: power-consumption breakdown (Accel / L1 / L2 / Other) for the six
+hardware settings, ResNet-18 and ResNet-50, three array sizes."""
+
+from benchmarks._common import fmt, print_table
+from repro.accelerator.config import ALL_SETTINGS, standard_setting
+from repro.accelerator.dataflow import analyze_network
+from repro.accelerator.energy import EnergyModel
+from repro.accelerator.workloads import WORKLOADS
+
+
+def power_breakdown(network: str):
+    model = EnergyModel()
+    layers = WORKLOADS[network]()
+    table = {}
+    for size in (16, 32, 64):
+        for setting in ALL_SETTINGS:
+            config = standard_setting(setting, size)
+            analysis = analyze_network(layers, config)
+            table[(size, setting.value)] = model.power_breakdown_mw(analysis, config)
+    return table
+
+
+def _rows(table):
+    rows = []
+    for (size, setting), power in table.items():
+        rows.append((size, setting, fmt(power["accel"], 1), fmt(power["l1"], 1),
+                     fmt(power["l2"], 1), fmt(power["others"], 1)))
+    return rows
+
+
+def test_fig16_power_breakdown_resnet18(benchmark):
+    table = benchmark(power_breakdown, "resnet18")
+    print_table("Fig. 16: power breakdown (mW), ResNet-18",
+                ("array", "setting", "Accel", "L1", "L2", "Other"), _rows(table))
+    # shapes the paper highlights at 64x64:
+    assert table[(64, "WS")]["l1"] > 2 * table[(64, "EWS")]["l1"]          # WS has high L1 power
+    assert table[(64, "EWS-CMS")]["accel"] < table[(64, "EWS")]["accel"]   # sparse tile cuts Accel power
+
+
+def test_fig16_power_breakdown_resnet50(benchmark):
+    table = benchmark(power_breakdown, "resnet50")
+    print_table("Fig. 16: power breakdown (mW), ResNet-50",
+                ("array", "setting", "Accel", "L1", "L2", "Other"), _rows(table))
+    assert table[(64, "EWS-CMS")]["accel"] < table[(64, "EWS")]["accel"]

@@ -1,0 +1,47 @@
+"""Fig. 17: speed-up of WS-CMS / EWS / EWS-CMS over the WS baseline at 64x64."""
+
+from benchmarks._common import fmt, print_table
+from repro.accelerator.config import HardwareSetting, standard_setting
+from repro.accelerator.performance import PerformanceModel
+from repro.accelerator.workloads import WORKLOADS
+
+NETWORKS = ("resnet18", "resnet50", "vgg16", "mobilenet_v1", "alexnet")
+SETTINGS = (HardwareSetting.WS_CMS, HardwareSetting.EWS_BASE, HardwareSetting.EWS_CMS)
+PAPER = {  # (WS-CMS, EWS, EWS-CMS) speedups at 64x64
+    "resnet18": (1.4, 1.2, 2.2),
+    "resnet50": (1.2, 1.3, 1.9),
+    "vgg16": (1.2, 1.3, 1.9),
+    "mobilenet_v1": (1.1, 1.3, 1.5),
+    "alexnet": (1.1, 1.4, 1.7),
+}
+
+
+def speedups(array_size: int = 64):
+    pm = PerformanceModel()
+    table = {}
+    for name in NETWORKS:
+        layers = WORKLOADS[name]()
+        skip_dw = name.startswith("mobilenet")
+        baseline = standard_setting(HardwareSetting.WS_BASE, array_size)
+        table[name] = {
+            setting.value: pm.speedup(layers, standard_setting(setting, array_size),
+                                      baseline, skip_depthwise=skip_dw)
+            for setting in SETTINGS
+        }
+    return table
+
+
+def test_fig17_speedup(benchmark):
+    table = benchmark(speedups)
+    rows = []
+    for name in NETWORKS:
+        measured = tuple(fmt(table[name][s.value]) for s in SETTINGS)
+        paper = "/".join(str(v) for v in PAPER[name])
+        rows.append((name, *measured, paper))
+    print_table("Fig. 17: speedup over WS baseline (64x64)",
+                ("network", "WS-CMS", "EWS", "EWS-CMS", "paper (WS-CMS/EWS/EWS-CMS)"), rows)
+    for name in NETWORKS:
+        # shape: every setting is at least as fast as WS, EWS-CMS is the fastest
+        assert table[name]["EWS"] >= 1.0
+        assert table[name]["EWS-CMS"] >= table[name]["EWS"]
+        assert table[name]["EWS-CMS"] > 1.3

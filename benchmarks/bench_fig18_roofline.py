@@ -1,0 +1,36 @@
+"""Fig. 18: roofline model for the EWS array (sizes 16-64), ResNet-18 and ResNet-50."""
+
+from benchmarks._common import fmt, print_table
+from repro.accelerator.config import HardwareSetting, standard_setting
+from repro.accelerator.roofline import RooflineModel
+from repro.accelerator.workloads import WORKLOADS
+
+
+def roofline_points():
+    points = []
+    for network in ("resnet18", "resnet50"):
+        layers = WORKLOADS[network]()
+        for size in (16, 32, 64):
+            for setting, label in ((HardwareSetting.EWS_BASE, f"EWS-{size}"),
+                                   (HardwareSetting.EWS_CMS, f"EWS-CMS-{size}")):
+                config = standard_setting(setting, size)
+                point = RooflineModel(config).point(layers, label=f"{network}:{label}")
+                points.append((network, label, point))
+    return points
+
+
+def test_fig18_roofline(benchmark):
+    points = benchmark(roofline_points)
+    rows = [(network, label, fmt(p.operational_intensity, 1), fmt(p.performance_gops, 0),
+             fmt(p.peak_gops, 0), p.bound)
+            for network, label, p in points]
+    print_table("Fig. 18: roofline points (operational intensity vs attained GOPS)",
+                ("network", "config", "OPS/byte", "GOPS", "peak GOPS", "bound"), rows)
+    by_label = {(n, l): p for n, l, p in points}
+    # the paper's observation: base EWS is weight-loading (memory) bound at >=32x32,
+    # MVQ compression moves the design into the compute-bound region
+    for network in ("resnet18", "resnet50"):
+        assert by_label[(network, "EWS-64")].bound == "memory"
+        assert by_label[(network, "EWS-CMS-64")].bound == "compute"
+        assert (by_label[(network, "EWS-CMS-64")].performance_gops
+                > by_label[(network, "EWS-64")].performance_gops)

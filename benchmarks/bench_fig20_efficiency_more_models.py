@@ -1,0 +1,48 @@
+"""Fig. 20: energy-efficiency gain over the WS baseline for VGG-16, AlexNet and
+MobileNet-V1 (pointwise convolutions only), across array sizes."""
+
+from benchmarks._common import fmt, print_table
+from repro.accelerator.config import HardwareSetting, standard_setting
+from repro.accelerator.performance import PerformanceModel
+from repro.accelerator.workloads import WORKLOADS
+
+NETWORKS = ("vgg16", "alexnet", "mobilenet_v1")
+SETTINGS = (HardwareSetting.WS_CMS, HardwareSetting.EWS_BASE, HardwareSetting.EWS_CMS)
+
+
+def efficiency_gains():
+    pm = PerformanceModel()
+    table = {}
+    for name in NETWORKS:
+        layers = WORKLOADS[name]()
+        skip_dw = name.startswith("mobilenet")
+        for size in (16, 32, 64):
+            ws = pm.efficiency(layers, standard_setting(HardwareSetting.WS_BASE, size),
+                               skip_depthwise=skip_dw)
+            for setting in SETTINGS:
+                eff = pm.efficiency(layers, standard_setting(setting, size),
+                                    skip_depthwise=skip_dw)
+                table[(name, size, setting.value)] = eff / ws
+    return table
+
+
+def test_fig20_efficiency_gain(benchmark):
+    table = benchmark(efficiency_gains)
+    rows = []
+    for name in NETWORKS:
+        for size in (16, 32, 64):
+            rows.append((name, size,
+                         *(fmt(table[(name, size, s.value)]) for s in SETTINGS)))
+    print_table("Fig. 20: efficiency gain vs WS baseline",
+                ("network", "array", "WS-CMS", "EWS", "EWS-CMS"), rows)
+    # the paper's summary: MVQ gives an average gain of ~46% (WS) and ~90% (EWS);
+    # shape check — every gain > 1 and EWS-CMS is the largest gain per network/size
+    for name in NETWORKS:
+        for size in (16, 32, 64):
+            gains = {s.value: table[(name, size, s.value)] for s in SETTINGS}
+            assert all(g >= 0.95 for g in gains.values())
+            assert gains["EWS-CMS"] >= gains["EWS"]
+    avg_ws_cms = sum(table[(n, s, "WS-CMS")] for n in NETWORKS for s in (16, 32, 64)) / 9
+    avg_ews_cms = sum(table[(n, s, "EWS-CMS")] for n in NETWORKS for s in (16, 32, 64)) / 9
+    print(f"average WS-CMS gain {avg_ws_cms:.2f}x (paper ~1.46x), "
+          f"average EWS-CMS gain {avg_ews_cms:.2f}x (paper ~1.9x)")

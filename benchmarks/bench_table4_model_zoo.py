@@ -1,0 +1,81 @@
+"""Table 4: MVQ vs baselines across the model zoo (accuracy, CR, sparsity, FLOPs)."""
+
+from benchmarks._common import copy_of, finetune, fmt, print_table
+from repro.baselines import PQFCompressor, PvQQuantizer
+from repro.core import LayerCompressionConfig, MVQCompressor
+from repro.nn.flops import count_flops, count_sparse_flops
+
+# (model, N:M pattern) — ResNets tolerate 75% sparsity, parameter-efficient
+# models use 50% (Section 6.2)
+MODEL_SPECS = {
+    "resnet50": dict(n_keep=2, m=8, d=8),
+    "mobilenet_v1": dict(n_keep=1, m=2, d=8),
+    "mobilenet_v2": dict(n_keep=1, m=2, d=8),
+    "efficientnet": dict(n_keep=1, m=2, d=8),
+    "alexnet": dict(n_keep=2, m=8, d=8),
+    "vgg16": dict(n_keep=2, m=8, d=8),
+}
+
+
+def compress_zoo(k: int = 40):
+    results = {}
+    for name, spec in MODEL_SPECS.items():
+        model, baseline = copy_of(name)
+        cfg = LayerCompressionConfig(k=k, d=spec["d"], n_keep=spec["n_keep"], m=spec["m"],
+                                     max_kmeans_iterations=25)
+        compressed = MVQCompressor(cfg).compress(model)
+        compressed.apply_to_model()
+        # conservative fine-tuning rate: AlexNet/VGG-mini have no batch norm and
+        # diverge at the rate the ResNets tolerate
+        accuracy = finetune(model, compressed, epochs=2, lr=0.008, codebook_lr=2e-3)
+        dense_flops = count_flops(model, (3, 16, 16))
+        flops = count_sparse_flops(model, (3, 16, 16),
+                                   sparsity_by_layer=compressed.sparsity_by_layer())
+        results[name] = {
+            "baseline": baseline,
+            "mvq_acc": accuracy,
+            "ratio": compressed.compression_ratio(),
+            "sparsity": compressed.sparsity(),
+            "flops": flops,
+            "dense_flops": dense_flops,
+        }
+    # comparators on ResNet-50: PQF at a similar ratio; on MobileNet-V2: 2-bit PvQ
+    model, _ = copy_of("resnet50")
+    pqf = PQFCompressor(LayerCompressionConfig(k=80, d=8, max_kmeans_iterations=25),
+                        permutation_iterations=40).compress(model)
+    pqf.apply_to_model()
+    results["resnet50"]["pqf_acc"] = finetune(model, pqf, epochs=2, lr=0.008, codebook_lr=2e-3)
+
+    model, _ = copy_of("mobilenet_v2")
+    pvq = PvQQuantizer(bits=2)
+    pvq.apply(model)
+    results["mobilenet_v2"]["pvq_acc"] = __import__(
+        "benchmarks._common", fromlist=["validation_accuracy"]).validation_accuracy(model)
+    return results
+
+
+def test_table4_model_zoo(benchmark):
+    results = benchmark.pedantic(compress_zoo, rounds=1, iterations=1)
+    rows = []
+    for name, r in results.items():
+        rows.append((name, fmt(r["baseline"], 3), fmt(r["mvq_acc"], 3),
+                     fmt(r["ratio"], 1) + "x", f"{r['sparsity']:.0%}",
+                     fmt(r["flops"] / 1e6, 2) + "M",
+                     fmt(r.get("pqf_acc", float("nan")), 3) if "pqf_acc" in r else "-",
+                     fmt(r.get("pvq_acc", float("nan")), 3) if "pvq_acc" in r else "-"))
+    print_table("Table 4: MVQ across the model zoo (synthetic-task accuracies)",
+                ("model", "dense acc", "MVQ acc", "CR", "sparsity", "FLOPs",
+                 "PQF acc", "PvQ(2b) acc"), rows)
+    # shapes from the paper:
+    for name, r in results.items():
+        assert r["mvq_acc"] > 0.4                    # far above chance (1/5)
+        assert r["flops"] < r["dense_flops"]         # pruning reduces FLOPs
+        assert r["ratio"] > 6                        # high compression throughout
+        # (the mini models' codebook overhead caps the ratio well below the ~16-28x
+        #  the paper reports on full-size networks; see EXPERIMENTS.md)
+    # MVQ beats 2-bit uniform quantization on MobileNet-V2 (PvQ collapses)
+    assert results["mobilenet_v2"]["mvq_acc"] > results["mobilenet_v2"]["pvq_acc"]
+    # On ResNet-50 MVQ trades a few points against dense PQF but is 75% sparse,
+    # which is where the 3.7x FLOPs reduction of the paper's Table 4 comes from
+    assert results["resnet50"]["mvq_acc"] > 0.5
+    assert results["resnet50"]["flops"] < 0.4 * results["resnet50"]["dense_flops"]

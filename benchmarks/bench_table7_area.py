@@ -1,0 +1,36 @@
+"""Table 7: accelerator area on 3 array scales for WS / EWS / EWS-C/CM / EWS-CMS."""
+
+from benchmarks._common import fmt, print_table
+from repro.accelerator.area import AreaModel, L1_AREA_MM2, L2_AREA_MM2, OTHERS_AREA_MM2
+
+PAPER = {
+    "WS": {16: 0.188, 32: 0.734, 64: 2.812},
+    "EWS": {16: 0.36, 32: 1.14, 64: 4.236},
+    "EWS-C/CM": {16: 0.650, 32: 1.505, 64: 4.776},
+    "EWS-CMS": {16: 0.469, 32: 0.828, 64: 2.129},
+}
+
+
+def build_table7():
+    model = AreaModel()
+    table = model.table7()
+    rows = []
+    for label, sizes in table.items():
+        for size, area in sizes.items():
+            rows.append((label, size, fmt(area, 3), fmt(PAPER[label][size], 3)))
+    rows.append(("L1 (128K/256K)", "-", f"{L1_AREA_MM2[128]}/{L1_AREA_MM2[256]}", "0.484/0.968"))
+    rows.append(("L2", "-", fmt(L2_AREA_MM2, 3), "6.924"))
+    rows.append(("Others (16/32/64)", "-",
+                 "/".join(fmt(OTHERS_AREA_MM2[s], 3) for s in (16, 32, 64)),
+                 "0.787/1.303/1.659"))
+    return table, rows
+
+
+def test_table7_area(benchmark):
+    table, rows = benchmark(build_table7)
+    print_table("Table 7: area (mm^2) per accelerator setting and array size",
+                ("setting", "array", "measured", "paper"), rows)
+    # headline shape: EWS-CMS cuts the 64x64 accelerator area by ~55% vs EWS
+    reduction = 1 - table["EWS-CMS"][64] / table["EWS"][64]
+    print(f"EWS-CMS vs EWS area reduction @64x64: {reduction:.0%} (paper: 55%)")
+    assert 0.4 < reduction < 0.7

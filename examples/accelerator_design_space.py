@@ -1,0 +1,61 @@
+"""Explore the MVQ accelerator design space (the paper's Section 7 evaluation).
+
+Sweeps the six hardware settings (WS, WS-CMS, EWS, EWS-C, EWS-CM, EWS-CMS)
+across array sizes on the full-size ResNet-18 layer shapes and reports, per
+configuration: accelerator area, runtime, speedup over the WS baseline,
+energy efficiency, and where the design sits on the weight-loading roofline.
+
+Usage:  python examples/accelerator_design_space.py [network]
+        network is one of resnet18 (default), resnet50, vgg16, alexnet, mobilenet_v1
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.accelerator.area import AreaModel
+from repro.accelerator.config import ALL_SETTINGS, HardwareSetting, standard_setting
+from repro.accelerator.performance import PerformanceModel
+from repro.accelerator.roofline import RooflineModel
+from repro.accelerator.workloads import WORKLOADS, network_macs, network_weights
+
+
+def main(network: str = "resnet18") -> None:
+    layers = WORKLOADS[network]()
+    skip_dw = network.startswith("mobilenet")
+    print(f"workload: {network}  ({network_macs(layers)/1e9:.2f} GMACs, "
+          f"{network_weights(layers)/1e6:.1f} M weights)\n")
+
+    performance = PerformanceModel()
+    area_model = AreaModel()
+
+    header = (f"{'setting':<10}{'array':>7}{'area mm2':>10}{'cycles M':>10}"
+              f"{'speedup':>9}{'TOPS/W':>8}{'bound':>9}")
+    print(header)
+    print("-" * len(header))
+
+    for size in (16, 32, 64):
+        ws_baseline = performance.evaluate(layers, standard_setting(HardwareSetting.WS_BASE, size),
+                                           skip_depthwise=skip_dw)
+        for setting in ALL_SETTINGS:
+            config = standard_setting(setting, array_size=size)
+            perf = performance.evaluate(layers, config, skip_depthwise=skip_dw)
+            efficiency = performance.efficiency(layers, config, skip_depthwise=skip_dw)
+            area = area_model.accelerator_area_mm2(config)
+            speedup = ws_baseline.cycles / perf.cycles
+            point = RooflineModel(config).point(layers, skip_depthwise=skip_dw)
+            print(f"{setting.value:<10}{size:>5}x{size:<2}{area:>9.2f}{perf.cycles/1e6:>10.2f}"
+                  f"{speedup:>8.2f}x{efficiency:>8.2f}{point.bound:>9}")
+        print()
+
+    ews = standard_setting(HardwareSetting.EWS_BASE, 64)
+    cms = standard_setting(HardwareSetting.EWS_CMS, 64)
+    gain = (performance.efficiency(layers, cms, skip_depthwise=skip_dw)
+            / performance.efficiency(layers, ews, skip_depthwise=skip_dw))
+    area_cut = 1 - area_model.accelerator_area_mm2(cms) / area_model.accelerator_area_mm2(ews)
+    print(f"headline @64x64: EWS-CMS is {gain:.1f}x more energy-efficient than base EWS "
+          f"with a {area_cut:.0%} smaller accelerator (paper: 2.3x, 55%).")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "resnet18")

@@ -1,0 +1,108 @@
+"""Compare MVQ against conventional VQ baselines (PQF, BGD) and 2-bit uniform
+quantization (PvQ) on the same trained network.
+
+Mirrors the comparison the paper's Fig. 13 / Table 4 make: at a matched
+compression ratio, masked VQ approximates the *important* weights better
+(lower masked SSE), keeps accuracy, and — unlike the dense-VQ baselines —
+also leaves the network 75% sparse, cutting FLOPs.
+
+Usage:  python examples/compare_vq_methods.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import BGDCompressor, PQFCompressor, PvQQuantizer
+from repro.core import CodebookFinetuner, LayerCompressionConfig, MVQCompressor
+from repro.core.grouping import group_weight
+from repro.core.metrics import masked_sse
+from repro.core.pruning import nm_prune_mask
+from repro.nn import CrossEntropyLoss, SGD, Trainer, evaluate_accuracy
+from repro.nn.data import SyntheticClassification, train_val_split
+from repro.nn.models import resnet18_mini
+
+
+def train_dense_baseline(train_set, val_set):
+    model = resnet18_mini(num_classes=5, seed=1)
+    trainer = Trainer(model, CrossEntropyLoss(),
+                      SGD(model.parameters(), lr=0.05, momentum=0.9), batch_size=32)
+    trainer.fit(train_set, epochs=6, val_set=val_set)
+    return model
+
+
+def fresh_copy(reference):
+    model = resnet18_mini(num_classes=5, seed=1)
+    model.load_state_dict(reference.state_dict())
+    return model
+
+
+def finetune(model, compressed, train_set, epochs=2):
+    finetuner = CodebookFinetuner(compressed, lr=3e-3)
+    trainer = Trainer(model, CrossEntropyLoss(),
+                      SGD(model.parameters(), lr=0.02, momentum=0.9),
+                      batch_size=32, hook=finetuner.step)
+    trainer.fit(train_set, epochs=epochs)
+
+
+def important_weight_sse(model, compressed) -> float:
+    """Clustering error restricted to the top-2-of-8 magnitude weights."""
+    modules = dict(model.named_modules())
+    total = 0.0
+    for state in compressed:
+        original = group_weight(modules[state.name].weight.value, 8)
+        recon = group_weight(state.reconstruct_weight(), 8)
+        mask = nm_prune_mask(original, 2, 8)
+        total += masked_sse(original, recon, mask)
+    return total
+
+
+def main() -> None:
+    dataset = SyntheticClassification(360, 16, 5, seed=0)
+    train_set, val_set = train_val_split(dataset, val_fraction=0.25)
+    reference = train_dense_baseline(train_set, val_set)
+    baseline_acc = evaluate_accuracy(reference, val_set)
+    print(f"dense baseline accuracy: {baseline_acc:.3f}\n")
+
+    rows = []
+
+    # ----- MVQ (ours): masked VQ + 2:8 pruning -------------------------------
+    model = fresh_copy(reference)
+    mvq_cfg = LayerCompressionConfig(k=32, d=8, n_keep=2, m=8)
+    mvq = MVQCompressor(mvq_cfg).compress(model)
+    sse = important_weight_sse(model, mvq)
+    mvq.apply_to_model()
+    finetune(model, mvq, train_set)
+    rows.append(("MVQ (ours)", mvq.compression_ratio(), mvq.sparsity(), sse,
+                 evaluate_accuracy(model, val_set)))
+
+    # ----- PQF: permutation + common k-means ---------------------------------
+    model = fresh_copy(reference)
+    pqf = PQFCompressor(LayerCompressionConfig(k=48, d=8), permutation_iterations=60).compress(model)
+    sse = important_weight_sse(model, pqf)
+    pqf.apply_to_model()
+    finetune(model, pqf, train_set)
+    rows.append(("PQF", pqf.compression_ratio(), 0.0, sse, evaluate_accuracy(model, val_set)))
+
+    # ----- BGD: activation-weighted clustering --------------------------------
+    model = fresh_copy(reference)
+    calibration = train_set.images[:4]
+    bgd = BGDCompressor(LayerCompressionConfig(k=48, d=8), calibration_batch=calibration).compress(model)
+    sse = important_weight_sse(model, bgd)
+    bgd.apply_to_model()
+    finetune(model, bgd, train_set)
+    rows.append(("BGD", bgd.compression_ratio(), 0.0, sse, evaluate_accuracy(model, val_set)))
+
+    # ----- PvQ: 2-bit uniform scalar quantization -----------------------------
+    model = fresh_copy(reference)
+    pvq = PvQQuantizer(bits=2)
+    pvq.apply(model)
+    rows.append(("PvQ (2-bit uniform)", pvq.compression_ratio(), 0.0, float("nan"),
+                 evaluate_accuracy(model, val_set)))
+
+    print(f"{'method':<22}{'CR':>7}{'sparsity':>10}{'imp. SSE':>12}{'accuracy':>10}")
+    for name, ratio, sparsity, sse, acc in rows:
+        sse_str = f"{sse:10.2f}" if sse == sse else "         -"
+        print(f"{name:<22}{ratio:6.1f}x{sparsity:9.0%} {sse_str} {acc:9.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Compress an object detector with MVQ (the paper's Mask-RCNN/COCO scenario).
+
+Trains the simplified single-box detector on the synthetic detection task,
+compresses its ResNet backbone with masked vector quantization, and
+fine-tunes the codebooks against the detection loss — exercising the same
+code path the paper uses for Mask-RCNN on COCO (Table 6), with the AP@0.25
+surrogate metric.
+
+Usage:  python examples/detection_compression.py
+"""
+
+from __future__ import annotations
+
+from repro.core import CodebookFinetuner, LayerCompressionConfig, MVQCompressor
+from repro.nn.data import SyntheticDetection
+from repro.nn.models import simple_detector_mini
+from repro.nn.models.detection import detection_ap, train_detector
+
+
+def main() -> None:
+    dataset = SyntheticDetection(num_samples=200, image_size=16, num_classes=3, seed=0)
+    detector = simple_detector_mini(num_classes=3, seed=0)
+
+    print("training dense detector ...")
+    train_detector(detector, dataset, epochs=8, batch_size=32)
+    baseline_ap = detection_ap(detector, dataset, iou_threshold=0.25)
+    print(f"dense detector AP@0.25: {baseline_ap:.3f}")
+
+    # detection/segmentation use the ASP-style pruning setup (Section 6.2):
+    # one-shot magnitude masks, kept frozen while the codebook fine-tunes
+    config = LayerCompressionConfig(k=32, d=8, n_keep=2, m=8)
+    compressed = MVQCompressor(config).compress(detector)
+    compressed.apply_to_model()
+    print(f"compressed backbone: ratio={compressed.compression_ratio():.1f}x "
+          f"sparsity={compressed.sparsity():.0%}")
+    print(f"AP@0.25 before fine-tuning: {detection_ap(detector, dataset, 0.25):.3f}")
+
+    finetuner = CodebookFinetuner(compressed, lr=3e-3)
+    train_detector(detector, dataset, epochs=3, batch_size=32, hook=finetuner.step)
+    final_ap = detection_ap(detector, dataset, iou_threshold=0.25)
+    print(f"AP@0.25 after codebook fine-tuning: {final_ap:.3f} "
+          f"(baseline {baseline_ap:.3f})")
+
+
+if __name__ == "__main__":
+    main()

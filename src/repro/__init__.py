@@ -1,0 +1,42 @@
+"""MVQ reproduction: masked vector quantization for DNN compression and acceleration.
+
+Public API surface:
+
+* :mod:`repro.nn`           — numpy DNN substrate (layers, models, training, data).
+* :mod:`repro.core`         — the MVQ compression pipeline (grouping, N:M pruning,
+  masked k-means, codebook quantization, masked-gradient fine-tuning).
+* :mod:`repro.baselines`    — PQF / BGD / PvQ comparators.
+* :mod:`repro.accelerator`  — EWS/WS systolic-array accelerator simulator with
+  energy, area, performance and roofline models.
+"""
+
+from repro.core import (
+    Codebook,
+    CompressedModel,
+    CodebookFinetuner,
+    GroupingStrategy,
+    LayerCompressionConfig,
+    MVQCompressor,
+    compression_ratio,
+    CompressionSpec,
+    masked_kmeans,
+    kmeans,
+    nm_prune_mask,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Codebook",
+    "CompressedModel",
+    "CodebookFinetuner",
+    "GroupingStrategy",
+    "LayerCompressionConfig",
+    "MVQCompressor",
+    "compression_ratio",
+    "CompressionSpec",
+    "masked_kmeans",
+    "kmeans",
+    "nm_prune_mask",
+    "__version__",
+]

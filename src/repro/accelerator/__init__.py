@@ -1,0 +1,86 @@
+"""Accelerator simulator for the MVQ hardware architecture (Section 5 / 7).
+
+The paper evaluates six hardware settings (WS, WS-CMS, EWS, EWS-C, EWS-CM,
+EWS-CMS) on three systolic-array sizes (16x16, 32x32, 64x64) running five
+CNNs.  This package provides:
+
+* :mod:`repro.accelerator.workloads`    — full-size layer shape tables of the
+  evaluated CNNs (these, not the mini training models, drive all hardware
+  numbers, exactly as in the paper).
+* :mod:`repro.accelerator.config`       — hardware settings / array configs.
+* :mod:`repro.accelerator.dataflow`     — WS and EWS loop-nest models producing
+  per-level memory access counts and compute cycles per layer.
+* :mod:`repro.accelerator.weight_loader`— assignment-aware weight loading
+  (codebook RF, mask LUT decode, AND-gate reconstruction) and its bit traffic.
+* :mod:`repro.accelerator.systolic`     — functional model of the sparse tile
+  (LZC mask encoder, MRF/WRF, zero-gated PEs) used for correctness tests.
+* :mod:`repro.accelerator.energy`       — Table 8 access-energy model, power
+  breakdown and energy efficiency.
+* :mod:`repro.accelerator.area`         — Table 7 component area model.
+* :mod:`repro.accelerator.performance`  — cycle counts and speedups.
+* :mod:`repro.accelerator.roofline`     — operational-intensity roofline.
+* :mod:`repro.accelerator.comparison`   — process-normalised comparison against
+  SparTen / CGNet / SPOTS / S2TA (Table 9).
+"""
+
+from repro.accelerator.config import (
+    AcceleratorConfig,
+    CompressionMode,
+    Dataflow,
+    HardwareSetting,
+    standard_setting,
+)
+from repro.accelerator.workloads import (
+    LayerShape,
+    WORKLOADS,
+    alexnet_layers,
+    mobilenet_v1_layers,
+    resnet18_layers,
+    resnet50_layers,
+    vgg16_layers,
+)
+from repro.accelerator.dataflow import AccessCounts, LayerAnalysis, analyze_layer, analyze_network
+from repro.accelerator.energy import ENERGY_COSTS, EnergyModel, EnergyBreakdown
+from repro.accelerator.area import AreaModel, AreaBreakdown
+from repro.accelerator.performance import PerformanceModel, NetworkPerformance
+from repro.accelerator.roofline import RooflineModel, RooflinePoint
+from repro.accelerator.weight_loader import AssignmentAwareWeightLoader, WeightLoadTraffic
+from repro.accelerator.systolic import SparseTile, DenseTile, lzc_encode_mask, ZeroGatedPE
+from repro.accelerator.comparison import SOTA_ACCELERATORS, normalize_efficiency, comparison_table
+
+__all__ = [
+    "AcceleratorConfig",
+    "CompressionMode",
+    "Dataflow",
+    "HardwareSetting",
+    "standard_setting",
+    "LayerShape",
+    "WORKLOADS",
+    "resnet18_layers",
+    "resnet50_layers",
+    "vgg16_layers",
+    "alexnet_layers",
+    "mobilenet_v1_layers",
+    "AccessCounts",
+    "LayerAnalysis",
+    "analyze_layer",
+    "analyze_network",
+    "ENERGY_COSTS",
+    "EnergyModel",
+    "EnergyBreakdown",
+    "AreaModel",
+    "AreaBreakdown",
+    "PerformanceModel",
+    "NetworkPerformance",
+    "RooflineModel",
+    "RooflinePoint",
+    "AssignmentAwareWeightLoader",
+    "WeightLoadTraffic",
+    "SparseTile",
+    "DenseTile",
+    "lzc_encode_mask",
+    "ZeroGatedPE",
+    "SOTA_ACCELERATORS",
+    "normalize_efficiency",
+    "comparison_table",
+]

@@ -1,0 +1,181 @@
+"""Component-level area model (Table 7 / Table 2).
+
+The per-tile resource counts follow Table 2 of the paper:
+
+================  ==================  ==========================================
+Component         EWS (dense tile)    EWS-Sparse (CMS tile)
+================  ==================  ==========================================
+Multipliers       H x d               H x Q
+Adders            H x d               H x d
+RF bits           H x d x 16 x bw     H x Q x 16 x bw + H x Q x 16 x log2(d)
+LZC               --                  H x Q
+DEMUX             --                  H x Q x b_psum
+MUX               --                  H x Q x bw
+================  ==================  ==========================================
+
+Unit areas are free parameters of the model; the defaults below were fitted
+(least squares over the twelve accelerator-block entries of Table 7) so that
+the synthesised areas the paper reports are reproduced to within ~15%.  The
+L1/L2/"others" entries of Table 7 are kept as direct calibration tables
+since they come from SRAM compilers and SoC components we do not model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.accelerator.config import (
+    AcceleratorConfig,
+    CompressionMode,
+    Dataflow,
+    HardwareSetting,
+    standard_setting,
+)
+
+
+@dataclass
+class UnitAreas:
+    """Per-instance areas in um^2 (40 nm, fitted to the paper's Table 7)."""
+
+    multiplier: float = 420.0        # 8x8-bit multiplier
+    adder: float = 140.0             # 24-bit adder
+    register_bit: float = 1.6        # one register-file bit
+    pe_control: float = 90.0         # per-PE control / pipeline overhead
+    lzc: float = 45.0                # leading-zero counter
+    demux_per_bit: float = 1.6
+    mux_per_bit: float = 1.6
+    crf_bit: float = 4.0             # codebook RF bit (multi-ported)
+    crf_port_factor: float = 0.15    # extra CRF area per additional read port
+    loader_fixed: float = 45_000.0   # weight loader + LUT + controllers
+
+
+@dataclass
+class AreaBreakdown:
+    """Area in mm^2 by block, mirroring the rows of Table 7."""
+
+    array: float
+    crf: float
+    loader: float
+    l1: float
+    l2: float
+    others: float
+
+    @property
+    def accelerator(self) -> float:
+        """The 'Accelerator' row of Table 7 (array + CRF + loader)."""
+        return self.array + self.crf + self.loader
+
+    @property
+    def total(self) -> float:
+        return self.accelerator + self.l1 + self.l2 + self.others
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "array": self.array, "crf": self.crf, "loader": self.loader,
+            "l1": self.l1, "l2": self.l2, "others": self.others,
+        }
+
+
+#: SRAM / SoC block areas (mm^2) taken directly from Table 7.
+L1_AREA_MM2 = {128: 0.484, 256: 0.968}
+L2_AREA_MM2 = 6.924
+OTHERS_AREA_MM2 = {16: 0.787, 32: 1.303, 64: 1.659}
+
+
+class AreaModel:
+    """Computes accelerator area for any configuration."""
+
+    def __init__(self, units: Optional[UnitAreas] = None):
+        self.units = units or UnitAreas()
+
+    # -- array ------------------------------------------------------------------
+    def _dense_pe_area(self, config: AcceleratorConfig, wrf_entries: int) -> float:
+        u = self.units
+        rf_bits = wrf_entries * config.weight_bits
+        return u.multiplier + u.adder + rf_bits * u.register_bit + u.pe_control
+
+    def _sparse_group_area(self, config: AcceleratorConfig) -> float:
+        """Area of one d-output-channel group in the sparse tile (Q PEs + tree)."""
+        u = self.units
+        d = config.subvector_length
+        q = config.q_pes_per_group
+        wrf_bits = config.wrf_entries * config.weight_bits
+        mrf_bits = config.wrf_entries * max(1, int(math.ceil(math.log2(d))))
+        area = q * (u.multiplier + u.pe_control)
+        area += d * u.adder                                  # adder tree depth d
+        area += q * (wrf_bits + mrf_bits) * u.register_bit   # WRF + MRF
+        area += q * u.lzc
+        area += q * config.psum_bits * u.demux_per_bit
+        area += q * config.weight_bits * u.mux_per_bit
+        return area
+
+    def array_area_mm2(self, config: AcceleratorConfig) -> float:
+        h = l = config.array_size
+        if config.dataflow is Dataflow.WS:
+            wrf_entries = 2          # current + next weight only
+            arf_prf_bits = 0
+        else:
+            wrf_entries = config.wrf_entries
+            # ARF (activations) + PRF (psums) per PE row/column pair
+            arf_prf_bits = config.wrf_entries * (config.activation_bits + config.psum_bits)
+
+        if config.sparse_array:
+            groups_per_row = l // config.subvector_length
+            area = h * groups_per_row * self._sparse_group_area(config)
+            # the sparse tile keeps ARF/PRF only for its Q active PEs per group
+            arf_prf_scale = config.q_pes_per_group / config.subvector_length
+        else:
+            area = h * l * self._dense_pe_area(config, wrf_entries)
+            arf_prf_scale = 1.0
+        if config.dataflow is Dataflow.EWS:
+            area += h * l * arf_prf_bits * self.units.register_bit * 0.25 * arf_prf_scale
+        return area / 1e6
+
+    # -- codebook register file ---------------------------------------------------
+    def crf_area_mm2(self, config: AcceleratorConfig) -> float:
+        if not config.uses_vq:
+            return 0.0
+        bits = config.codebook_size * config.subvector_length * config.codebook_bits
+        ports = config.crf_read_ports
+        area = bits * self.units.crf_bit * (1.0 + self.units.crf_port_factor * (ports - 1))
+        return area / 1e6
+
+    def loader_area_mm2(self, config: AcceleratorConfig) -> float:
+        if not config.uses_vq:
+            return 0.0
+        return self.units.loader_fixed / 1e6
+
+    # -- totals ---------------------------------------------------------------------
+    def breakdown(self, config: AcceleratorConfig) -> AreaBreakdown:
+        l1 = L1_AREA_MM2.get(config.l1_kib, 0.968 * config.l1_kib / 256)
+        others = OTHERS_AREA_MM2.get(config.array_size,
+                                     OTHERS_AREA_MM2[64] * config.array_size / 64)
+        return AreaBreakdown(
+            array=self.array_area_mm2(config),
+            crf=self.crf_area_mm2(config),
+            loader=self.loader_area_mm2(config),
+            l1=l1,
+            l2=L2_AREA_MM2,
+            others=others,
+        )
+
+    def accelerator_area_mm2(self, config: AcceleratorConfig) -> float:
+        return self.breakdown(config).accelerator
+
+    def table7(self, array_sizes=(16, 32, 64)) -> Dict[str, Dict[int, float]]:
+        """Accelerator-block areas for the rows of Table 7."""
+        rows = {
+            "WS": HardwareSetting.WS_BASE,
+            "EWS": HardwareSetting.EWS_BASE,
+            "EWS-C/CM": HardwareSetting.EWS_CM,
+            "EWS-CMS": HardwareSetting.EWS_CMS,
+        }
+        table: Dict[str, Dict[int, float]] = {}
+        for label, setting in rows.items():
+            table[label] = {}
+            for size in array_sizes:
+                config = standard_setting(setting, array_size=size)
+                table[label][size] = self.accelerator_area_mm2(config)
+        return table

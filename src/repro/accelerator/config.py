@@ -1,0 +1,188 @@
+"""Hardware configuration: dataflows, compression modes and the six settings.
+
+The paper's Section 7.1 defines six hardware settings.  A setting is a
+(dataflow, compression mode) pair; compression modes layer on top of each
+other:
+
+* ``NONE``  — 8-bit dense weights (the WS / EWS baselines);
+* ``C``     — common vector quantization (k = 1024, d = 8), weights loaded as
+  codebook indices (EWS-C);
+* ``CM``    — masked vector quantization (k = 512, d = 16, N:M sparsity),
+  indices + LUT-encoded masks loaded (EWS-CM / WS-CMS share this loading);
+* ``CMS``   — CM plus the sparsity-aware systolic array (sparse tiles with
+  Q = N/M * d PEs per d output channels) (EWS-CMS, WS-CMS).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+
+class Dataflow(enum.Enum):
+    WS = "ws"
+    EWS = "ews"
+
+
+class CompressionMode(enum.Enum):
+    NONE = "none"     # dense 8-bit weights
+    C = "c"           # common VQ (indices, no mask, dense array)
+    CM = "cm"         # masked VQ (indices + masks, dense array)
+    CMS = "cms"       # masked VQ + sparse systolic array
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """One concrete accelerator instance."""
+
+    array_size: int = 64                   # H = L (square array)
+    dataflow: Dataflow = Dataflow.EWS
+    compression: CompressionMode = CompressionMode.CMS
+    # -- vector quantization parameters (compression ratio ~22x defaults) ------
+    codebook_size: int = 512               # k
+    subvector_length: int = 16             # d
+    n_keep: int = 4                        # N of N:M
+    m_block: int = 16                      # M of N:M
+    codebook_bits: int = 8                 # q_c
+    # -- numeric formats --------------------------------------------------------
+    weight_bits: int = 8                   # on-chip weight precision (baseline loads)
+    activation_bits: int = 8
+    psum_bits: int = 24
+    # -- EWS extension factors (A, B, D of Fig. 7) ------------------------------
+    ews_a: int = 4
+    ews_b: int = 4
+    ews_d: int = 2
+    # -- memory system -----------------------------------------------------------
+    l1_kib: int = 256
+    l2_kib: int = 2048
+    dma_width_bits: int = 64               # weight-loading datawidth from L2
+    l1_width_bits: int = 2048              # aggregate L1 bank bandwidth per cycle
+    frequency_ghz: float = 0.3
+    wrf_entries: int = 16
+
+    def __post_init__(self):
+        if self.array_size <= 0:
+            raise ValueError("array size must be positive")
+        if self.subvector_length % self.m_block != 0:
+            raise ValueError("d must be a multiple of M")
+        if self.array_size % self.subvector_length != 0 and self.uses_vq:
+            raise ValueError("array width must be a multiple of the subvector length d")
+
+    # -- derived quantities -------------------------------------------------------
+    @property
+    def uses_vq(self) -> bool:
+        return self.compression is not CompressionMode.NONE
+
+    @property
+    def uses_mask(self) -> bool:
+        return self.compression in (CompressionMode.CM, CompressionMode.CMS)
+
+    @property
+    def sparse_array(self) -> bool:
+        return self.compression is CompressionMode.CMS
+
+    @property
+    def sparsity(self) -> float:
+        """Weight sparsity from the N:M pattern (0 when no mask is used)."""
+        if not self.uses_mask:
+            return 0.0
+        return 1.0 - self.n_keep / self.m_block
+
+    @property
+    def q_pes_per_group(self) -> int:
+        """Q = N/M * d active PEs per d output channels in the sparse tile."""
+        return max(1, (self.n_keep * self.subvector_length) // self.m_block)
+
+    @property
+    def assignment_bits_per_subvector(self) -> int:
+        return int(math.ceil(math.log2(max(self.codebook_size, 2))))
+
+    @property
+    def mask_bits_per_subvector(self) -> int:
+        if not self.uses_mask:
+            return 0
+        combos = math.comb(self.m_block, self.n_keep)
+        per_block = int(math.ceil(math.log2(max(combos, 2))))
+        return per_block * (self.subvector_length // self.m_block)
+
+    @property
+    def weight_load_bits_per_weight(self) -> float:
+        """Bits fetched from L2 per (dense) weight during weight loading."""
+        if not self.uses_vq:
+            return float(self.weight_bits)
+        per_subvector = self.assignment_bits_per_subvector + self.mask_bits_per_subvector
+        return per_subvector / self.subvector_length
+
+    @property
+    def peak_tops(self) -> float:
+        """Peak throughput 2 * H * L * f in TOPS (dense-equivalent)."""
+        return 2 * self.array_size * self.array_size * self.frequency_ghz / 1e3
+
+    @property
+    def crf_read_ports(self) -> int:
+        """The codebook register file needs L/d read ports (Section 5.2)."""
+        if not self.uses_vq:
+            return 0
+        return max(1, self.array_size // self.subvector_length)
+
+    def with_array_size(self, size: int) -> "AcceleratorConfig":
+        return replace(self, array_size=size)
+
+
+class HardwareSetting(enum.Enum):
+    """The six settings of Section 7.1."""
+
+    WS_BASE = "WS"
+    WS_CMS = "WS-CMS"
+    EWS_BASE = "EWS"
+    EWS_C = "EWS-C"
+    EWS_CM = "EWS-CM"
+    EWS_CMS = "EWS-CMS"
+
+
+def standard_setting(setting: HardwareSetting, array_size: int = 64,
+                     l1_kib: Optional[int] = None, **overrides) -> AcceleratorConfig:
+    """The paper's configuration for each hardware setting.
+
+    EWS-C uses common VQ with k=1024, d=8 (no mask); EWS-CM / EWS-CMS /
+    WS-CMS use masked VQ with k=512, d=16 and 4:16 sparsity — the matched
+    ~22x compression-ratio pair from Section 7.1.  L1 is 128 KiB for the
+    16x16 array and 256 KiB for 32x32 / 64x64 (Section 7.2).
+    """
+    if l1_kib is None:
+        l1_kib = 128 if array_size <= 16 else 256
+
+    base = dict(array_size=array_size, l1_kib=l1_kib)
+    if setting is HardwareSetting.WS_BASE:
+        cfg = AcceleratorConfig(dataflow=Dataflow.WS, compression=CompressionMode.NONE, **base)
+    elif setting is HardwareSetting.WS_CMS:
+        cfg = AcceleratorConfig(dataflow=Dataflow.WS, compression=CompressionMode.CMS,
+                                codebook_size=512, subvector_length=16, n_keep=4, m_block=16, **base)
+    elif setting is HardwareSetting.EWS_BASE:
+        cfg = AcceleratorConfig(dataflow=Dataflow.EWS, compression=CompressionMode.NONE, **base)
+    elif setting is HardwareSetting.EWS_C:
+        cfg = AcceleratorConfig(dataflow=Dataflow.EWS, compression=CompressionMode.C,
+                                codebook_size=1024, subvector_length=8, n_keep=8, m_block=8, **base)
+    elif setting is HardwareSetting.EWS_CM:
+        cfg = AcceleratorConfig(dataflow=Dataflow.EWS, compression=CompressionMode.CM,
+                                codebook_size=512, subvector_length=16, n_keep=4, m_block=16, **base)
+    elif setting is HardwareSetting.EWS_CMS:
+        cfg = AcceleratorConfig(dataflow=Dataflow.EWS, compression=CompressionMode.CMS,
+                                codebook_size=512, subvector_length=16, n_keep=4, m_block=16, **base)
+    else:
+        raise ValueError(f"unknown setting {setting}")
+    if overrides:
+        cfg = replace(cfg, **overrides)
+    return cfg
+
+
+ALL_SETTINGS = [
+    HardwareSetting.WS_BASE,
+    HardwareSetting.WS_CMS,
+    HardwareSetting.EWS_BASE,
+    HardwareSetting.EWS_C,
+    HardwareSetting.EWS_CM,
+    HardwareSetting.EWS_CMS,
+]

@@ -1,0 +1,254 @@
+"""WS / EWS dataflow loop-nest models: cycles and per-level access counts.
+
+The model follows the paper's description of the two dataflows (Fig. 7):
+
+* **WS** (weight stationary, C|K unfolding): a tile of ``H x L`` weights is
+  held in the array while the output plane is traversed; every compute cycle
+  fetches ``H`` activations from L1 and performs a read-modify-write of
+  ``L`` partial sums against L1.  Switching to the next weight tile costs an
+  array-depth pipeline drain.
+* **EWS** adds the ``A``/``B``/``D`` extensions: activations are reused from
+  the ARF for ``A x D`` consecutive weight switches and partial sums stay in
+  the PRF for ``B x D`` switches, cutting the L1 access rate by those factors
+  (Section 5.1).
+
+Weight loading is modelled as a stream from DRAM through L2 into the array
+over the ``dma_width_bits`` interface.  With vector quantization only the
+assignments (and LUT-encoded masks) are streamed, which is the source of the
+speedup the paper reports for weight-loading-bound layers (Fig. 17/18).
+
+Counts are reported in **bytes** for the memories (DRAM / L2 / L1) and in
+**element accesses** for the register files (PRF / ARF / WRF / CRF), matching
+the granularity of the paper's Table 8 energy costs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.accelerator.config import AcceleratorConfig, CompressionMode, Dataflow
+from repro.accelerator.workloads import LayerShape
+
+
+@dataclass
+class AccessCounts:
+    """Per-memory-level traffic for one layer (or a whole network)."""
+
+    dram_bytes: float = 0.0
+    l2_bytes: float = 0.0
+    l1_bytes: float = 0.0
+    prf_accesses: float = 0.0
+    arf_accesses: float = 0.0
+    wrf_accesses: float = 0.0
+    crf_accesses: float = 0.0
+    effective_macs: float = 0.0      # MACs actually executed (sparse array skips zeros)
+    dense_macs: float = 0.0          # MACs of the dense (uncompressed) layer
+
+    def __add__(self, other: "AccessCounts") -> "AccessCounts":
+        return AccessCounts(*[a + b for a, b in zip(self._astuple(), other._astuple())])
+
+    def _astuple(self):
+        return (self.dram_bytes, self.l2_bytes, self.l1_bytes, self.prf_accesses,
+                self.arf_accesses, self.wrf_accesses, self.crf_accesses,
+                self.effective_macs, self.dense_macs)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "dram_bytes": self.dram_bytes,
+            "l2_bytes": self.l2_bytes,
+            "l1_bytes": self.l1_bytes,
+            "prf_accesses": self.prf_accesses,
+            "arf_accesses": self.arf_accesses,
+            "wrf_accesses": self.wrf_accesses,
+            "crf_accesses": self.crf_accesses,
+            "effective_macs": self.effective_macs,
+            "dense_macs": self.dense_macs,
+        }
+
+
+#: WS has no WRF to prefetch the next weight tile into, so its weight
+#: streaming overlaps only partially with compute (Section 2.3 / ref. [35]).
+WS_WEIGHT_LOAD_OVERHEAD = 1.2
+
+
+@dataclass
+class LayerAnalysis:
+    """Cycles and traffic of one layer on one accelerator configuration."""
+
+    layer: LayerShape
+    config: AcceleratorConfig
+    compute_cycles: float
+    weight_load_cycles: float
+    l1_bound_cycles: float
+    access: AccessCounts
+
+    @property
+    def cycles(self) -> float:
+        """Weight loading is double-buffered, so the layer takes the max of the
+        compute, weight-loading and L1-bandwidth bounds."""
+        return max(self.compute_cycles, self.weight_load_cycles, self.l1_bound_cycles)
+
+    @property
+    def weight_bound(self) -> bool:
+        return self.weight_load_cycles >= max(self.compute_cycles, self.l1_bound_cycles)
+
+
+def _weight_stream_bits(layer: LayerShape, config: AcceleratorConfig) -> float:
+    """Bits pulled from L2/DRAM to deliver this layer's weights to the array."""
+    bits = layer.num_weights * config.weight_load_bits_per_weight
+    if config.uses_vq:
+        # one-time codebook initialisation per layer (Section 5.2); tiny but real
+        bits += config.codebook_size * config.subvector_length * config.codebook_bits
+    return bits
+
+
+def _activation_spills_to_dram(layer: LayerShape, config: AcceleratorConfig) -> bool:
+    """True when the ifmap + ofmap working set exceeds the L2 capacity.
+
+    This is the VGG-16 early-layer effect the paper calls out in Section 7.3
+    (large input feature maps must live in DRAM, lowering the reduction ratio).
+    """
+    act_bytes = (layer.input_elements + layer.output_elements) * config.activation_bits / 8
+    return act_bytes > config.l2_kib * 1024
+
+
+def analyze_layer(layer: LayerShape, config: AcceleratorConfig) -> LayerAnalysis:
+    """Cycles + per-level access counts of ``layer`` on ``config``."""
+    h = l = config.array_size
+    r2 = layer.kernel_size**2
+    e2 = layer.output_size**2
+    macs = layer.macs
+
+    if layer.depthwise:
+        # depthwise kernels map to the array diagonal (Section 7.5)
+        tiles_c = math.ceil(layer.in_channels / h)
+        tiles_k = 1
+        compute_cycles = tiles_c * r2 * e2
+        active_cols = 1.0
+    else:
+        tiles_k = math.ceil(layer.out_channels / l)
+        tiles_c = math.ceil(layer.in_channels / h)
+        compute_cycles = tiles_k * tiles_c * r2 * e2
+        active_cols = float(l)
+
+    if config.dataflow is Dataflow.WS:
+        # pipeline drain/refill when the stationary weight tile is switched
+        compute_cycles += tiles_k * tiles_c * r2 * h
+
+    weight_bits = _weight_stream_bits(layer, config)
+    weight_load_cycles = weight_bits / config.dma_width_bits
+    if config.dataflow is Dataflow.WS:
+        weight_load_cycles *= WS_WEIGHT_LOAD_OVERHEAD
+
+    # ---- memory traffic -------------------------------------------------------
+    act_bytes = config.activation_bits / 8
+    psum_bytes = config.psum_bits / 8
+    weight_stream_bytes = weight_bits / 8
+
+    # Array-side L1 traffic: activations in, partial sums read-modify-write.
+    ifmap_l1_reads = macs / active_cols * act_bytes
+    psum_l1_rmw = 2.0 * macs / h * psum_bytes
+    if config.dataflow is Dataflow.EWS:
+        ifmap_l1_reads /= config.ews_a * config.ews_d
+        psum_l1_rmw /= config.ews_b * config.ews_d
+        arf_accesses = macs / active_cols
+        prf_accesses = 2.0 * macs / h
+    else:
+        arf_accesses = 0.0
+        prf_accesses = 0.0
+
+    # L1 fills from L2 and ofmap drain back
+    ifmap_fill = layer.input_elements * act_bytes
+    ofmap_drain = layer.output_elements * act_bytes
+    l1_bytes = ifmap_l1_reads + psum_l1_rmw + ifmap_fill + ofmap_drain
+
+    # L2 traffic: weights stream through, activations staged once per layer
+    l2_bytes = weight_stream_bytes + ifmap_fill + ofmap_drain
+
+    # DRAM traffic: weights always stream from DRAM (model weights exceed L2
+    # between layers); activations only when the working set exceeds L2
+    dram_bytes = weight_stream_bytes
+    if _activation_spills_to_dram(layer, config):
+        dram_bytes += ifmap_fill + ofmap_drain
+
+    # Register files
+    wrf_accesses = float(macs)
+    crf_accesses = (layer.num_weights / config.subvector_length) if config.uses_vq else 0.0
+
+    # MACs actually executed: the sparse tile only computes unpruned weights
+    if config.sparse_array:
+        effective_macs = macs * (1.0 - config.sparsity)
+    else:
+        effective_macs = float(macs)
+
+    # Array-side L1 bandwidth bound: the array cannot run faster than L1 can
+    # feed activations and absorb partial sums (only binding for WS, whose
+    # per-cycle L1 traffic is A*D / B*D times higher than EWS's).
+    l1_bound_cycles = (ifmap_l1_reads + psum_l1_rmw) / (config.l1_width_bits / 8)
+
+    access = AccessCounts(
+        dram_bytes=dram_bytes,
+        l2_bytes=l2_bytes,
+        l1_bytes=l1_bytes,
+        prf_accesses=prf_accesses,
+        arf_accesses=arf_accesses,
+        wrf_accesses=wrf_accesses,
+        crf_accesses=crf_accesses,
+        effective_macs=effective_macs,
+        dense_macs=float(macs),
+    )
+    return LayerAnalysis(layer=layer, config=config, compute_cycles=compute_cycles,
+                         weight_load_cycles=weight_load_cycles,
+                         l1_bound_cycles=l1_bound_cycles, access=access)
+
+
+@dataclass
+class NetworkAnalysis:
+    """Aggregate of per-layer analyses for a whole network."""
+
+    layers: List[LayerAnalysis] = field(default_factory=list)
+
+    @property
+    def cycles(self) -> float:
+        return sum(a.cycles for a in self.layers)
+
+    @property
+    def compute_cycles(self) -> float:
+        return sum(a.compute_cycles for a in self.layers)
+
+    @property
+    def weight_load_cycles(self) -> float:
+        return sum(a.weight_load_cycles for a in self.layers)
+
+    @property
+    def access(self) -> AccessCounts:
+        total = AccessCounts()
+        for a in self.layers:
+            total = total + a.access
+        return total
+
+    @property
+    def dense_macs(self) -> float:
+        return sum(a.access.dense_macs for a in self.layers)
+
+    @property
+    def total_ops(self) -> float:
+        """Dense-equivalent operations (2 per MAC), the paper's TOPS numerator."""
+        return 2.0 * self.dense_macs
+
+
+def analyze_network(layers: Iterable[LayerShape], config: AcceleratorConfig,
+                    skip_depthwise: bool = False) -> NetworkAnalysis:
+    """Analyse every layer of a network on one configuration.
+
+    ``skip_depthwise=True`` reproduces the paper's MobileNet reporting, which
+    presents pointwise-convolution results only (Section 7.5).
+    """
+    analysis = NetworkAnalysis()
+    for layer in layers:
+        if skip_depthwise and layer.depthwise:
+            continue
+        analysis.layers.append(analyze_layer(layer, config))
+    return analysis

@@ -1,0 +1,247 @@
+"""Energy model calibrated to the paper's Table 8 access costs.
+
+Table 8 normalises every data-access energy to the cost of one MAC
+operation:
+
+    DRAM 200, L2 15, L1 6, PRF 0.22, ARF 0.11, WRF 0.02, CRF 0.02.
+
+We adopt those numbers directly as the calibration points of the model (the
+same way the paper builds its own energy analysis) and charge them against
+the access counts produced by :mod:`repro.accelerator.dataflow`.  Memory
+accesses are charged per byte, register files per element access, MACs per
+executed multiply-accumulate.
+
+Two further terms complete the Fig. 16 power picture:
+
+* **zero-value gating** (Section 5.3): when either multiplier operand is
+  zero the PE does not toggle, so MAC switching energy scales with the
+  fraction of non-gated operations.  Dense-array settings (EWS-C/EWS-CM)
+  benefit from the many zero weights N:M pruning leaves behind; the sparse
+  array (CMS) skips those MACs entirely and only gates on zero activations.
+* **array background power**: clock tree, idle registers and control of the
+  physical array, proportional to the array (+ CRF) area and the runtime.
+  This is what separates EWS-CM from EWS-CMS — the sparse tile is ~55%
+  smaller, so it burns proportionally less background power.
+
+The absolute scale ``mac_energy_pj`` converts the normalised total into
+Joules so efficiencies come out in TOPS/W, and a constant "others" power
+(CPU, DMA, interfaces, IO in Fig. 16) adds a runtime-proportional term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro.accelerator.area import AreaModel
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.dataflow import NetworkAnalysis, analyze_network
+from repro.accelerator.workloads import LayerShape
+
+#: Normalised access energy, one MAC operation = 1.0 (paper Table 8).
+ENERGY_COSTS: Dict[str, float] = {
+    "mac": 1.0,
+    "dram": 200.0,
+    "l2": 15.0,
+    "l1": 6.0,
+    "prf": 0.22,
+    "arf": 0.11,
+    "wrf": 0.02,
+    "crf": 0.02,
+}
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy per component, in MAC-normalised units."""
+
+    mac: float = 0.0
+    array_background: float = 0.0
+    dram: float = 0.0
+    l2: float = 0.0
+    l1: float = 0.0
+    prf: float = 0.0
+    arf: float = 0.0
+    wrf: float = 0.0
+    crf: float = 0.0
+    others: float = 0.0
+
+    @property
+    def accelerator(self) -> float:
+        """The 'Accel' bar of Fig. 16: array MACs, background and register files."""
+        return self.mac + self.array_background + self.prf + self.arf + self.wrf + self.crf
+
+    @property
+    def on_chip_total(self) -> float:
+        """Total excluding DRAM (the paper's efficiency numbers exclude DRAM)."""
+        return self.accelerator + self.l1 + self.l2 + self.others
+
+    @property
+    def total(self) -> float:
+        return self.on_chip_total + self.dram
+
+    @property
+    def data_access_total(self) -> float:
+        """All data-movement energy (the quantity of Figs. 14/15), excluding MACs."""
+        return self.dram + self.l2 + self.l1 + self.prf + self.arf + self.wrf + self.crf
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "mac": self.mac, "array_background": self.array_background,
+            "dram": self.dram, "l2": self.l2, "l1": self.l1, "prf": self.prf,
+            "arf": self.arf, "wrf": self.wrf, "crf": self.crf, "others": self.others,
+        }
+
+
+class EnergyModel:
+    """Turns access counts into energy, power and efficiency numbers."""
+
+    def __init__(self, costs: Optional[Dict[str, float]] = None,
+                 mac_energy_pj: float = 0.35,
+                 others_power_mw: float = 80.0,
+                 others_reference_array: int = 64,
+                 others_power_exponent: float = 0.5,
+                 activation_zero_fraction: float = 0.4,
+                 baseline_weight_zero_fraction: float = 0.05,
+                 array_background_per_pe: float = 0.15,
+                 sparse_tile_background_fraction: float = 0.35,
+                 area_model: Optional[AreaModel] = None):
+        """Parameters
+        ----------
+        mac_energy_pj:
+            Absolute energy of one MAC (converts normalised units to Joules).
+        others_power_mw:
+            Constant power of everything outside the datapath energy counts:
+            CPU, DMA, interfaces, IO and SRAM clock/leakage (the 'Other' bar
+            of Fig. 16 plus the static part of L1/L2), quoted for the
+            ``others_reference_array`` size and scaled as
+            ``(array_size / reference) ** others_power_exponent`` — a larger
+            array needs wider DMA/interconnect (Table 7's 'Others' area grows
+            with array size).
+        activation_zero_fraction:
+            Fraction of zero activations (post-ReLU), used by zero gating.
+        baseline_weight_zero_fraction:
+            Fraction of exactly-zero weights in an uncompressed int8 model.
+        array_background_per_pe:
+            Clock/idle energy per dense PE per cycle (register files, pipeline
+            and clock tree), in MAC-normalised units.
+        sparse_tile_background_fraction:
+            Background energy of the sparse (CMS) tile relative to a dense
+            tile of the same logical width — the sparse tile keeps the adder
+            tree and DEMUX/MUX network but only Q of d multipliers/WRFs
+            (Table 2), roughly half the dense cost at 4:16.
+        """
+        self.costs = dict(ENERGY_COSTS if costs is None else costs)
+        self.mac_energy_pj = mac_energy_pj
+        self.others_power_mw = others_power_mw
+        self.others_reference_array = others_reference_array
+        self.others_power_exponent = others_power_exponent
+        self.activation_zero_fraction = activation_zero_fraction
+        self.baseline_weight_zero_fraction = baseline_weight_zero_fraction
+        self.array_background_per_pe = array_background_per_pe
+        self.sparse_tile_background_fraction = sparse_tile_background_fraction
+        self.area_model = area_model or AreaModel()
+
+    # -- core accounting -----------------------------------------------------------
+    def _mac_energy(self, analysis: NetworkAnalysis, config: AcceleratorConfig) -> float:
+        access = analysis.access
+        act_zero = self.activation_zero_fraction
+        if config.sparse_array:
+            # zero weights are skipped structurally; gating only on activations
+            gating = act_zero
+            macs = access.effective_macs
+        else:
+            weight_zero = config.sparsity if config.uses_mask else self.baseline_weight_zero_fraction
+            gating = weight_zero + (1.0 - weight_zero) * act_zero
+            macs = access.dense_macs
+        return macs * (1.0 - gating) * self.costs["mac"]
+
+    def _array_background(self, analysis: NetworkAnalysis, config: AcceleratorConfig) -> float:
+        pes = config.array_size * config.array_size
+        if config.sparse_array:
+            pes *= self.sparse_tile_background_fraction
+        return pes * self.array_background_per_pe * analysis.cycles
+
+    def _others_power_mw(self, config: AcceleratorConfig) -> float:
+        scale = (config.array_size / self.others_reference_array) ** self.others_power_exponent
+        return self.others_power_mw * scale
+
+    def breakdown(self, analysis: NetworkAnalysis, config: AcceleratorConfig) -> EnergyBreakdown:
+        access = analysis.access
+        runtime_s = analysis.cycles / (config.frequency_ghz * 1e9)
+        others_pj = self._others_power_mw(config) * 1e-3 * runtime_s * 1e12
+        others_norm = others_pj / self.mac_energy_pj
+
+        wrf_accesses = access.wrf_accesses
+        if config.sparse_array:
+            # only the Q active PEs read their WRF each cycle
+            wrf_accesses *= 1.0 - config.sparsity
+
+        return EnergyBreakdown(
+            mac=self._mac_energy(analysis, config),
+            array_background=self._array_background(analysis, config),
+            dram=access.dram_bytes * self.costs["dram"],
+            l2=access.l2_bytes * self.costs["l2"],
+            l1=access.l1_bytes * self.costs["l1"],
+            prf=access.prf_accesses * self.costs["prf"],
+            arf=access.arf_accesses * self.costs["arf"],
+            wrf=wrf_accesses * self.costs["wrf"],
+            crf=access.crf_accesses * self.costs["crf"],
+            others=others_norm,
+        )
+
+    # -- derived metrics --------------------------------------------------------------
+    def energy_joules(self, breakdown: EnergyBreakdown, include_dram: bool = False) -> float:
+        units = breakdown.total if include_dram else breakdown.on_chip_total
+        return units * self.mac_energy_pj * 1e-12
+
+    def efficiency_tops_per_watt(self, analysis: NetworkAnalysis,
+                                 config: AcceleratorConfig,
+                                 include_dram: bool = False) -> float:
+        """TOPS/W using dense-equivalent operations, excluding DRAM by default
+        (matching the note under Fig. 19)."""
+        breakdown = self.breakdown(analysis, config)
+        energy = self.energy_joules(breakdown, include_dram)
+        return analysis.total_ops / energy / 1e12
+
+    def power_breakdown_mw(self, analysis: NetworkAnalysis,
+                           config: AcceleratorConfig) -> Dict[str, float]:
+        """Average power by component (the bars of Fig. 16), in milliwatts."""
+        breakdown = self.breakdown(analysis, config)
+        runtime_s = analysis.cycles / (config.frequency_ghz * 1e9)
+        to_mw = self.mac_energy_pj * 1e-12 / max(runtime_s, 1e-30) * 1e3
+        return {
+            "accel": breakdown.accelerator * to_mw,
+            "l1": breakdown.l1 * to_mw,
+            "l2": breakdown.l2 * to_mw,
+            "others": breakdown.others * to_mw,
+        }
+
+    def data_access_cost(self, analysis: NetworkAnalysis, config: AcceleratorConfig) -> float:
+        """Total data-movement energy (normalised units) — the Fig. 14/15 quantity."""
+        return self.breakdown(analysis, config).data_access_total
+
+    def data_access_by_level(self, analysis: NetworkAnalysis,
+                             config: AcceleratorConfig) -> Dict[str, float]:
+        breakdown = self.breakdown(analysis, config)
+        return {
+            "dram": breakdown.dram,
+            "l2": breakdown.l2,
+            "l1": breakdown.l1,
+            "prf": breakdown.prf,
+            "arf": breakdown.arf,
+            "wrf": breakdown.wrf,
+            "crf": breakdown.crf,
+        }
+
+
+def data_access_reduction(layers: Iterable[LayerShape], base_config: AcceleratorConfig,
+                          mvq_config: AcceleratorConfig,
+                          model: Optional[EnergyModel] = None,
+                          skip_depthwise: bool = False) -> float:
+    """Ratio of data-access energy (base / MVQ) — the bars of Fig. 15."""
+    model = model or EnergyModel()
+    layers = list(layers)
+    base = analyze_network(layers, base_config, skip_depthwise=skip_depthwise)
+    mvq = analyze_network(layers, mvq_config, skip_depthwise=skip_depthwise)
+    return model.data_access_cost(base, base_config) / model.data_access_cost(mvq, mvq_config)

@@ -1,0 +1,102 @@
+"""Performance model: cycles, runtime, throughput and speedups (Fig. 17)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.accelerator.config import (
+    AcceleratorConfig,
+    HardwareSetting,
+    standard_setting,
+)
+from repro.accelerator.dataflow import NetworkAnalysis, analyze_network
+from repro.accelerator.energy import EnergyModel
+from repro.accelerator.workloads import LayerShape
+
+
+@dataclass
+class NetworkPerformance:
+    """Runtime-level summary of one (network, configuration) pair."""
+
+    config: AcceleratorConfig
+    analysis: NetworkAnalysis
+
+    @property
+    def cycles(self) -> float:
+        return self.analysis.cycles
+
+    @property
+    def runtime_s(self) -> float:
+        return self.cycles / (self.config.frequency_ghz * 1e9)
+
+    @property
+    def throughput_tops(self) -> float:
+        """Achieved dense-equivalent TOPS."""
+        return self.analysis.total_ops / self.runtime_s / 1e12
+
+    @property
+    def utilization(self) -> float:
+        """Achieved / peak throughput."""
+        return self.throughput_tops / self.config.peak_tops
+
+    @property
+    def weight_bound_fraction(self) -> float:
+        """Fraction of layers whose runtime is set by weight loading."""
+        layers = self.analysis.layers
+        if not layers:
+            return 0.0
+        return sum(1 for a in layers if a.weight_bound) / len(layers)
+
+
+class PerformanceModel:
+    """Evaluates networks across hardware settings and array sizes."""
+
+    def __init__(self, energy_model: Optional[EnergyModel] = None):
+        self.energy_model = energy_model or EnergyModel()
+
+    def evaluate(self, layers: Iterable[LayerShape], config: AcceleratorConfig,
+                 skip_depthwise: bool = False) -> NetworkPerformance:
+        analysis = analyze_network(list(layers), config, skip_depthwise=skip_depthwise)
+        return NetworkPerformance(config=config, analysis=analysis)
+
+    def speedup(self, layers: Iterable[LayerShape], config: AcceleratorConfig,
+                baseline: AcceleratorConfig, skip_depthwise: bool = False) -> float:
+        """Runtime ratio baseline / config (>1 means ``config`` is faster)."""
+        layers = list(layers)
+        ours = self.evaluate(layers, config, skip_depthwise)
+        base = self.evaluate(layers, baseline, skip_depthwise)
+        return base.cycles / ours.cycles
+
+    def efficiency(self, layers: Iterable[LayerShape], config: AcceleratorConfig,
+                   skip_depthwise: bool = False) -> float:
+        """Energy efficiency in TOPS/W (Fig. 19/20), DRAM excluded."""
+        analysis = analyze_network(list(layers), config, skip_depthwise=skip_depthwise)
+        return self.energy_model.efficiency_tops_per_watt(analysis, config)
+
+    # -- convenience sweeps -----------------------------------------------------------
+    def setting_sweep(self, layers: Iterable[LayerShape],
+                      settings: Iterable[HardwareSetting],
+                      array_size: int = 64,
+                      skip_depthwise: bool = False) -> Dict[str, NetworkPerformance]:
+        layers = list(layers)
+        results = {}
+        for setting in settings:
+            config = standard_setting(setting, array_size=array_size)
+            results[setting.value] = self.evaluate(layers, config, skip_depthwise)
+        return results
+
+    def efficiency_sweep(self, layers: Iterable[LayerShape],
+                         settings: Iterable[HardwareSetting],
+                         array_sizes: Iterable[int] = (16, 32, 64),
+                         skip_depthwise: bool = False) -> Dict[int, Dict[str, float]]:
+        """TOPS/W for every (array size, hardware setting) pair — Fig. 19."""
+        layers = list(layers)
+        table: Dict[int, Dict[str, float]] = {}
+        for size in array_sizes:
+            row = {}
+            for setting in settings:
+                config = standard_setting(setting, array_size=size)
+                row[setting.value] = self.efficiency(layers, config, skip_depthwise)
+            table[size] = row
+        return table

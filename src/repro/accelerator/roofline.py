@@ -1,0 +1,83 @@
+"""Roofline model for the EWS array (Fig. 18).
+
+Operational intensity is computed against the weight-loading traffic from
+L2, which is the bandwidth wall the paper identifies: for arrays larger than
+32x32 the dense EWS design sits under the sloped (bandwidth-bound) region,
+and MVQ compression moves the operating point to the right, past the ridge,
+recovering compute-bound operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.accelerator.dataflow import analyze_network
+from repro.accelerator.workloads import LayerShape
+
+
+@dataclass
+class RooflinePoint:
+    """One (operational intensity, attained performance) point."""
+
+    label: str
+    operational_intensity: float   # OPS per byte of weight traffic from L2
+    performance_gops: float        # attained GOPS
+    peak_gops: float
+    bandwidth_gbps: float
+
+    @property
+    def bound(self) -> str:
+        ridge = self.peak_gops / self.bandwidth_gbps
+        return "memory" if self.operational_intensity < ridge else "compute"
+
+
+class RooflineModel:
+    """Builds roofline points for (network, config) pairs."""
+
+    def __init__(self, config: AcceleratorConfig):
+        self.config = config
+
+    @property
+    def peak_gops(self) -> float:
+        return self.config.peak_tops * 1e3
+
+    @property
+    def weight_bandwidth_gbps(self) -> float:
+        """Weight-loading bandwidth in GB/s: dma_width bits per cycle."""
+        bytes_per_cycle = self.config.dma_width_bits / 8
+        return bytes_per_cycle * self.config.frequency_ghz
+
+    def point(self, layers: Iterable[LayerShape], label: str = "",
+              skip_depthwise: bool = False) -> RooflinePoint:
+        layers = list(layers)
+        analysis = analyze_network(layers, self.config, skip_depthwise=skip_depthwise)
+        total_ops = analysis.total_ops
+        weight_bytes = sum(
+            a.weight_load_cycles * self.config.dma_width_bits / 8 for a in analysis.layers
+        )
+        intensity = total_ops / max(weight_bytes, 1e-12)
+
+        runtime_s = analysis.cycles / (self.config.frequency_ghz * 1e9)
+        attained_gops = total_ops / runtime_s / 1e9
+        roof = min(self.peak_gops, intensity * self.weight_bandwidth_gbps)
+        return RooflinePoint(
+            label=label,
+            operational_intensity=intensity,
+            performance_gops=min(attained_gops, roof),
+            peak_gops=self.peak_gops,
+            bandwidth_gbps=self.weight_bandwidth_gbps,
+        )
+
+
+def roofline_sweep(layers: Iterable[LayerShape], configs: List[AcceleratorConfig],
+                   labels: Optional[List[str]] = None,
+                   skip_depthwise: bool = False) -> List[RooflinePoint]:
+    """Roofline points for a list of configurations (Fig. 18's markers)."""
+    layers = list(layers)
+    labels = labels or [f"config{i}" for i in range(len(configs))]
+    points = []
+    for config, label in zip(configs, labels):
+        points.append(RooflineModel(config).point(layers, label, skip_depthwise))
+    return points

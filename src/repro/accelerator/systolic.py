@@ -1,0 +1,149 @@
+"""Functional model of the dense and sparse systolic tiles (Section 5.3, Fig. 8/9).
+
+These classes model a single tile of the array at the level of its datapath
+behaviour: the LZC cascade that encodes an N:M sparsity mask into position
+indices, the MRF/WRF pair, the DEMUX routing of the Q partial products to
+the adder tree, and the zero-value-gated PE.  They exist to demonstrate
+(and test) that the sparse tile with ``Q = N/M * d`` multipliers computes
+exactly the same partial sums as a dense tile with ``d`` multipliers — the
+property the 55% area saving of Table 7 rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+
+def lzc_encode_mask(mask: np.ndarray) -> List[int]:
+    """Cascaded leading-zero-counter encoding of a d-bit sparsity mask.
+
+    Returns the positions of the set bits in ascending order — exactly what
+    the Q cascaded LZCs of Fig. 8 produce, one position per stage, with each
+    stage XOR-ing out the bit found by the previous one.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    remaining = mask.copy()
+    positions: List[int] = []
+    while remaining.any():
+        # leading-zero count == index of the first set bit
+        first = int(np.argmax(remaining))
+        positions.append(first)
+        remaining[first] = False       # XOR with the one-hot of the found bit
+    return positions
+
+
+@dataclass
+class ZeroGatedPE:
+    """A multiply-accumulate PE with zero-value gating (Fig. 9).
+
+    When either operand of the upcoming multiplication is zero, the operand
+    registers are not toggled and the multiplier output is forced to zero —
+    the PE still produces the correct product (0) but records that the
+    multiplier did not switch, which the energy model uses.
+    """
+
+    gated_ops: int = 0
+    active_ops: int = 0
+    _held_weight: float = 0.0
+    _held_input: float = 0.0
+
+    def multiply(self, weight: float, activation: float) -> float:
+        if weight == 0.0 or activation == 0.0:
+            self.gated_ops += 1
+            return 0.0
+        self.active_ops += 1
+        self._held_weight = weight
+        self._held_input = activation
+        return weight * activation
+
+    @property
+    def gating_rate(self) -> float:
+        total = self.gated_ops + self.active_ops
+        return self.gated_ops / total if total else 0.0
+
+
+class DenseTile:
+    """A dense EWS tile: d multipliers per output-channel group."""
+
+    def __init__(self, d: int):
+        if d < 1:
+            raise ValueError("d must be positive")
+        self.d = d
+        self.pes = [ZeroGatedPE() for _ in range(d)]
+
+    def compute(self, weights: np.ndarray, activation: float) -> np.ndarray:
+        """Partial sums of one activation against d per-output-channel weights."""
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (self.d,):
+            raise ValueError(f"expected {self.d} weights")
+        return np.array([pe.multiply(w, activation) for pe, w in zip(self.pes, weights)])
+
+    @property
+    def num_multipliers(self) -> int:
+        return self.d
+
+
+class SparseTile:
+    """The sparse tile: Q multipliers + position DEMUX + depth-d adder tree.
+
+    Weights are written together with their LZC-encoded positions (the MRF);
+    at compute time each of the Q products is routed to its original output
+    position, and the remaining positions receive zero — reproducing the
+    dense tile's result with N/M of the multipliers.
+    """
+
+    def __init__(self, d: int, q: int):
+        if not 0 < q <= d:
+            raise ValueError("need 0 < Q <= d")
+        self.d = d
+        self.q = q
+        self.pes = [ZeroGatedPE() for _ in range(q)]
+        self._wrf: Optional[np.ndarray] = None     # Q packed weights
+        self._mrf: Optional[List[int]] = None      # Q position encodings
+
+    def load_weights(self, weights: np.ndarray, mask: np.ndarray) -> None:
+        """Write one sparse weight subvector (and its mask) into WRF + MRF."""
+        weights = np.asarray(weights, dtype=np.float64)
+        mask = np.asarray(mask, dtype=bool)
+        if weights.shape != (self.d,) or mask.shape != (self.d,):
+            raise ValueError(f"expected subvectors of length {self.d}")
+        positions = lzc_encode_mask(mask)
+        if len(positions) > self.q:
+            raise ValueError(
+                f"mask has {len(positions)} kept weights but the tile only has {self.q} PEs"
+            )
+        self._mrf = positions
+        self._wrf = weights[positions] if positions else np.zeros(0)
+
+    def compute(self, activation: float) -> np.ndarray:
+        """Partial sums routed back to their original d output positions."""
+        if self._wrf is None or self._mrf is None:
+            raise RuntimeError("load_weights must be called before compute")
+        out = np.zeros(self.d)
+        for pe, weight, position in zip(self.pes, self._wrf, self._mrf):
+            out[position] = pe.multiply(weight, activation)
+        return out
+
+    @property
+    def num_multipliers(self) -> int:
+        return self.q
+
+
+def sparse_tile_matches_dense(weights: np.ndarray, mask: np.ndarray,
+                              activations: np.ndarray, q: int) -> bool:
+    """Check that a sparse tile reproduces the dense tile on masked weights."""
+    weights = np.asarray(weights, dtype=np.float64)
+    mask = np.asarray(mask, dtype=bool)
+    d = weights.shape[0]
+    dense = DenseTile(d)
+    sparse = SparseTile(d, q)
+    sparse.load_weights(weights * mask, mask)
+    for activation in np.atleast_1d(activations):
+        dense_out = dense.compute(weights * mask, float(activation))
+        sparse_out = sparse.compute(float(activation))
+        if not np.allclose(dense_out, sparse_out):
+            return False
+    return True

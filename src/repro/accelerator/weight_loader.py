@@ -1,0 +1,109 @@
+"""Assignment-aware weight loading (Section 5.2).
+
+The weight loader reads assignments (codebook index + LUT-encoded mask) from
+L2, expands the mask through the look-up table, reads the codeword from the
+codebook register file (CRF) and reconstructs the sparse weight vector with
+AND gates.  This module provides a *functional* model of that path — it
+produces bit-exact reconstructed weight vectors — plus traffic accounting
+used by the performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.accelerator.config import AcceleratorConfig
+from repro.core.codebook import Codebook
+from repro.core.storage import MaskLUT
+
+
+@dataclass
+class WeightLoadTraffic:
+    """Bits moved to deliver one layer's weights to the systolic array."""
+
+    assignment_bits: int
+    mask_bits: int
+    codebook_init_bits: int
+
+    @property
+    def total_bits(self) -> int:
+        return self.assignment_bits + self.mask_bits + self.codebook_init_bits
+
+    def load_cycles(self, dma_width_bits: int) -> float:
+        return self.total_bits / dma_width_bits
+
+
+class CodebookRegisterFile:
+    """The CRF: holds the quantized codebook, one read port per d-wide group."""
+
+    def __init__(self, codebook: Codebook, read_ports: int = 1):
+        if read_ports < 1:
+            raise ValueError("the CRF needs at least one read port")
+        self.codewords = codebook.effective_codewords()
+        self.read_ports = read_ports
+        self.reads = 0
+
+    def read(self, indices: np.ndarray) -> np.ndarray:
+        """Parallel read of up to ``read_ports`` codewords."""
+        indices = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        if indices.size > self.read_ports:
+            raise ValueError(
+                f"requested {indices.size} simultaneous reads but the CRF has "
+                f"{self.read_ports} ports"
+            )
+        self.reads += indices.size
+        return self.codewords[indices]
+
+    @property
+    def storage_bits(self) -> int:
+        return int(self.codewords.size * 8)
+
+
+class AssignmentAwareWeightLoader:
+    """Reconstructs weight rows for the array and accounts for L2 traffic."""
+
+    def __init__(self, config: AcceleratorConfig, codebook: Codebook,
+                 lut: Optional[MaskLUT] = None):
+        self.config = config
+        self.lut = lut if lut is not None else (
+            MaskLUT(config.n_keep, config.m_block) if config.uses_mask else None
+        )
+        self.crf = CodebookRegisterFile(codebook, read_ports=config.crf_read_ports)
+
+    # -- functional path -----------------------------------------------------------
+    def reconstruct_row(self, indices: np.ndarray,
+                        mask_codes: Optional[np.ndarray] = None) -> np.ndarray:
+        """Reconstruct the weights for one array row (L outputs = L/d subvectors).
+
+        ``indices`` holds L/d codebook indices; ``mask_codes`` holds the
+        LUT-encoded mask indices, shape (L/d, d/M).  Returns the L
+        reconstructed weights.
+        """
+        codewords = self.crf.read(indices)
+        if self.lut is None or mask_codes is None:
+            return codewords.reshape(-1)
+        mask_codes = np.asarray(mask_codes, dtype=np.int64)
+        masks = self.lut.decode_mask(mask_codes, self.config.subvector_length)
+        return (codewords * masks).reshape(-1)
+
+    def reconstruct_layer(self, assignments: np.ndarray, mask: Optional[np.ndarray]) -> np.ndarray:
+        """Reconstruct every subvector of a layer (grouped layout)."""
+        assignments = np.asarray(assignments, dtype=np.int64)
+        decoded = self.crf.codewords[assignments]
+        self.crf.reads += assignments.size
+        if mask is not None and self.lut is not None:
+            decoded = decoded * np.asarray(mask, dtype=bool)
+        return decoded
+
+    # -- traffic accounting ----------------------------------------------------------
+    def traffic(self, num_weights: int) -> WeightLoadTraffic:
+        """L2 traffic to deliver ``num_weights`` dense-equivalent weights."""
+        cfg = self.config
+        num_subvectors = num_weights // cfg.subvector_length
+        assignment_bits = num_subvectors * cfg.assignment_bits_per_subvector
+        mask_bits = num_subvectors * cfg.mask_bits_per_subvector
+        codebook_bits = cfg.codebook_size * cfg.subvector_length * cfg.codebook_bits
+        return WeightLoadTraffic(assignment_bits, mask_bits, codebook_bits)

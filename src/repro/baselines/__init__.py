@@ -1,0 +1,23 @@
+"""Baseline compression methods the paper compares against.
+
+* :mod:`repro.baselines.pqf` — "Permute, Quantize, Fine-tune" (Martinez et
+  al., CVPR 2021): searches a channel permutation that makes subvectors more
+  clusterable before running ordinary k-means.
+* :mod:`repro.baselines.bgd` — "And the Bit Goes Down" (Stock et al., 2019):
+  activation-weighted clustering minimising output reconstruction error.
+* :mod:`repro.baselines.pvq` — uniform scalar quantization at very low bit
+  width ("Pruning vs Quantization", Kuzmin et al., 2023), the 2-bit
+  comparator used for MobileNets/EfficientNet in Table 4.
+"""
+
+from repro.baselines.pqf import PQFCompressor, permutation_search
+from repro.baselines.bgd import BGDCompressor
+from repro.baselines.pvq import PvQQuantizer, uniform_quantize
+
+__all__ = [
+    "PQFCompressor",
+    "permutation_search",
+    "BGDCompressor",
+    "PvQQuantizer",
+    "uniform_quantize",
+]

@@ -1,0 +1,130 @@
+"""PQF baseline: Permute, Quantize and Fine-tune (conventional VQ + permutation).
+
+PQF improves on plain product quantization by permuting the rows that are
+grouped into subvectors so that co-clustered weights are statistically
+similar, then running ordinary (unmasked) k-means.  Our re-implementation
+keeps the two ingredients that matter for the comparison with MVQ:
+
+* a greedy permutation search that reduces within-subvector variance, and
+* conventional k-means over the permuted subvectors (no pruning, no mask).
+
+Accuracy recovery uses the same codebook fine-tuning machinery as MVQ but
+with an all-ones mask, which matches PQF's dense reconstruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.codebook import Codebook
+from repro.core.compressor import (
+    CompressedLayer,
+    CompressedModel,
+    LayerCompressionConfig,
+    MVQCompressor,
+)
+from repro.core.grouping import GroupingStrategy, group_weight
+from repro.core.kmeans import kmeans
+from repro.nn.module import Module
+
+
+def _within_subvector_variance(grouped: np.ndarray) -> float:
+    """Mean variance of each subvector around its own mean — the quantity the
+    permutation search tries to reduce (similar rows cluster better)."""
+    return float(np.mean(np.var(grouped, axis=1)))
+
+
+def permutation_search(weight: np.ndarray, d: int, num_iterations: int = 200,
+                       seed: int = 0,
+                       strategy: GroupingStrategy = GroupingStrategy.OUTPUT) -> np.ndarray:
+    """Greedy search for an output-channel permutation lowering subvector variance.
+
+    Random pairwise channel swaps are proposed and kept when they reduce the
+    within-subvector variance of the grouped matrix.  Returns the permutation
+    (an index array over output channels).
+    """
+    weight = np.asarray(weight)
+    c_out = weight.shape[0]
+    rng = np.random.default_rng(seed)
+    perm = np.arange(c_out)
+
+    def grouped_for(p: np.ndarray) -> np.ndarray:
+        return group_weight(weight[p], d, strategy)
+
+    best_score = _within_subvector_variance(grouped_for(perm))
+    for _ in range(num_iterations):
+        i, j = rng.integers(0, c_out, size=2)
+        if i == j:
+            continue
+        candidate = perm.copy()
+        candidate[i], candidate[j] = candidate[j], candidate[i]
+        score = _within_subvector_variance(grouped_for(candidate))
+        if score < best_score:
+            best_score = score
+            perm = candidate
+    return perm
+
+
+@dataclass
+class PQFLayerState:
+    """Permutation applied to a layer before clustering."""
+
+    permutation: np.ndarray
+
+
+class PQFCompressor:
+    """Conventional VQ with permutation search (no pruning, no masks)."""
+
+    def __init__(self, config: LayerCompressionConfig,
+                 permutation_iterations: int = 200,
+                 crosslayer: bool = False,
+                 quantize_codebook: bool = True):
+        # PQF never prunes and never stores a mask.
+        self.config = replace(config, prune=False, use_masked_kmeans=False, store_mask=False)
+        self.permutation_iterations = permutation_iterations
+        self.crosslayer = crosslayer
+        self.quantize_codebook = quantize_codebook
+        self.permutations: Dict[str, PQFLayerState] = {}
+
+    def compress(self, model: Module) -> CompressedModel:
+        selector = MVQCompressor(self.config, crosslayer=self.crosslayer,
+                                 quantize_codebook=self.quantize_codebook)
+        targets = selector.compressible_layers(model)
+        if not targets:
+            raise ValueError("no compressible layers found")
+
+        layers: Dict[str, CompressedLayer] = {}
+        for name, mod in targets:
+            weight = mod.weight.value
+            perm = permutation_search(weight, self.config.d,
+                                      self.permutation_iterations, seed=self.config.seed)
+            self.permutations[name] = PQFLayerState(permutation=perm)
+            permuted = weight[perm]
+            grouped = group_weight(permuted, self.config.d, self.config.strategy)
+            result = kmeans(grouped, self.config.k, self.config.max_kmeans_iterations,
+                            seed=self.config.seed)
+            codebook = Codebook(result.codewords)
+            if self.quantize_codebook:
+                codebook.quantize_(self.config.codebook_bits)
+            layers[name] = _PQFCompressedLayer(
+                name=name, weight_shape=weight.shape, config=self.config,
+                codebook=codebook, assignments=result.assignments,
+                mask=np.ones_like(grouped, dtype=bool), original_grouped=grouped,
+                permutation=perm,
+            )
+        return CompressedModel(model, layers, crosslayer=False)
+
+
+@dataclass
+class _PQFCompressedLayer(CompressedLayer):
+    """Compressed layer that undoes the channel permutation on reconstruction."""
+
+    permutation: np.ndarray = None
+
+    def reconstruct_weight(self) -> np.ndarray:
+        permuted = super().reconstruct_weight()
+        inverse = np.argsort(self.permutation)
+        return permuted[inverse]

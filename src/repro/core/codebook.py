@@ -1,0 +1,141 @@
+"""Codebook container and symmetric 8-bit codebook quantization (Section 4.5).
+
+The paper applies symmetric uniform quantization (Eq. 5) to the codebook so
+the accelerator works on int8 codewords, with the scale ``s_w`` learned LSQ
+style (one scale per codebook).  :class:`LSQScale` implements the learned
+step size with the straight-through gradient from the LSQ paper;
+:func:`fit_scale_mse` offers a simpler MSE-optimal initialisation used when
+no fine-tuning pass follows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+def quantize_symmetric(values: np.ndarray, scale: float, bits: int = 8) -> np.ndarray:
+    """Symmetric uniform quantization (Eq. 5): scale * clamp(round(v / scale))."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    if bits < 2:
+        raise ValueError("need at least 2 quantization bits")
+    q_min = -(2 ** (bits - 1))
+    q_max = 2 ** (bits - 1) - 1
+    levels = np.clip(np.round(values / scale), q_min, q_max)
+    return scale * levels
+
+
+def quantize_to_int(values: np.ndarray, scale: float, bits: int = 8) -> np.ndarray:
+    """Integer levels of the symmetric quantizer (what the accelerator stores)."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    q_min = -(2 ** (bits - 1))
+    q_max = 2 ** (bits - 1) - 1
+    return np.clip(np.round(values / scale), q_min, q_max).astype(np.int32)
+
+
+def fit_scale_mse(values: np.ndarray, bits: int = 8, num_candidates: int = 60) -> float:
+    """Scale minimising quantization MSE over a simple candidate sweep."""
+    max_abs = float(np.max(np.abs(values)))
+    if max_abs == 0.0:
+        return 1.0
+    q_max = 2 ** (bits - 1) - 1
+    best_scale = max_abs / q_max
+    best_err = np.inf
+    for factor in np.linspace(0.3, 1.2, num_candidates):
+        scale = factor * max_abs / q_max
+        if scale <= 0:
+            continue
+        err = float(np.mean((values - quantize_symmetric(values, scale, bits)) ** 2))
+        if err < best_err:
+            best_err = err
+            best_scale = scale
+    return best_scale
+
+
+class LSQScale:
+    """Learned step size (LSQ) for symmetric quantization.
+
+    Holds a single positive scale and exposes ``quantize`` (fake-quantized
+    values for the forward pass) plus ``grad`` (the LSQ straight-through
+    gradient of the loss w.r.t. the scale, given the upstream gradient).
+    """
+
+    def __init__(self, values: np.ndarray, bits: int = 8):
+        self.bits = bits
+        self.q_min = -(2 ** (bits - 1))
+        self.q_max = 2 ** (bits - 1) - 1
+        # LSQ initialisation: 2 * mean(|v|) / sqrt(q_max)
+        mean_abs = float(np.mean(np.abs(values)))
+        self.scale = max(2.0 * mean_abs / np.sqrt(self.q_max), 1e-8)
+        # gradient scale factor g = 1 / sqrt(numel * q_max)
+        self._grad_scale = 1.0 / np.sqrt(values.size * self.q_max)
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        return quantize_symmetric(values, self.scale, self.bits)
+
+    def grad(self, values: np.ndarray, upstream: np.ndarray) -> float:
+        """LSQ gradient of the loss w.r.t. the scale."""
+        v_s = values / self.scale
+        below = v_s <= self.q_min
+        above = v_s >= self.q_max
+        middle = ~(below | above)
+        local = np.where(below, self.q_min,
+                         np.where(above, self.q_max, np.round(v_s) - v_s))
+        return float(np.sum(upstream * local) * self._grad_scale)
+
+    def step(self, values: np.ndarray, upstream: np.ndarray, lr: float) -> None:
+        """One SGD step on the scale."""
+        self.scale = max(self.scale - lr * self.grad(values, upstream), 1e-8)
+
+
+@dataclass
+class Codebook:
+    """A codebook of ``k`` codewords of length ``d`` plus its quantizer state."""
+
+    codewords: np.ndarray
+    bits: Optional[int] = None
+    lsq: Optional[LSQScale] = field(default=None, repr=False)
+
+    def __post_init__(self):
+        self.codewords = np.asarray(self.codewords, dtype=np.float64)
+        if self.codewords.ndim != 2:
+            raise ValueError("codewords must be a (k, d) matrix")
+
+    @property
+    def k(self) -> int:
+        return self.codewords.shape[0]
+
+    @property
+    def d(self) -> int:
+        return self.codewords.shape[1]
+
+    def quantize_(self, bits: int = 8, use_lsq: bool = True) -> "Codebook":
+        """Quantize the codebook in place (Section 4.5) and remember the scale."""
+        self.bits = bits
+        if use_lsq:
+            self.lsq = LSQScale(self.codewords, bits)
+            scale = self.lsq.scale
+        else:
+            scale = fit_scale_mse(self.codewords, bits)
+        self.codewords = quantize_symmetric(self.codewords, scale, bits)
+        return self
+
+    def effective_codewords(self) -> np.ndarray:
+        """Codewords as used in the forward pass (fake-quantized if enabled)."""
+        if self.bits is None:
+            return self.codewords
+        scale = self.lsq.scale if self.lsq is not None else fit_scale_mse(self.codewords, self.bits)
+        return quantize_symmetric(self.codewords, scale, self.bits)
+
+    def lookup(self, assignments: np.ndarray) -> np.ndarray:
+        """Decoded subvectors for an assignment vector."""
+        return self.effective_codewords()[assignments]
+
+    def storage_bits(self, qc: Optional[int] = None) -> int:
+        """Storage cost b_c = k * d * q_c (Eq. 7)."""
+        qc = qc if qc is not None else (self.bits or 32)
+        return self.k * self.d * qc

@@ -1,0 +1,288 @@
+"""The MVQ compression pipeline over whole models (Fig. 2).
+
+:class:`MVQCompressor` walks a model's convolution/linear layers, groups and
+prunes their weights, runs (masked) k-means layerwise or crosslayer,
+quantizes the codebooks and returns a :class:`CompressedModel` that can
+reconstruct weights, report storage/compression-ratio numbers and write the
+reconstructed weights back into the network.
+
+The same class also produces the ablation variants of Table 3 through the
+``prune`` / ``use_masked_kmeans`` / ``store_mask`` switches:
+
+========  ======  =================  ===========  ==========================
+Case      prune   use_masked_kmeans  store_mask   description
+========  ======  =================  ===========  ==========================
+A         False   False              False        dense weights, common k-means
+B         True    False              False        sparse weights, dense reconstruct
+C         True    False              True         sparse weights, sparse reconstruct
+D (MVQ)   True    True               True         the paper's method
+========  ======  =================  ===========  ==========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.codebook import Codebook
+from repro.core.grouping import GroupingStrategy, compatible_d, group_weight
+from repro.core.kmeans import kmeans
+from repro.core.masked_kmeans import masked_kmeans
+from repro.core.metrics import ClusteringReport, clustering_report
+from repro.core.pruning import apply_mask, nm_prune_mask
+from repro.core.reconstruct import reconstruct_grouped, reconstruct_weight
+from repro.core.storage import CompressionSpec, compression_ratio
+from repro.nn.layers import Conv2d, Linear
+from repro.nn.module import Module
+
+
+@dataclass
+class LayerCompressionConfig:
+    """Compression hyper-parameters for one layer (or the whole model)."""
+
+    k: int = 256
+    d: int = 8
+    n_keep: int = 2
+    m: int = 8
+    codebook_bits: int = 8
+    weight_bits: int = 32
+    strategy: GroupingStrategy = GroupingStrategy.OUTPUT
+    prune: bool = True
+    use_masked_kmeans: bool = True
+    store_mask: bool = True
+    max_kmeans_iterations: int = 60
+    seed: int = 0
+
+    def spec(self) -> CompressionSpec:
+        return CompressionSpec(
+            k=self.k, d=self.d, n_keep=self.n_keep, m=self.m,
+            codebook_bits=self.codebook_bits, weight_bits=self.weight_bits,
+        )
+
+
+@dataclass
+class CompressedLayer:
+    """Compressed state of one layer: codebook + assignments + mask."""
+
+    name: str
+    weight_shape: Tuple[int, ...]
+    config: LayerCompressionConfig
+    codebook: Codebook
+    assignments: np.ndarray
+    mask: Optional[np.ndarray]
+    original_grouped: np.ndarray = field(repr=False)
+
+    @property
+    def num_subvectors(self) -> int:
+        return int(self.assignments.shape[0])
+
+    def reconstruct_grouped(self) -> np.ndarray:
+        mask = self.mask if self.config.store_mask else None
+        return reconstruct_grouped(self.codebook, self.assignments, mask)
+
+    def reconstruct_weight(self) -> np.ndarray:
+        mask = self.mask if self.config.store_mask else None
+        return reconstruct_weight(self.codebook, self.assignments, self.weight_shape,
+                                  self.config.d, mask, self.config.strategy)
+
+    def report(self) -> ClusteringReport:
+        mask = self.mask if self.mask is not None else np.ones_like(self.original_grouped, dtype=bool)
+        return clustering_report(self.original_grouped, self.reconstruct_grouped(), mask)
+
+    def sparsity(self) -> float:
+        if self.mask is None or not self.config.store_mask:
+            return 0.0
+        return float(1.0 - self.mask.mean())
+
+
+class CompressedModel:
+    """Holds every compressed layer plus shared (crosslayer) codebooks."""
+
+    def __init__(self, model: Module, layers: Dict[str, CompressedLayer],
+                 crosslayer: bool = False):
+        self.model = model
+        self.layers = layers
+        self.crosslayer = crosslayer
+
+    def __iter__(self):
+        return iter(self.layers.values())
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def apply_to_model(self) -> None:
+        """Write reconstructed weights into the underlying network."""
+        modules = dict(self.model.named_modules())
+        for name, state in self.layers.items():
+            modules[name].weight.copy_(state.reconstruct_weight())
+
+    def compression_ratio(self, count_codebook: bool = True) -> float:
+        """Weighted-average compression ratio over all compressed layers (Eq. 7)."""
+        uncompressed = 0.0
+        compressed = 0.0
+        codebooks_seen = set()
+        for state in self.layers.values():
+            spec = state.config.spec()
+            num_weights = state.num_subvectors * spec.d
+            uncompressed += num_weights * spec.weight_bits
+            compressed += spec.total_bits(state.num_subvectors,
+                                          store_mask=state.config.store_mask,
+                                          count_codebook=False)
+            if count_codebook and id(state.codebook) not in codebooks_seen:
+                codebooks_seen.add(id(state.codebook))
+                compressed += state.codebook.storage_bits(spec.codebook_bits)
+        return uncompressed / max(compressed, 1.0)
+
+    def sparsity(self) -> float:
+        """Fraction of pruned weights among compressed layers."""
+        pruned = 0.0
+        total = 0.0
+        for state in self.layers.values():
+            n = state.num_subvectors * state.config.d
+            pruned += state.sparsity() * n
+            total += n
+        return pruned / max(total, 1.0)
+
+    def sse_report(self) -> Dict[str, ClusteringReport]:
+        return {name: state.report() for name, state in self.layers.items()}
+
+    def total_sse(self) -> float:
+        return float(sum(r.total_sse for r in self.sse_report().values()))
+
+    def mask_sse(self) -> float:
+        return float(sum(r.mask_sse for r in self.sse_report().values()))
+
+    def sparsity_by_layer(self) -> Dict[str, float]:
+        return {name: state.sparsity() for name, state in self.layers.items()}
+
+
+class MVQCompressor:
+    """Runs the MVQ pipeline (group -> prune -> cluster -> quantize) on a model."""
+
+    def __init__(self, config: LayerCompressionConfig,
+                 per_layer_overrides: Optional[Dict[str, LayerCompressionConfig]] = None,
+                 crosslayer: bool = False,
+                 skip_layers: Optional[Iterable[str]] = None,
+                 quantize_codebook: bool = True,
+                 include_linear: bool = False):
+        self.config = config
+        self.per_layer_overrides = per_layer_overrides or {}
+        self.crosslayer = crosslayer
+        self.skip_layers = set(skip_layers or [])
+        self.quantize_codebook = quantize_codebook
+        self.include_linear = include_linear
+
+    # -- layer selection -----------------------------------------------------
+    def compressible_layers(self, model: Module) -> List[Tuple[str, Module]]:
+        """Conv (and optionally Linear) layers whose shape fits the grouping."""
+        selected = []
+        for name, mod in model.named_modules():
+            if name in self.skip_layers:
+                continue
+            cfg = self.per_layer_overrides.get(name, self.config)
+            if isinstance(mod, Conv2d) and not mod.depthwise:
+                if compatible_d(mod.weight.shape, cfg.d, cfg.strategy):
+                    selected.append((name, mod))
+            elif self.include_linear and isinstance(mod, Linear):
+                if compatible_d(mod.weight.shape, cfg.d, cfg.strategy):
+                    selected.append((name, mod))
+        return selected
+
+    # -- single-weight compression --------------------------------------------
+    def _prepare_layer(self, name: str, weight: np.ndarray, cfg: LayerCompressionConfig):
+        grouped = group_weight(weight, cfg.d, cfg.strategy)
+        if cfg.prune:
+            mask = nm_prune_mask(grouped, cfg.n_keep, cfg.m)
+            pruned = apply_mask(grouped, mask)
+        else:
+            mask = np.ones_like(grouped, dtype=bool)
+            pruned = grouped
+        return grouped, pruned, mask
+
+    def _cluster(self, data: np.ndarray, mask: np.ndarray, cfg: LayerCompressionConfig):
+        if cfg.use_masked_kmeans:
+            return masked_kmeans(data, mask, cfg.k, cfg.max_kmeans_iterations,
+                                 seed=cfg.seed)
+        return kmeans(data, cfg.k, cfg.max_kmeans_iterations, seed=cfg.seed)
+
+    # -- public API ------------------------------------------------------------
+    def compress(self, model: Module) -> CompressedModel:
+        """Compress every eligible layer and return the compressed model."""
+        targets = self.compressible_layers(model)
+        if not targets:
+            raise ValueError("no compressible layers found for the given configuration")
+
+        prepared = {}
+        for name, mod in targets:
+            cfg = self.per_layer_overrides.get(name, self.config)
+            grouped, pruned, mask = self._prepare_layer(name, mod.weight.value, cfg)
+            prepared[name] = (cfg, grouped, pruned, mask)
+
+        layers: Dict[str, CompressedLayer] = {}
+        if self.crosslayer:
+            layers = self._compress_crosslayer(targets, prepared)
+        else:
+            for name, mod in targets:
+                cfg, grouped, pruned, mask = prepared[name]
+                result = self._cluster(pruned, mask, cfg)
+                codebook = Codebook(result.codewords)
+                if self.quantize_codebook:
+                    codebook.quantize_(cfg.codebook_bits)
+                layers[name] = CompressedLayer(
+                    name=name, weight_shape=mod.weight.shape, config=cfg,
+                    codebook=codebook, assignments=result.assignments,
+                    mask=mask, original_grouped=grouped,
+                )
+        return CompressedModel(model, layers, crosslayer=self.crosslayer)
+
+    def _compress_crosslayer(self, targets, prepared) -> Dict[str, CompressedLayer]:
+        """One shared codebook for all layers (the paper's crosslayer clustering)."""
+        base_cfg = self.config
+        all_pruned = []
+        all_masks = []
+        boundaries = []
+        offset = 0
+        for name, _ in targets:
+            cfg, _, pruned, mask = prepared[name]
+            if cfg.d != base_cfg.d:
+                raise ValueError("crosslayer clustering requires a single d for all layers")
+            all_pruned.append(pruned)
+            all_masks.append(mask)
+            boundaries.append((name, offset, offset + pruned.shape[0]))
+            offset += pruned.shape[0]
+        stacked = np.concatenate(all_pruned, axis=0)
+        stacked_mask = np.concatenate(all_masks, axis=0)
+        result = self._cluster(stacked, stacked_mask, base_cfg)
+        codebook = Codebook(result.codewords)
+        if self.quantize_codebook:
+            codebook.quantize_(base_cfg.codebook_bits)
+
+        layers: Dict[str, CompressedLayer] = {}
+        modules = {name: mod for name, mod in targets}
+        for name, start, end in boundaries:
+            cfg, grouped, _, mask = prepared[name]
+            layers[name] = CompressedLayer(
+                name=name, weight_shape=modules[name].weight.shape, config=cfg,
+                codebook=codebook, assignments=result.assignments[start:end],
+                mask=mask, original_grouped=grouped,
+            )
+        return layers
+
+    # -- convenience constructors ---------------------------------------------
+    @classmethod
+    def ablation_case(cls, case: str, config: LayerCompressionConfig, **kwargs) -> "MVQCompressor":
+        """Compressor configured as one of Table 3's cases A/B/C/D."""
+        case = case.upper()
+        if case == "A":
+            cfg = replace(config, prune=False, use_masked_kmeans=False, store_mask=False)
+        elif case == "B":
+            cfg = replace(config, prune=True, use_masked_kmeans=False, store_mask=False)
+        elif case == "C":
+            cfg = replace(config, prune=True, use_masked_kmeans=False, store_mask=True)
+        elif case == "D":
+            cfg = replace(config, prune=True, use_masked_kmeans=True, store_mask=True)
+        else:
+            raise ValueError(f"unknown ablation case {case!r}; expected A, B, C or D")
+        return cls(cfg, **kwargs)

@@ -1,0 +1,136 @@
+"""Codebook fine-tuning with masked gradients (Section 4.6, Fig. 5).
+
+During fine-tuning the network's compressed weights are a pure function of
+(codebook, assignments, mask): the forward pass uses the reconstructed
+weights, and on the backward pass the gradient that lands on each weight
+subvector is routed back to its codeword.  Following Eq. 6, the codeword
+gradient is the *masked average* of its subvector gradients,
+
+    grad(c_i) = sum_p (dL/dv_p o n_p) / sum_p n_p,
+
+so pruned positions contribute neither to the numerator nor the denominator.
+The codewords are then stepped by any optimizer (SGD/Adam/AdamW), and the
+LSQ scale of a quantized codebook receives its straight-through update.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+import numpy as np
+
+from repro.core.compressor import CompressedModel
+from repro.core.codebook import Codebook
+from repro.core.grouping import group_weight
+from repro.nn.module import Module
+from repro.nn.optim import Adam, Optimizer
+from repro.nn.tensor import Parameter
+
+
+class CodebookFinetuner:
+    """Keeps a :class:`CompressedModel` and its codebooks in sync while training.
+
+    Usage with :class:`repro.nn.train.Trainer`::
+
+        finetuner = CodebookFinetuner(compressed, lr=1e-3)
+        trainer = Trainer(model, loss, optimizer, hook=finetuner.step)
+
+    ``step`` reads the weight gradients accumulated by the model's backward
+    pass, converts them to masked codeword gradients, steps the codebook
+    optimizer and LSQ scales, and rewrites the reconstructed weights into the
+    network so the next forward pass sees the updated codebooks.
+    """
+
+    def __init__(self, compressed: CompressedModel, lr: float = 1e-3,
+                 optimizer_cls: Type[Optimizer] = Adam,
+                 update_lsq_scale: bool = True, lsq_lr: float = 1e-4,
+                 **optimizer_kwargs):
+        self.compressed = compressed
+        self.update_lsq_scale = update_lsq_scale
+        self.lsq_lr = lsq_lr
+
+        # one Parameter per distinct codebook (layerwise: one per layer;
+        # crosslayer: a single shared parameter)
+        self._codebook_params: Dict[int, Parameter] = {}
+        self._codebooks: Dict[int, Codebook] = {}
+        for state in compressed:
+            key = id(state.codebook)
+            if key not in self._codebook_params:
+                self._codebook_params[key] = Parameter(
+                    state.codebook.codewords.copy(), name=f"codebook_{len(self._codebook_params)}"
+                )
+                self._codebooks[key] = state.codebook
+        self.optimizer = optimizer_cls(list(self._codebook_params.values()), lr=lr,
+                                       **optimizer_kwargs)
+        self._modules = dict(compressed.model.named_modules())
+        self.sync_model()
+
+    # -- forward-path synchronisation -----------------------------------------
+    def sync_model(self) -> None:
+        """Write reconstructed weights (from current codebooks) into the model."""
+        for key, param in self._codebook_params.items():
+            self._codebooks[key].codewords = param.value
+        self.compressed.apply_to_model()
+
+    # -- backward-path: masked codebook gradients ------------------------------
+    def accumulate_codebook_gradients(self) -> None:
+        """Convert layer weight gradients into masked codeword gradients (Eq. 6)."""
+        for param in self._codebook_params.values():
+            param.zero_grad()
+
+        grad_sums: Dict[int, np.ndarray] = {
+            key: np.zeros_like(param.value) for key, param in self._codebook_params.items()
+        }
+        count_sums: Dict[int, np.ndarray] = {
+            key: np.zeros_like(param.value) for key, param in self._codebook_params.items()
+        }
+
+        for state in self.compressed:
+            module = self._modules[state.name]
+            weight_grad = module.weight.grad
+            grouped_grad = group_weight(weight_grad, state.config.d, state.config.strategy)
+            mask = state.mask if state.mask is not None else np.ones_like(grouped_grad, dtype=bool)
+            masked_grad = grouped_grad * mask
+
+            key = id(state.codebook)
+            np.add.at(grad_sums[key], state.assignments, masked_grad)
+            np.add.at(count_sums[key], state.assignments, mask.astype(float))
+
+        for key, param in self._codebook_params.items():
+            counts = np.maximum(count_sums[key], 1.0)
+            param.accumulate_grad(grad_sums[key] / counts)
+
+    def _update_lsq_scales(self) -> None:
+        for key, param in self._codebook_params.items():
+            codebook = self._codebooks[key]
+            if codebook.lsq is not None:
+                codebook.lsq.step(param.value, param.grad, self.lsq_lr)
+
+    # -- the trainer hook -------------------------------------------------------
+    def step(self) -> None:
+        """Full fine-tuning step: grads -> optimizer -> LSQ scale -> resync."""
+        self.accumulate_codebook_gradients()
+        if self.update_lsq_scale:
+            self._update_lsq_scales()
+        self.optimizer.step()
+        self.sync_model()
+
+    # -- introspection ------------------------------------------------------------
+    def codebook_parameters(self) -> List[Parameter]:
+        return list(self._codebook_params.values())
+
+
+def finetune_compressed_model(compressed: CompressedModel, dataset, loss_fn,
+                              model_optimizer: Optimizer, epochs: int = 1,
+                              batch_size: int = 32, codebook_lr: float = 1e-3,
+                              val_set=None):
+    """Convenience wrapper: fine-tune codebooks (and uncompressed params) jointly.
+
+    Returns the :class:`repro.nn.train.TrainHistory` of the run.
+    """
+    from repro.nn.train import Trainer
+
+    finetuner = CodebookFinetuner(compressed, lr=codebook_lr)
+    trainer = Trainer(compressed.model, loss_fn, model_optimizer,
+                      batch_size=batch_size, hook=finetuner.step)
+    return trainer.fit(dataset, epochs=epochs, val_set=val_set)

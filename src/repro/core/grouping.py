@@ -1,0 +1,108 @@
+"""Weight grouping strategies (Section 4.3, Fig. 3 of the paper).
+
+A 4D convolution weight ``(C_out, C_in, kh, kw)`` is reshaped into a 2D
+matrix of subvectors of length ``d`` along one of three dimensions:
+
+* ``KERNEL``  — subvectors are kernel planes, ``d = kh * kw``;
+* ``OUTPUT``  — subvectors span ``d`` consecutive output channels at a fixed
+  (input-channel, kernel-position); the paper's choice, giving
+  ``(C_out / d * C_in * kh * kw)`` subvectors;
+* ``INPUT``   — subvectors span ``d`` consecutive input channels.
+
+2D (linear) weights are treated as 1x1 convolutions.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+import numpy as np
+
+
+class GroupingStrategy(enum.Enum):
+    KERNEL = "kernel"
+    OUTPUT = "output"
+    INPUT = "input"
+
+
+def _as_4d(weight: np.ndarray) -> Tuple[np.ndarray, Tuple[int, ...]]:
+    """View linear weights (out, in) as (out, in, 1, 1) convolutions."""
+    original_shape = weight.shape
+    if weight.ndim == 2:
+        weight = weight[:, :, None, None]
+    elif weight.ndim != 4:
+        raise ValueError(f"expected 2D or 4D weight, got shape {original_shape}")
+    return weight, original_shape
+
+
+def grouped_shape(weight_shape: Tuple[int, ...], d: int,
+                  strategy: GroupingStrategy = GroupingStrategy.OUTPUT) -> Tuple[int, int]:
+    """Shape (N_G, d) of the grouped matrix for a weight of ``weight_shape``."""
+    if len(weight_shape) == 2:
+        weight_shape = (*weight_shape, 1, 1)
+    c_out, c_in, kh, kw = weight_shape
+    if strategy is GroupingStrategy.KERNEL:
+        if d != kh * kw:
+            raise ValueError(f"kernel-wise grouping requires d == kh*kw ({kh*kw}), got {d}")
+        return c_out * c_in, d
+    if strategy is GroupingStrategy.OUTPUT:
+        if c_out % d != 0:
+            raise ValueError(f"output-wise grouping requires C_out ({c_out}) divisible by d ({d})")
+        return (c_out // d) * c_in * kh * kw, d
+    if strategy is GroupingStrategy.INPUT:
+        if c_in % d != 0:
+            raise ValueError(f"input-wise grouping requires C_in ({c_in}) divisible by d ({d})")
+        return c_out * (c_in // d) * kh * kw, d
+    raise ValueError(f"unknown grouping strategy {strategy}")
+
+
+def group_weight(weight: np.ndarray, d: int,
+                 strategy: GroupingStrategy = GroupingStrategy.OUTPUT) -> np.ndarray:
+    """Reshape a weight tensor into a (N_G, d) matrix of subvectors."""
+    weight, _ = _as_4d(weight)
+    c_out, c_in, kh, kw = weight.shape
+    grouped_shape(weight.shape, d, strategy)  # validates divisibility
+
+    if strategy is GroupingStrategy.KERNEL:
+        return weight.reshape(c_out * c_in, kh * kw)
+    if strategy is GroupingStrategy.OUTPUT:
+        # (C_out, C_in, kh, kw) -> (C_out/d, d, C_in, kh, kw) -> (C_out/d, C_in, kh, kw, d)
+        w = weight.reshape(c_out // d, d, c_in, kh, kw)
+        return w.transpose(0, 2, 3, 4, 1).reshape(-1, d)
+    # INPUT
+    w = weight.reshape(c_out, c_in // d, d, kh, kw)
+    return w.transpose(0, 1, 3, 4, 2).reshape(-1, d)
+
+
+def ungroup_weight(grouped: np.ndarray, weight_shape: Tuple[int, ...], d: int,
+                   strategy: GroupingStrategy = GroupingStrategy.OUTPUT) -> np.ndarray:
+    """Inverse of :func:`group_weight`: restore the original weight tensor."""
+    original_shape = weight_shape
+    if len(weight_shape) == 2:
+        weight_shape = (*weight_shape, 1, 1)
+    c_out, c_in, kh, kw = weight_shape
+    expected = grouped_shape(weight_shape, d, strategy)
+    if grouped.shape != expected:
+        raise ValueError(f"grouped matrix has shape {grouped.shape}, expected {expected}")
+
+    if strategy is GroupingStrategy.KERNEL:
+        weight = grouped.reshape(c_out, c_in, kh, kw)
+    elif strategy is GroupingStrategy.OUTPUT:
+        w = grouped.reshape(c_out // d, c_in, kh, kw, d)
+        weight = w.transpose(0, 4, 1, 2, 3).reshape(c_out, c_in, kh, kw)
+    else:  # INPUT
+        w = grouped.reshape(c_out, c_in // d, kh, kw, d)
+        weight = w.transpose(0, 1, 4, 2, 3).reshape(c_out, c_in, kh, kw)
+
+    return weight.reshape(original_shape)
+
+
+def compatible_d(weight_shape: Tuple[int, ...], d: int,
+                 strategy: GroupingStrategy = GroupingStrategy.OUTPUT) -> bool:
+    """Whether a weight of ``weight_shape`` can be grouped with length ``d``."""
+    try:
+        grouped_shape(weight_shape, d, strategy)
+        return True
+    except ValueError:
+        return False

@@ -1,0 +1,100 @@
+"""Common (unmasked) k-means vector clustering — the paper's Preliminaries.
+
+Used directly for the conventional-VQ ablation cases (A, B, C of Table 3)
+and as the shared machinery the masked variant builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class KMeansResult:
+    """Output of a vector clustering run."""
+
+    codewords: np.ndarray      # (k, d)
+    assignments: np.ndarray    # (N_G,) int
+    sse: float                 # final sum of squared errors
+    iterations: int
+
+
+def _init_codewords(data: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """Paper's initialisation: randomly select k subvectors as codewords."""
+    n = data.shape[0]
+    if k >= n:
+        # degenerate but legal: every subvector can be its own codeword
+        reps = int(np.ceil(k / n))
+        pool = np.tile(np.arange(n), reps)[:k]
+        return data[pool].copy()
+    idx = rng.choice(n, size=k, replace=False)
+    return data[idx].copy()
+
+
+def assign_to_nearest(data: np.ndarray, codewords: np.ndarray) -> np.ndarray:
+    """Index of the nearest codeword (squared Euclidean) for every subvector."""
+    # ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2 ; the ||x||^2 term is constant per row
+    cross = data @ codewords.T
+    c_norm = np.einsum("kd,kd->k", codewords, codewords)
+    return np.argmin(c_norm[None, :] - 2.0 * cross, axis=1)
+
+
+def update_codewords(data: np.ndarray, assignments: np.ndarray, k: int,
+                     previous: np.ndarray) -> np.ndarray:
+    """Mean of assigned subvectors; empty clusters keep their previous codeword."""
+    d = data.shape[1]
+    sums = np.zeros((k, d))
+    np.add.at(sums, assignments, data)
+    counts = np.bincount(assignments, minlength=k).astype(float)
+    empty = counts == 0
+    counts[empty] = 1.0
+    updated = sums / counts[:, None]
+    updated[empty] = previous[empty]
+    return updated
+
+
+def kmeans(
+    data: np.ndarray,
+    k: int,
+    max_iterations: int = 100,
+    change_threshold: float = 1e-3,
+    seed: int = 0,
+    init_codewords: Optional[np.ndarray] = None,
+) -> KMeansResult:
+    """Lloyd's k-means with the paper's stopping rule.
+
+    Iterates until the fraction of subvectors changing assignment falls below
+    ``change_threshold`` (the paper uses 0.1% of the total) or
+    ``max_iterations`` is hit.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError("data must be a 2D (N_G, d) matrix")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    rng = np.random.default_rng(seed)
+    codewords = (
+        np.array(init_codewords, dtype=np.float64, copy=True)
+        if init_codewords is not None
+        else _init_codewords(data, k, rng)
+    )
+    if codewords.shape != (k, data.shape[1]):
+        raise ValueError(f"initial codewords must have shape {(k, data.shape[1])}")
+
+    assignments = assign_to_nearest(data, codewords)
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        codewords = update_codewords(data, assignments, k, codewords)
+        new_assignments = assign_to_nearest(data, codewords)
+        changed = np.count_nonzero(new_assignments != assignments)
+        assignments = new_assignments
+        if changed <= change_threshold * data.shape[0]:
+            break
+
+    residual = data - codewords[assignments]
+    sse = float(np.sum(residual**2))
+    return KMeansResult(codewords=codewords, assignments=assignments,
+                        sse=sse, iterations=iterations)

@@ -1,0 +1,60 @@
+"""Clustering-error metrics used throughout the evaluation.
+
+The paper distinguishes *Total SSE* (clustering error over all weights) from
+*Mask SSE* (error over the kept/important weights only); Table 3 shows the
+latter is what tracks accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+def total_sse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Sum of squared errors over every weight."""
+    original = np.asarray(original, dtype=np.float64)
+    reconstructed = np.asarray(reconstructed, dtype=np.float64)
+    if original.shape != reconstructed.shape:
+        raise ValueError("shape mismatch between original and reconstruction")
+    return float(np.sum((original - reconstructed) ** 2))
+
+
+def masked_sse(original: np.ndarray, reconstructed: np.ndarray, mask: np.ndarray) -> float:
+    """Sum of squared errors restricted to unpruned (kept) weights."""
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape != np.asarray(original).shape:
+        raise ValueError("mask shape must match the weights")
+    diff = (np.asarray(original) - np.asarray(reconstructed)) * mask
+    return float(np.sum(diff**2))
+
+
+@dataclass
+class ClusteringReport:
+    """Summary of one clustering run, in the units Table 3 reports."""
+
+    total_sse: float
+    mask_sse: float
+    num_subvectors: int
+    num_weights: int
+    sparsity: float
+
+    @property
+    def mse_per_weight(self) -> float:
+        return self.total_sse / max(self.num_weights, 1)
+
+
+def clustering_report(original_grouped: np.ndarray, reconstructed_grouped: np.ndarray,
+                      mask: Optional[np.ndarray] = None) -> ClusteringReport:
+    """Build a :class:`ClusteringReport` from grouped weights and a keep-mask."""
+    if mask is None:
+        mask = np.ones_like(original_grouped, dtype=bool)
+    return ClusteringReport(
+        total_sse=total_sse(original_grouped, reconstructed_grouped),
+        mask_sse=masked_sse(original_grouped, reconstructed_grouped, mask),
+        num_subvectors=original_grouped.shape[0],
+        num_weights=int(original_grouped.size),
+        sparsity=float(1.0 - np.asarray(mask, dtype=bool).mean()),
+    )

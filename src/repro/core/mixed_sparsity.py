@@ -1,0 +1,170 @@
+"""Mixed layer-wise N:M sparsity search (DominoSearch-style).
+
+The paper trains classification models with a single uniform N:M pattern
+(SR-STE) but cites DominoSearch [34] for finding *mixed* layer-wise N:M
+schemes, and its Section 6.2 discussion — "for models with high redundancy we
+seek the highest possible pruning rate while maintaining accuracy" — is a
+per-layer trade-off.  This module provides that search: for every prunable
+layer it measures the masked clustering/pruning error at each candidate N and
+picks the sparsest pattern whose error stays within a tolerance of the
+densest candidate, subject to a global sparsity target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.compressor import LayerCompressionConfig, MVQCompressor
+from repro.core.grouping import GroupingStrategy, group_weight
+from repro.core.pruning import apply_mask, nm_prune_mask
+from repro.nn.module import Module
+
+
+@dataclass
+class LayerSparsityChoice:
+    """Chosen N:M pattern for one layer and the evidence behind it."""
+
+    layer: str
+    n_keep: int
+    m: int
+    relative_error: float      # pruning error / weight energy
+    num_weights: int
+
+    @property
+    def sparsity(self) -> float:
+        return 1.0 - self.n_keep / self.m
+
+
+def layer_pruning_error(weight: np.ndarray, n_keep: int, m: int, d: int,
+                        strategy: GroupingStrategy = GroupingStrategy.OUTPUT) -> float:
+    """Relative energy removed by N:M pruning this layer.
+
+    ``sum(pruned^2) / sum(weight^2)`` — the fraction of the layer's weight
+    energy that the mask discards; a cheap, training-free sensitivity proxy.
+    """
+    grouped = group_weight(weight, d, strategy)
+    mask = nm_prune_mask(grouped, n_keep, m)
+    pruned = grouped - apply_mask(grouped, mask)
+    total = float(np.sum(grouped**2))
+    if total == 0.0:
+        return 0.0
+    return float(np.sum(pruned**2)) / total
+
+
+class MixedSparsitySearch:
+    """Pick a per-layer N (of N:M) under a global sparsity target.
+
+    Parameters
+    ----------
+    candidates:
+        The allowed N values, e.g. ``(6, 5, 4, 3)`` for N:16 patterns.
+    m:
+        Block size M shared by all layers.
+    d:
+        Subvector length used for grouping (must be a multiple of M).
+    error_tolerance:
+        A layer may move to a sparser pattern only while its relative pruning
+        error stays below this threshold.
+    target_sparsity:
+        Stop sparsifying once the weighted-average sparsity reaches this value
+        (``None`` = sparsify as far as the tolerance allows).
+    """
+
+    def __init__(self, candidates: Sequence[int] = (6, 5, 4, 3), m: int = 16, d: int = 16,
+                 error_tolerance: float = 0.15,
+                 target_sparsity: Optional[float] = None,
+                 strategy: GroupingStrategy = GroupingStrategy.OUTPUT):
+        if not candidates:
+            raise ValueError("need at least one candidate N")
+        if any(not 0 < n <= m for n in candidates):
+            raise ValueError("every candidate N must satisfy 0 < N <= M")
+        self.candidates = sorted(candidates, reverse=True)   # densest first
+        self.m = m
+        self.d = d
+        self.error_tolerance = error_tolerance
+        self.target_sparsity = target_sparsity
+        self.strategy = strategy
+
+    def _prunable_layers(self, model: Module):
+        probe = MVQCompressor(LayerCompressionConfig(
+            k=2, d=self.d, n_keep=self.candidates[0], m=self.m, strategy=self.strategy))
+        return probe.compressible_layers(model)
+
+    def search(self, model: Module) -> Dict[str, LayerSparsityChoice]:
+        """Assign each prunable layer the sparsest tolerable N:M pattern."""
+        layers = self._prunable_layers(model)
+        if not layers:
+            raise ValueError("model has no layers compatible with the requested grouping")
+
+        choices: Dict[str, LayerSparsityChoice] = {}
+        # per layer: precompute the error of each candidate
+        errors: Dict[str, Dict[int, float]] = {}
+        for name, mod in layers:
+            errors[name] = {
+                n: layer_pruning_error(mod.weight.value, n, self.m, self.d, self.strategy)
+                for n in self.candidates
+            }
+            densest = self.candidates[0]
+            choices[name] = LayerSparsityChoice(
+                layer=name, n_keep=densest, m=self.m,
+                relative_error=errors[name][densest],
+                num_weights=int(mod.weight.value.size),
+            )
+
+        # greedily sparsify the layer whose next step costs the least error,
+        # until the tolerance or the global target is hit
+        def overall_sparsity() -> float:
+            total = sum(c.num_weights for c in choices.values())
+            pruned = sum(c.num_weights * c.sparsity for c in choices.values())
+            return pruned / total
+
+        while True:
+            if self.target_sparsity is not None and overall_sparsity() >= self.target_sparsity:
+                break
+            best_name = None
+            best_cost = None
+            for name, choice in choices.items():
+                idx = self.candidates.index(choice.n_keep)
+                if idx + 1 >= len(self.candidates):
+                    continue
+                next_n = self.candidates[idx + 1]
+                next_error = errors[name][next_n]
+                if next_error > self.error_tolerance:
+                    continue
+                cost = next_error - choice.relative_error
+                if best_cost is None or cost < best_cost:
+                    best_cost = cost
+                    best_name = name
+            if best_name is None:
+                break
+            current = choices[best_name]
+            idx = self.candidates.index(current.n_keep)
+            next_n = self.candidates[idx + 1]
+            choices[best_name] = LayerSparsityChoice(
+                layer=best_name, n_keep=next_n, m=self.m,
+                relative_error=errors[best_name][next_n],
+                num_weights=current.num_weights,
+            )
+        return choices
+
+    def to_layer_overrides(self, choices: Dict[str, LayerSparsityChoice],
+                           base: LayerCompressionConfig) -> Dict[str, LayerCompressionConfig]:
+        """Convert a search result into per-layer MVQCompressor overrides."""
+        from dataclasses import replace
+
+        return {
+            name: replace(base, n_keep=choice.n_keep, m=choice.m, d=self.d,
+                          strategy=self.strategy)
+            for name, choice in choices.items()
+        }
+
+
+def overall_sparsity(choices: Dict[str, LayerSparsityChoice]) -> float:
+    """Weight-weighted average sparsity of a mixed N:M assignment."""
+    total = sum(c.num_weights for c in choices.values())
+    if total == 0:
+        return 0.0
+    return sum(c.num_weights * c.sparsity for c in choices.values()) / total

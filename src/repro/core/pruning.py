@@ -1,0 +1,153 @@
+"""N:M structured pruning (Section 4.3) and sparse fine-tuning.
+
+``N:M`` here follows the paper's convention: within every group of ``M``
+consecutive weights, the ``N`` largest-magnitude weights are kept and the
+remaining ``M - N`` are pruned (so 4:16 keeps 4 of every 16 = 75% sparsity,
+1:2 and 2:4 are both 50% sparsity but differ in mask storage cost).
+
+Two fine-tuning flavours are provided, mirroring the paper's setup:
+
+* :class:`SparseFinetuner` with ``sr_ste=True`` — SR-STE-style training
+  where the dense weights stay live, the mask is recomputed from magnitudes
+  every step, and pruned weights receive a decay penalty (used for
+  classification models);
+* :func:`asp_prune` + :class:`SparseFinetuner` with ``sr_ste=False`` —
+  one-shot magnitude pruning with a frozen mask (the ASP method used for
+  detection/segmentation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.grouping import GroupingStrategy, group_weight, ungroup_weight
+from repro.nn.layers import Conv2d, Linear
+from repro.nn.module import Module
+
+
+def nm_prune_mask(grouped: np.ndarray, n_keep: int, m: int) -> np.ndarray:
+    """Binary keep-mask for an (N_G, d) matrix under N:M magnitude pruning.
+
+    Every non-overlapping group of ``m`` consecutive elements along the
+    subvector dimension keeps its ``n_keep`` largest-magnitude entries.
+    """
+    if grouped.ndim != 2:
+        raise ValueError("expected a 2D grouped weight matrix")
+    n_groups, d = grouped.shape
+    if not 0 < n_keep <= m:
+        raise ValueError(f"need 0 < N <= M, got N={n_keep}, M={m}")
+    if d % m != 0:
+        raise ValueError(f"subvector length d={d} must be a multiple of M={m}")
+
+    blocks = np.abs(grouped).reshape(n_groups, d // m, m)
+    # indices of the (m - n_keep) smallest magnitudes in each block
+    order = np.argsort(blocks, axis=2)
+    mask = np.ones_like(blocks, dtype=bool)
+    drop = order[:, :, : m - n_keep]
+    rows = np.arange(n_groups)[:, None, None]
+    cols = np.arange(d // m)[None, :, None]
+    mask[rows, cols, drop] = False
+    return mask.reshape(n_groups, d)
+
+
+def apply_mask(grouped: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Zero out pruned positions."""
+    if grouped.shape != mask.shape:
+        raise ValueError("weight and mask shapes differ")
+    return grouped * mask
+
+
+def sparsity_of_mask(mask: np.ndarray) -> float:
+    """Fraction of pruned (zero) weights."""
+    return float(1.0 - mask.mean())
+
+
+def asp_prune(weight: np.ndarray, n_keep: int, m: int, d: int,
+              strategy: GroupingStrategy = GroupingStrategy.OUTPUT) -> np.ndarray:
+    """One-shot N:M magnitude pruning of a full weight tensor (ASP style).
+
+    Returns the pruned weight; the mask can be recovered as ``weight != 0``
+    or recomputed with :func:`nm_prune_mask`.
+    """
+    grouped = group_weight(weight, d, strategy)
+    mask = nm_prune_mask(grouped, n_keep, m)
+    return ungroup_weight(apply_mask(grouped, mask), weight.shape, d, strategy)
+
+
+class SparseFinetuner:
+    """Keeps a model N:M sparse while it trains.
+
+    Call :meth:`apply` after every optimizer step.  With ``sr_ste=True`` the
+    mask is recomputed from the live dense weights and pruned weights decay
+    towards zero (SR-STE); with ``sr_ste=False`` the mask computed on the
+    first call is frozen and simply re-applied (ASP).
+    """
+
+    def __init__(self, model: Module, n_keep: int, m: int, d: int,
+                 strategy: GroupingStrategy = GroupingStrategy.OUTPUT,
+                 sr_ste: bool = True, decay: float = 2e-4,
+                 skip_layers: Optional[set] = None):
+        self.model = model
+        self.n_keep = n_keep
+        self.m = m
+        self.d = d
+        self.strategy = strategy
+        self.sr_ste = sr_ste
+        self.decay = decay
+        self.skip_layers = skip_layers or set()
+        self._frozen_masks: Dict[str, np.ndarray] = {}
+
+    def prunable_layers(self):
+        """Conv/Linear layers whose weights are compatible with the grouping."""
+        from repro.core.grouping import compatible_d
+
+        for name, mod in self.model.named_modules():
+            if name in self.skip_layers:
+                continue
+            if isinstance(mod, Conv2d) and not mod.depthwise:
+                if compatible_d(mod.weight.shape, self.d, self.strategy):
+                    yield name, mod
+            elif isinstance(mod, Linear):
+                if compatible_d(mod.weight.shape, self.d, self.strategy):
+                    yield name, mod
+
+    def apply(self) -> None:
+        """Re-impose N:M sparsity on all prunable layers."""
+        for name, mod in self.prunable_layers():
+            weight = mod.weight.value
+            grouped = group_weight(weight, self.d, self.strategy)
+            if self.sr_ste:
+                mask = nm_prune_mask(grouped, self.n_keep, self.m)
+                pruned = grouped * mask + (1.0 - self.decay) * grouped * ~mask
+                # SR-STE keeps pruned weights alive but shrinking; the
+                # *effective* forward weight is the masked one.
+                effective = grouped * mask
+            else:
+                if name not in self._frozen_masks:
+                    self._frozen_masks[name] = nm_prune_mask(grouped, self.n_keep, self.m)
+                mask = self._frozen_masks[name]
+                pruned = grouped * mask
+                effective = pruned
+            mod.weight.copy_(ungroup_weight(effective, weight.shape, self.d, self.strategy))
+
+    def masks(self) -> Dict[str, np.ndarray]:
+        """Current keep-masks of all prunable layers (grouped layout)."""
+        result = {}
+        for name, mod in self.prunable_layers():
+            grouped = group_weight(mod.weight.value, self.d, self.strategy)
+            if not self.sr_ste and name in self._frozen_masks:
+                result[name] = self._frozen_masks[name].copy()
+            else:
+                result[name] = nm_prune_mask(grouped, self.n_keep, self.m)
+        return result
+
+    def model_sparsity(self) -> float:
+        """Overall fraction of pruned weights across prunable layers."""
+        pruned = 0
+        total = 0
+        for _, mask in self.masks().items():
+            pruned += mask.size - int(mask.sum())
+            total += mask.size
+        return pruned / max(total, 1)

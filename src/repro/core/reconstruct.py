@@ -1,0 +1,31 @@
+"""Weight reconstruction from (codebook, assignments, mask) — Fig. 5 forward path."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.codebook import Codebook
+from repro.core.grouping import GroupingStrategy, ungroup_weight
+
+
+def reconstruct_grouped(codebook: Codebook, assignments: np.ndarray,
+                        mask: Optional[np.ndarray] = None) -> np.ndarray:
+    """Grouped (N_G, d) reconstruction: codeword lookup, then bit-select by mask."""
+    decoded = codebook.lookup(np.asarray(assignments, dtype=np.int64))
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != decoded.shape:
+            raise ValueError("mask shape must match decoded subvectors")
+        decoded = decoded * mask
+    return decoded
+
+
+def reconstruct_weight(codebook: Codebook, assignments: np.ndarray,
+                       weight_shape: Tuple[int, ...], d: int,
+                       mask: Optional[np.ndarray] = None,
+                       strategy: GroupingStrategy = GroupingStrategy.OUTPUT) -> np.ndarray:
+    """Full weight tensor reconstruction in the original layout."""
+    grouped = reconstruct_grouped(codebook, assignments, mask)
+    return ungroup_weight(grouped, weight_shape, d, strategy)

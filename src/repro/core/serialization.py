@@ -1,0 +1,120 @@
+"""Serialization of compressed models to and from ``.npz`` archives.
+
+A deployed MVQ model ships exactly the three artefacts the accelerator needs
+(Section 5): per-layer assignments, LUT-encoded masks and the (shared or
+per-layer) int8 codebooks.  This module packs a :class:`CompressedModel`
+into a single ``.npz`` file in that format and reloads it, so a compression
+run and the hardware-facing export are decoupled.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.core.codebook import Codebook
+from repro.core.compressor import CompressedLayer, CompressedModel, LayerCompressionConfig
+from repro.core.grouping import GroupingStrategy
+from repro.core.storage import MaskLUT
+from repro.nn.module import Module
+
+
+def _config_to_dict(config: LayerCompressionConfig) -> Dict:
+    return {
+        "k": config.k, "d": config.d, "n_keep": config.n_keep, "m": config.m,
+        "codebook_bits": config.codebook_bits, "weight_bits": config.weight_bits,
+        "strategy": config.strategy.value, "prune": config.prune,
+        "use_masked_kmeans": config.use_masked_kmeans, "store_mask": config.store_mask,
+    }
+
+
+def _config_from_dict(data: Dict) -> LayerCompressionConfig:
+    return LayerCompressionConfig(
+        k=data["k"], d=data["d"], n_keep=data["n_keep"], m=data["m"],
+        codebook_bits=data["codebook_bits"], weight_bits=data["weight_bits"],
+        strategy=GroupingStrategy(data["strategy"]), prune=data["prune"],
+        use_masked_kmeans=data["use_masked_kmeans"], store_mask=data["store_mask"],
+    )
+
+
+def save_compressed_model(compressed: CompressedModel, path: Union[str, Path]) -> None:
+    """Write assignments, LUT-encoded masks and codebooks to a ``.npz`` archive."""
+    path = Path(path)
+    arrays: Dict[str, np.ndarray] = {}
+    manifest = {"crosslayer": compressed.crosslayer, "layers": {}}
+
+    codebook_ids: Dict[int, str] = {}
+    for index, state in enumerate(compressed):
+        key = id(state.codebook)
+        if key not in codebook_ids:
+            cb_name = f"codebook_{len(codebook_ids)}"
+            codebook_ids[key] = cb_name
+            # store the codewords as the accelerator sees them (already on the
+            # int8 grid), so reconstruction after reload is bit-exact
+            arrays[cb_name] = state.codebook.effective_codewords()
+        safe = state.name.replace(".", "__")
+        arrays[f"{safe}__assignments"] = state.assignments.astype(np.int32)
+        if state.config.store_mask and state.mask is not None:
+            lut = MaskLUT(state.config.n_keep, state.config.m)
+            arrays[f"{safe}__mask_codes"] = lut.encode_mask(state.mask).astype(np.int32)
+        manifest["layers"][state.name] = {
+            "weight_shape": list(state.weight_shape),
+            "config": _config_to_dict(state.config),
+            "codebook": codebook_ids[key],
+        }
+
+    arrays["__manifest__"] = np.frombuffer(
+        json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+    ).copy()
+    np.savez_compressed(path, **arrays)
+
+
+def load_compressed_model(model: Module, path: Union[str, Path]) -> CompressedModel:
+    """Rebuild a :class:`CompressedModel` for ``model`` from a saved archive.
+
+    ``model`` must have the same architecture the archive was produced from;
+    the original full-precision weights are taken from the live model (they
+    are only used for SSE reporting, not for reconstruction).
+    """
+    path = Path(path)
+    with np.load(path) as data:
+        manifest = json.loads(bytes(data["__manifest__"].tolist()).decode("utf-8"))
+        arrays = {name: data[name] for name in data.files if name != "__manifest__"}
+
+    modules = dict(model.named_modules())
+    codebooks: Dict[str, Codebook] = {}
+    layers: Dict[str, CompressedLayer] = {}
+    for name, info in manifest["layers"].items():
+        if name not in modules:
+            raise KeyError(f"layer {name!r} from the archive is missing from the model")
+        config = _config_from_dict(info["config"])
+        cb_name = info["codebook"]
+        if cb_name not in codebooks:
+            # the stored codewords are already fake-quantized; bits=None means
+            # lookups return them verbatim
+            codebooks[cb_name] = Codebook(arrays[cb_name], bits=None)
+        safe = name.replace(".", "__")
+        assignments = arrays[f"{safe}__assignments"].astype(np.int64)
+
+        mask = None
+        if config.store_mask:
+            lut = MaskLUT(config.n_keep, config.m)
+            mask = lut.decode_mask(arrays[f"{safe}__mask_codes"].astype(np.int64), config.d)
+
+        from repro.core.grouping import group_weight
+
+        original_grouped = group_weight(modules[name].weight.value, config.d, config.strategy)
+        layers[name] = CompressedLayer(
+            name=name, weight_shape=tuple(info["weight_shape"]), config=config,
+            codebook=codebooks[cb_name], assignments=assignments, mask=mask,
+            original_grouped=original_grouped,
+        )
+    return CompressedModel(model, layers, crosslayer=manifest["crosslayer"])
+
+
+def compressed_file_size_bytes(path: Union[str, Path]) -> int:
+    """On-disk size of a saved compressed model."""
+    return Path(path).stat().st_size

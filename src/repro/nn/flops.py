@@ -1,0 +1,86 @@
+"""FLOPs and parameter counting.
+
+The counters run one forward pass on a probe input and then read the shape
+caches each layer stored, which yields per-layer multiply-accumulate counts
+without any extra instrumentation.  ``count_sparse_flops`` additionally
+scales convolution/linear FLOPs by the fraction of non-zero weights, which
+is how the paper reports FLOPs reductions for N:M-pruned MVQ models
+(e.g. 1.81G -> 0.54G on ResNet-18 at 75% sparsity).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.nn.layers import Conv2d, Linear
+from repro.nn.module import Module
+
+
+def per_layer_flops(model: Module, input_shape, batch: int = 1) -> Dict[str, int]:
+    """FLOPs of every Conv2d/Linear layer, keyed by module path.
+
+    ``input_shape`` is (C, H, W); the probe batch size is 1 and results are
+    scaled by ``batch``.
+    """
+    was_training = model.training
+    model.eval()
+    probe = np.zeros((1, *input_shape))
+    model.forward(probe)
+    model.train(was_training)
+
+    flops: Dict[str, int] = {}
+    for name, mod in model.named_modules():
+        if isinstance(mod, Conv2d) and mod._cache is not None:
+            cols, x_shape = mod._cache
+            out_positions = cols.shape[0] // x_shape[0]  # out_h * out_w
+            if mod.depthwise:
+                flops[name] = 2 * mod.kernel_size**2 * out_positions * mod.out_channels * batch
+            else:
+                flops[name] = (
+                    2
+                    * mod.in_channels
+                    * mod.kernel_size**2
+                    * out_positions
+                    * mod.out_channels
+                    * batch
+                )
+        elif isinstance(mod, Linear) and mod._cache is not None:
+            rows = int(np.prod(mod._cache.shape[:-1]))
+            flops[name] = 2 * rows * mod.in_features * mod.out_features * batch
+    return flops
+
+
+def count_flops(model: Module, input_shape, batch: int = 1) -> int:
+    """Total FLOPs of one forward pass (2 x MACs convention)."""
+    return int(sum(per_layer_flops(model, input_shape, batch).values()))
+
+
+def count_sparse_flops(
+    model: Module,
+    input_shape,
+    sparsity_by_layer: Optional[Dict[str, float]] = None,
+    default_sparsity: float = 0.0,
+    batch: int = 1,
+) -> int:
+    """FLOPs of a forward pass when zero weights are skipped.
+
+    ``sparsity_by_layer`` maps module paths to the fraction of *pruned*
+    weights; layers not listed use ``default_sparsity``.
+    """
+    if not 0.0 <= default_sparsity < 1.0:
+        raise ValueError("default_sparsity must be in [0, 1)")
+    layer_flops = per_layer_flops(model, input_shape, batch)
+    total = 0.0
+    for name, flops in layer_flops.items():
+        sparsity = default_sparsity
+        if sparsity_by_layer and name in sparsity_by_layer:
+            sparsity = sparsity_by_layer[name]
+        total += flops * (1.0 - sparsity)
+    return int(total)
+
+
+def count_parameters(model: Module) -> int:
+    """Number of trainable scalars in the model."""
+    return model.num_parameters()

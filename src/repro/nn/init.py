@@ -1,0 +1,21 @@
+"""Weight initialisation helpers (He / Xavier / uniform)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def kaiming_normal(shape, fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    """He-normal initialisation suited to ReLU networks."""
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape, fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Glorot-uniform initialisation used for linear classifier heads."""
+    limit = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def default_rng(seed: int | None = None) -> np.random.Generator:
+    return np.random.default_rng(seed)

@@ -1,0 +1,122 @@
+"""Loss functions.  Each returns a scalar and produces a gradient on backward."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+
+
+class Loss:
+    """Base class: ``forward(pred, target) -> float`` then ``backward() -> grad``."""
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def backward(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, pred: np.ndarray, target: np.ndarray) -> float:
+        return self.forward(pred, target)
+
+
+class CrossEntropyLoss(Loss):
+    """Softmax cross-entropy over logits.
+
+    ``target`` is an integer class-index array.  For segmentation, logits of
+    shape (N, C, H, W) and targets (N, H, W) are also accepted.
+    """
+
+    def __init__(self, label_smoothing: float = 0.0):
+        if not 0.0 <= label_smoothing < 1.0:
+            raise ValueError("label_smoothing must be in [0, 1)")
+        self.label_smoothing = label_smoothing
+        self._cache = None
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        original_shape = pred.shape
+        if pred.ndim == 4:
+            n, c, h, w = pred.shape
+            logits = pred.transpose(0, 2, 3, 1).reshape(-1, c)
+            labels = target.reshape(-1)
+        else:
+            logits = pred
+            labels = target
+        n_samples, n_classes = logits.shape
+
+        log_probs = F.log_softmax(logits, axis=1)
+        smooth = self.label_smoothing
+        onehot = np.full((n_samples, n_classes), smooth / max(n_classes - 1, 1))
+        onehot[np.arange(n_samples), labels] = 1.0 - smooth
+
+        loss = -(onehot * log_probs).sum(axis=1).mean()
+        self._cache = (log_probs, onehot, original_shape, n_samples)
+        return float(loss)
+
+    def backward(self) -> np.ndarray:
+        log_probs, onehot, original_shape, n_samples = self._cache
+        probs = np.exp(log_probs)
+        grad = (probs - onehot) / n_samples
+        if len(original_shape) == 4:
+            n, c, h, w = original_shape
+            grad = grad.reshape(n, h, w, c).transpose(0, 3, 1, 2)
+        return grad
+
+
+class MSELoss(Loss):
+    def __init__(self):
+        self._cache = None
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        diff = pred - target
+        self._cache = (diff, pred.size)
+        return float(np.mean(diff**2))
+
+    def backward(self) -> np.ndarray:
+        diff, size = self._cache
+        return 2.0 * diff / size
+
+
+class SmoothL1Loss(Loss):
+    """Huber-style loss used by the detection head for box regression."""
+
+    def __init__(self, beta: float = 1.0):
+        if beta <= 0:
+            raise ValueError("beta must be positive")
+        self.beta = beta
+        self._cache = None
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        diff = pred - target
+        abs_diff = np.abs(diff)
+        quad = abs_diff < self.beta
+        loss = np.where(
+            quad, 0.5 * diff**2 / self.beta, abs_diff - 0.5 * self.beta
+        )
+        self._cache = (diff, quad, pred.size)
+        return float(loss.mean())
+
+    def backward(self) -> np.ndarray:
+        diff, quad, size = self._cache
+        grad = np.where(quad, diff / self.beta, np.sign(diff))
+        return grad / size
+
+
+class BCEWithLogitsLoss(Loss):
+    """Binary cross-entropy over logits (objectness / mask heads)."""
+
+    def __init__(self):
+        self._cache = None
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        probs = F.sigmoid(pred)
+        eps = 1e-12
+        loss = -(target * np.log(probs + eps) + (1 - target) * np.log(1 - probs + eps))
+        self._cache = (probs, target, pred.size)
+        return float(loss.mean())
+
+    def backward(self) -> np.ndarray:
+        probs, target, size = self._cache
+        return (probs - target) / size

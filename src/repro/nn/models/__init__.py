@@ -1,0 +1,38 @@
+"""Model zoo mirroring the architectures evaluated in the MVQ paper.
+
+Every model is a scaled-down but structurally faithful variant (residual
+blocks, depthwise-separable blocks, inverted residuals, plain conv stacks,
+detection and segmentation heads) trained on the synthetic datasets in
+:mod:`repro.nn.data`.  The full-size layer shape tables used by the
+accelerator experiments live in :mod:`repro.accelerator.workloads`.
+"""
+
+from repro.nn.models.resnet import ResNet, resnet18_mini, resnet50_mini, BasicBlock, Bottleneck
+from repro.nn.models.mobilenet import MobileNetV1, MobileNetV2, mobilenet_v1_mini, mobilenet_v2_mini
+from repro.nn.models.efficientnet import EfficientNetLite, efficientnet_lite_mini
+from repro.nn.models.vgg import VGG, vgg16_mini
+from repro.nn.models.alexnet import AlexNet, alexnet_mini
+from repro.nn.models.detection import SimpleDetector, simple_detector_mini
+from repro.nn.models.deeplab import DeepLabLite, deeplab_lite_mini
+
+__all__ = [
+    "ResNet",
+    "BasicBlock",
+    "Bottleneck",
+    "resnet18_mini",
+    "resnet50_mini",
+    "MobileNetV1",
+    "MobileNetV2",
+    "mobilenet_v1_mini",
+    "mobilenet_v2_mini",
+    "EfficientNetLite",
+    "efficientnet_lite_mini",
+    "VGG",
+    "vgg16_mini",
+    "AlexNet",
+    "alexnet_mini",
+    "SimpleDetector",
+    "simple_detector_mini",
+    "DeepLabLite",
+    "deeplab_lite_mini",
+]

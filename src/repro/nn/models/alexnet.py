@@ -1,0 +1,55 @@
+"""AlexNet-style model: large-ish early kernels, no residuals."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Conv2d, Dropout, Flatten, Linear, MaxPool2d, ReLU
+from repro.nn.module import Module, Sequential
+
+
+class AlexNet(Module):
+    """Scaled-down AlexNet: 5 conv layers with pooling, 3 FC layers."""
+
+    def __init__(self, num_classes: int = 10, in_channels: int = 3,
+                 input_size: int = 16, width: int = 16, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.features = Sequential(
+            Conv2d(in_channels, width, 5, stride=1, padding=2, rng=rng),
+            ReLU(),
+            MaxPool2d(2, 2),
+            Conv2d(width, width * 2, 3, padding=1, rng=rng),
+            ReLU(),
+            MaxPool2d(2, 2),
+            Conv2d(width * 2, width * 4, 3, padding=1, rng=rng),
+            ReLU(),
+            Conv2d(width * 4, width * 2, 3, padding=1, rng=rng),
+            ReLU(),
+            Conv2d(width * 2, width * 2, 3, padding=1, rng=rng),
+            ReLU(),
+        )
+        spatial = input_size // 4
+        self.flatten = Flatten()
+        self.classifier = Sequential(
+            Dropout(0.1, rng=rng),
+            Linear(width * 2 * spatial * spatial, width * 4, rng=rng),
+            ReLU(),
+            Linear(width * 4, num_classes, rng=rng),
+        )
+        self.feature_channels = width * 2
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self.features.forward(x)
+        x = self.flatten.forward(x)
+        return self.classifier.forward(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = self.classifier.backward(grad_out)
+        grad = self.flatten.backward(grad)
+        return self.features.backward(grad)
+
+
+def alexnet_mini(num_classes: int = 10, seed: int = 0, width: int = 16,
+                 input_size: int = 16) -> AlexNet:
+    return AlexNet(num_classes=num_classes, width=width, input_size=input_size, seed=seed)

@@ -1,0 +1,113 @@
+"""DeepLab-lite semantic segmentation model (MobileNet-V2 backbone).
+
+The paper compresses DeepLab-V3 with a MobileNet-V2 backbone and reports
+Pascal-VOC mIoU (Table 6).  Our offline stand-in keeps the same shape:
+a MobileNet-V2 backbone, a multi-branch context module (1x1 + two 3x3
+branches approximating the ASPP block; true atrous convolution is replaced
+by stacked 3x3s which have the same weight layout), and bilinear-free
+nearest upsampling back to input resolution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.layers import BatchNorm2d, Conv2d, ReLU, Upsample2d
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.models.mobilenet import MobileNetV2, mobilenet_v2_mini
+from repro.nn.module import Module, Sequential
+from repro.nn.optim import Adam
+
+
+class DeepLabLite(Module):
+    """Backbone features -> context branches -> classifier -> upsample."""
+
+    def __init__(self, num_classes: int = 4, backbone: Optional[MobileNetV2] = None,
+                 head_channels: int = 32, output_stride: int = 4, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.backbone = backbone or mobilenet_v2_mini(num_classes=num_classes, seed=seed)
+        feat = self.backbone.feature_channels
+        self.branch1 = Sequential(
+            Conv2d(feat, head_channels, 1, bias=False, rng=rng),
+            BatchNorm2d(head_channels), ReLU(),
+        )
+        self.branch2 = Sequential(
+            Conv2d(feat, head_channels, 3, padding=1, bias=False, rng=rng),
+            BatchNorm2d(head_channels), ReLU(),
+        )
+        self.branch3 = Sequential(
+            Conv2d(feat, head_channels, 3, padding=1, bias=False, rng=rng),
+            BatchNorm2d(head_channels), ReLU(),
+            Conv2d(head_channels, head_channels, 3, padding=1, bias=False, rng=rng),
+            BatchNorm2d(head_channels), ReLU(),
+        )
+        self.classifier = Conv2d(head_channels, num_classes, 1, rng=rng)
+        self.upsample = Upsample2d(output_stride)
+        self.num_classes = num_classes
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        feat = self.backbone.features(x)
+        fused = (
+            self.branch1.forward(feat)
+            + self.branch2.forward(feat)
+            + self.branch3.forward(feat)
+        )
+        logits = self.classifier.forward(fused)
+        return self.upsample.forward(logits)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = self.upsample.backward(grad_out)
+        grad = self.classifier.backward(grad)
+        grad_feat = (
+            self.branch1.backward(grad)
+            + self.branch2.backward(grad)
+            + self.branch3.backward(grad)
+        )
+        grad_feat = self.backbone.head.backward(grad_feat)
+        grad_feat = self.backbone.blocks.backward(grad_feat)
+        return self.backbone.stem.backward(grad_feat)
+
+
+def train_segmenter(model: DeepLabLite, dataset, epochs: int = 3,
+                    batch_size: int = 8, lr: float = 1e-3, hook=None) -> None:
+    """Train the segmenter; ``hook`` runs after every optimizer step (used by
+    the MVQ codebook fine-tuner)."""
+    loss_fn = CrossEntropyLoss()
+    optimizer = Adam(model.parameters(), lr=lr)
+    model.train()
+    for _ in range(epochs):
+        for images, masks in dataset.batches(batch_size, shuffle=True):
+            optimizer.zero_grad()
+            logits = model.forward(images)
+            loss_fn.forward(logits, masks)
+            model.backward(loss_fn.backward())
+            optimizer.step()
+            if hook is not None:
+                hook()
+
+
+def segmentation_miou(model: DeepLabLite, dataset, batch_size: int = 16) -> float:
+    """Mean intersection-over-union across classes present in the dataset."""
+    model.eval()
+    num_classes = model.num_classes
+    intersection = np.zeros(num_classes)
+    union = np.zeros(num_classes)
+    for images, masks in dataset.batches(batch_size, shuffle=False):
+        preds = model.forward(images).argmax(axis=1)
+        for c in range(num_classes):
+            pred_c = preds == c
+            true_c = masks == c
+            intersection[c] += np.logical_and(pred_c, true_c).sum()
+            union[c] += np.logical_or(pred_c, true_c).sum()
+    model.train()
+    present = union > 0
+    if not present.any():
+        return 0.0
+    return float(np.mean(intersection[present] / union[present]))
+
+
+def deeplab_lite_mini(num_classes: int = 4, seed: int = 0) -> DeepLabLite:
+    return DeepLabLite(num_classes=num_classes, seed=seed)

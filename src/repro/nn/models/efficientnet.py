@@ -1,0 +1,64 @@
+"""EfficientNet-lite style model built from MBConv (inverted residual) blocks.
+
+Squeeze-excitation is omitted (as in the official *lite* variants) which
+keeps the backward pass simple without changing the weight structure that
+matters to vector quantization: mostly 1x1 expand/project convolutions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers import GlobalAvgPool2d, Linear
+from repro.nn.models.mobilenet import InvertedResidual, _conv_bn_relu6
+from repro.nn.module import Module, Sequential
+
+
+class EfficientNetLite(Module):
+    """Stem conv, MBConv stages with increasing width, 1x1 head, classifier."""
+
+    def __init__(self, num_classes: int = 10, width: int = 12, in_channels: int = 3,
+                 stage_config: Optional[List[Tuple[int, int, int, int]]] = None,
+                 seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        # (out_channels, num_blocks, stride, expand_ratio)
+        stage_config = stage_config or [
+            (width, 1, 1, 1),
+            (width * 2, 2, 2, 4),
+            (width * 3, 2, 2, 4),
+        ]
+        self.stem = _conv_bn_relu6(in_channels, width, 3, 1, 1, rng=rng)
+        blocks = []
+        channels = width
+        for out_ch, num_blocks, stride, expand in stage_config:
+            for block_idx in range(num_blocks):
+                block_stride = stride if block_idx == 0 else 1
+                blocks.append(InvertedResidual(channels, out_ch, stride=block_stride,
+                                               expand_ratio=expand, rng=rng))
+                channels = out_ch
+        self.blocks = Sequential(*blocks)
+        self.head = _conv_bn_relu6(channels, channels * 2, 1, 1, 0, rng=rng)
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(channels * 2, num_classes, rng=rng)
+        self.feature_channels = channels * 2
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self.stem.forward(x)
+        x = self.blocks.forward(x)
+        x = self.head.forward(x)
+        x = self.pool.forward(x)
+        return self.fc.forward(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = self.fc.backward(grad_out)
+        grad = self.pool.backward(grad)
+        grad = self.head.backward(grad)
+        grad = self.blocks.backward(grad)
+        return self.stem.backward(grad)
+
+
+def efficientnet_lite_mini(num_classes: int = 10, seed: int = 0, width: int = 12) -> EfficientNetLite:
+    return EfficientNetLite(num_classes=num_classes, width=width, seed=seed)

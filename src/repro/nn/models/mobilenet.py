@@ -1,0 +1,161 @@
+"""MobileNet-V1 (depthwise separable) and MobileNet-V2 (inverted residual).
+
+These parameter-efficient models are where the paper observes that 50%
+sparsity already costs accuracy, motivating 1:2 / 2:4 pruning instead of the
+4:16 used for ResNets (Fig. 11).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers import BatchNorm2d, Conv2d, GlobalAvgPool2d, Linear, ReLU6
+from repro.nn.module import Module, Sequential
+
+
+def _conv_bn_relu6(in_ch: int, out_ch: int, kernel: int, stride: int, padding: int,
+                   groups: int = 1, rng: Optional[np.random.Generator] = None) -> Sequential:
+    return Sequential(
+        Conv2d(in_ch, out_ch, kernel, stride=stride, padding=padding, bias=False,
+               groups=groups, rng=rng),
+        BatchNorm2d(out_ch),
+        ReLU6(),
+    )
+
+
+class DepthwiseSeparableBlock(Module):
+    """MobileNet-V1 block: depthwise 3x3 then pointwise 1x1."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.depthwise = _conv_bn_relu6(in_channels, in_channels, 3, stride, 1,
+                                        groups=in_channels, rng=rng)
+        self.pointwise = _conv_bn_relu6(in_channels, out_channels, 1, 1, 0, rng=rng)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.pointwise.forward(self.depthwise.forward(x))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return self.depthwise.backward(self.pointwise.backward(grad_out))
+
+
+class InvertedResidual(Module):
+    """MobileNet-V2 block: 1x1 expand, 3x3 depthwise, 1x1 project, optional skip."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 expand_ratio: int = 4, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        hidden = in_channels * expand_ratio
+        self.use_residual = stride == 1 and in_channels == out_channels
+        self.expand = _conv_bn_relu6(in_channels, hidden, 1, 1, 0, rng=rng) if expand_ratio != 1 else None
+        self.depthwise = _conv_bn_relu6(hidden, hidden, 3, stride, 1, groups=hidden, rng=rng)
+        self.project = Sequential(
+            Conv2d(hidden, out_channels, 1, bias=False, rng=rng),
+            BatchNorm2d(out_channels),
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = x if self.expand is None else self.expand.forward(x)
+        out = self.depthwise.forward(out)
+        out = self.project.forward(out)
+        if self.use_residual:
+            return x + out
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = self.project.backward(grad_out)
+        grad = self.depthwise.backward(grad)
+        if self.expand is not None:
+            grad = self.expand.backward(grad)
+        if self.use_residual:
+            grad = grad + grad_out
+        return grad
+
+
+class MobileNetV1(Module):
+    """Stack of depthwise-separable blocks."""
+
+    def __init__(self, num_classes: int = 10, width: int = 16, in_channels: int = 3,
+                 block_config: Optional[List[Tuple[int, int]]] = None, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        block_config = block_config or [(width, 1), (width * 2, 2), (width * 2, 1), (width * 4, 2)]
+        self.stem = _conv_bn_relu6(in_channels, width, 3, 1, 1, rng=rng)
+        blocks = []
+        channels = width
+        for out_ch, stride in block_config:
+            blocks.append(DepthwiseSeparableBlock(channels, out_ch, stride=stride, rng=rng))
+            channels = out_ch
+        self.blocks = Sequential(*blocks)
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(channels, num_classes, rng=rng)
+        self.feature_channels = channels
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self.stem.forward(x)
+        x = self.blocks.forward(x)
+        x = self.pool.forward(x)
+        return self.fc.forward(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = self.fc.backward(grad_out)
+        grad = self.pool.backward(grad)
+        grad = self.blocks.backward(grad)
+        return self.stem.backward(grad)
+
+
+class MobileNetV2(Module):
+    """Stack of inverted residual blocks."""
+
+    def __init__(self, num_classes: int = 10, width: int = 12, in_channels: int = 3,
+                 block_config: Optional[List[Tuple[int, int, int]]] = None, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        # (out_channels, stride, expand_ratio)
+        block_config = block_config or [
+            (width, 1, 1),
+            (width * 2, 2, 4),
+            (width * 2, 1, 4),
+            (width * 4, 2, 4),
+        ]
+        self.stem = _conv_bn_relu6(in_channels, width, 3, 1, 1, rng=rng)
+        blocks = []
+        channels = width
+        for out_ch, stride, expand in block_config:
+            blocks.append(InvertedResidual(channels, out_ch, stride=stride,
+                                           expand_ratio=expand, rng=rng))
+            channels = out_ch
+        self.blocks = Sequential(*blocks)
+        self.head = _conv_bn_relu6(channels, channels * 2, 1, 1, 0, rng=rng)
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(channels * 2, num_classes, rng=rng)
+        self.feature_channels = channels * 2
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self.stem.forward(x)
+        x = self.blocks.forward(x)
+        x = self.head.forward(x)
+        x = self.pool.forward(x)
+        return self.fc.forward(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = self.fc.backward(grad_out)
+        grad = self.pool.backward(grad)
+        grad = self.head.backward(grad)
+        grad = self.blocks.backward(grad)
+        return self.stem.backward(grad)
+
+    def features(self, x: np.ndarray) -> np.ndarray:
+        """Backbone feature map (used by the DeepLab-lite segmentation head)."""
+        return self.head.forward(self.blocks.forward(self.stem.forward(x)))
+
+
+def mobilenet_v1_mini(num_classes: int = 10, seed: int = 0, width: int = 16) -> MobileNetV1:
+    return MobileNetV1(num_classes=num_classes, width=width, seed=seed)
+
+
+def mobilenet_v2_mini(num_classes: int = 10, seed: int = 0, width: int = 12) -> MobileNetV2:
+    return MobileNetV2(num_classes=num_classes, width=width, seed=seed)

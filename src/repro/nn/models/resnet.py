@@ -1,0 +1,169 @@
+"""ResNet-style models (BasicBlock / Bottleneck residual networks).
+
+``resnet18_mini`` and ``resnet50_mini`` keep the block structure of
+ResNet-18 / ResNet-50 (two stages of basic or bottleneck blocks with a
+stride-2 transition and an expansion of 4 for bottlenecks) at reduced width
+and depth so they train in seconds on the synthetic classification task.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.layers import BatchNorm2d, Conv2d, GlobalAvgPool2d, Linear, ReLU
+from repro.nn.module import Module, Sequential
+
+
+class BasicBlock(Module):
+    """Two 3x3 convolutions with an identity (or 1x1 projection) shortcut."""
+
+    expansion = 1
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride, padding=1,
+                            bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(out_channels)
+        self.relu1 = ReLU()
+        self.conv2 = Conv2d(out_channels, out_channels, 3, stride=1, padding=1,
+                            bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(out_channels)
+        self.relu2 = ReLU()
+        self.downsample = None
+        if stride != 1 or in_channels != out_channels:
+            self.downsample = Sequential(
+                Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng),
+                BatchNorm2d(out_channels),
+            )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        identity = x if self.downsample is None else self.downsample.forward(x)
+        out = self.relu1.forward(self.bn1.forward(self.conv1.forward(x)))
+        out = self.bn2.forward(self.conv2.forward(out))
+        return self.relu2.forward(out + identity)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = self.relu2.backward(grad_out)
+        grad_identity = grad
+        grad_main = self.conv1.backward(
+            self.bn1.backward(self.relu1.backward(
+                self.conv2.backward(self.bn2.backward(grad))
+            ))
+        )
+        if self.downsample is not None:
+            grad_identity = self.downsample.backward(grad_identity)
+        return grad_main + grad_identity
+
+
+class Bottleneck(Module):
+    """1x1 -> 3x3 -> 1x1 bottleneck with expansion 4 (ResNet-50 style)."""
+
+    expansion = 4
+
+    def __init__(self, in_channels: int, planes: int, stride: int = 1,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        out_channels = planes * self.expansion
+        self.conv1 = Conv2d(in_channels, planes, 1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(planes)
+        self.relu1 = ReLU()
+        self.conv2 = Conv2d(planes, planes, 3, stride=stride, padding=1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(planes)
+        self.relu2 = ReLU()
+        self.conv3 = Conv2d(planes, out_channels, 1, bias=False, rng=rng)
+        self.bn3 = BatchNorm2d(out_channels)
+        self.relu3 = ReLU()
+        self.downsample = None
+        if stride != 1 or in_channels != out_channels:
+            self.downsample = Sequential(
+                Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng),
+                BatchNorm2d(out_channels),
+            )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        identity = x if self.downsample is None else self.downsample.forward(x)
+        out = self.relu1.forward(self.bn1.forward(self.conv1.forward(x)))
+        out = self.relu2.forward(self.bn2.forward(self.conv2.forward(out)))
+        out = self.bn3.forward(self.conv3.forward(out))
+        return self.relu3.forward(out + identity)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = self.relu3.backward(grad_out)
+        grad_identity = grad
+        grad_main = self.bn3.backward(grad)
+        grad_main = self.conv3.backward(grad_main)
+        grad_main = self.relu2.backward(grad_main)
+        grad_main = self.bn2.backward(grad_main)
+        grad_main = self.conv2.backward(grad_main)
+        grad_main = self.relu1.backward(grad_main)
+        grad_main = self.bn1.backward(grad_main)
+        grad_main = self.conv1.backward(grad_main)
+        if self.downsample is not None:
+            grad_identity = self.downsample.backward(grad_identity)
+        return grad_main + grad_identity
+
+
+class ResNet(Module):
+    """Residual network: stem conv, stacked residual stages, GAP classifier."""
+
+    def __init__(
+        self,
+        block,
+        stage_blocks: List[int],
+        stage_channels: List[int],
+        num_classes: int = 10,
+        in_channels: int = 3,
+        stem_channels: int = 16,
+        seed: int = 0,
+    ):
+        super().__init__()
+        if len(stage_blocks) != len(stage_channels):
+            raise ValueError("stage_blocks and stage_channels must have equal length")
+        rng = np.random.default_rng(seed)
+        self.stem = Sequential(
+            Conv2d(in_channels, stem_channels, 3, stride=1, padding=1, bias=False, rng=rng),
+            BatchNorm2d(stem_channels),
+            ReLU(),
+        )
+        blocks = []
+        channels = stem_channels
+        for stage_idx, (num_blocks, planes) in enumerate(zip(stage_blocks, stage_channels)):
+            for block_idx in range(num_blocks):
+                stride = 2 if (stage_idx > 0 and block_idx == 0) else 1
+                blocks.append(block(channels, planes, stride=stride, rng=rng))
+                channels = planes * block.expansion
+        self.stages = Sequential(*blocks)
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(channels, num_classes, rng=rng)
+        self.feature_channels = channels
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self.stem.forward(x)
+        x = self.stages.forward(x)
+        x = self.pool.forward(x)
+        return self.fc.forward(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = self.fc.backward(grad_out)
+        grad = self.pool.backward(grad)
+        grad = self.stages.backward(grad)
+        return self.stem.backward(grad)
+
+    def features(self, x: np.ndarray) -> np.ndarray:
+        """Feature map before pooling (used by detection/segmentation heads)."""
+        return self.stages.forward(self.stem.forward(x))
+
+
+def resnet18_mini(num_classes: int = 10, seed: int = 0, width: int = 16) -> ResNet:
+    """Scaled-down ResNet-18: BasicBlocks, [2, 2] stages."""
+    return ResNet(BasicBlock, [2, 2], [width, width * 2], num_classes=num_classes,
+                  stem_channels=width, seed=seed)
+
+
+def resnet50_mini(num_classes: int = 10, seed: int = 0, width: int = 8) -> ResNet:
+    """Scaled-down ResNet-50: Bottleneck blocks with expansion 4, [2, 2] stages."""
+    return ResNet(Bottleneck, [2, 2], [width, width * 2], num_classes=num_classes,
+                  stem_channels=width * Bottleneck.expansion, seed=seed)

@@ -1,0 +1,67 @@
+"""VGG-style plain convolutional stack (VGG-16 mini)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.nn.layers import BatchNorm2d, Conv2d, Flatten, Linear, MaxPool2d, ReLU
+from repro.nn.module import Module, Sequential
+
+
+class VGG(Module):
+    """Plain conv/pool stack followed by a small MLP classifier.
+
+    ``config`` is a list of channel counts and the literal ``"M"`` for a
+    2x2 max-pool, mirroring torchvision's VGG configuration strings.
+    """
+
+    def __init__(
+        self,
+        config: List[Union[int, str]],
+        num_classes: int = 10,
+        in_channels: int = 3,
+        input_size: int = 16,
+        hidden: int = 64,
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        layers: List[Module] = []
+        channels = in_channels
+        spatial = input_size
+        for item in config:
+            if item == "M":
+                layers.append(MaxPool2d(2, 2))
+                spatial //= 2
+            else:
+                layers.append(Conv2d(channels, int(item), 3, padding=1, bias=False, rng=rng))
+                layers.append(BatchNorm2d(int(item)))
+                layers.append(ReLU())
+                channels = int(item)
+        self.features = Sequential(*layers)
+        self.flatten = Flatten()
+        self.classifier = Sequential(
+            Linear(channels * spatial * spatial, hidden, rng=rng),
+            ReLU(),
+            Linear(hidden, num_classes, rng=rng),
+        )
+        self.feature_channels = channels
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self.features.forward(x)
+        x = self.flatten.forward(x)
+        return self.classifier.forward(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = self.classifier.backward(grad_out)
+        grad = self.flatten.backward(grad)
+        return self.features.backward(grad)
+
+
+def vgg16_mini(num_classes: int = 10, seed: int = 0, width: int = 16,
+               input_size: int = 16) -> VGG:
+    """Scaled-down VGG-16: two convs per stage, three stages with pooling."""
+    config = [width, width, "M", width * 2, width * 2, "M", width * 4, width * 4, "M"]
+    return VGG(config, num_classes=num_classes, input_size=input_size, seed=seed)

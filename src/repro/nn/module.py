@@ -1,0 +1,140 @@
+"""Module base class and the Sequential container.
+
+Layers implement ``forward(x)`` and ``backward(grad_out)``; composite
+modules (Sequential, residual blocks, model classes) route activations and
+gradients between their children.  Parameters are discovered recursively by
+walking instance attributes, mirroring the ergonomics of larger frameworks
+while staying dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.nn.tensor import Parameter
+
+
+class Module:
+    """Base class for all layers and models."""
+
+    def __init__(self):
+        self.training = True
+
+    # -- forward / backward ------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # -- parameter / submodule discovery ------------------------------------
+    def children(self) -> Iterator[Tuple[str, "Module"]]:
+        for name, attr in vars(self).items():
+            if isinstance(attr, Module):
+                yield name, attr
+            elif isinstance(attr, (list, tuple)):
+                for i, item in enumerate(attr):
+                    if isinstance(item, Module):
+                        yield f"{name}.{i}", item
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, attr in vars(self).items():
+            if isinstance(attr, Parameter):
+                yield (f"{prefix}{name}", attr)
+        for child_name, child in self.children():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix.rstrip("."), self
+        for child_name, child in self.children():
+            yield from child.named_modules(prefix=f"{prefix}{child_name}.")
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # -- train / eval mode ---------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for _, child in self.children():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    # -- buffers (non-trainable state such as BatchNorm running stats) --------
+    #: attribute names that should be saved/restored alongside parameters
+    _buffer_names: Tuple[str, ...] = ()
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for attr in self._buffer_names:
+            yield f"{prefix}{attr}", getattr(self, attr)
+        for child_name, child in self.children():
+            yield from child.named_buffers(prefix=f"{prefix}{child_name}.")
+
+    # -- state dict ----------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state = {name: p.value.copy() for name, p in self.named_parameters()}
+        state.update({name: np.array(buf, copy=True) for name, buf in self.named_buffers()})
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        params = dict(self.named_parameters())
+        buffer_names = {name for name, _ in self.named_buffers()}
+        expected = set(params) | buffer_names
+        missing = expected - set(state)
+        unexpected = set(state) - expected
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        buffers = dict(self.named_buffers())
+        for name, value in state.items():
+            if name in params:
+                params[name].copy_(value)
+            else:
+                buffers[name][...] = value
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+
+class Sequential(Module):
+    """Chain of modules executed in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.layers = list(modules)
+
+    def append(self, module: Module) -> "Sequential":
+        self.layers.append(module)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self.layers[idx]
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out

@@ -1,0 +1,114 @@
+"""Optimizers: SGD with momentum, Adam, AdamW.
+
+The fine-tuning step of MVQ (Eq. 6 in the paper) performs
+``c_i <- c_i - O(masked_grad, theta)`` where ``O`` is any of these
+optimizers; they therefore operate on plain :class:`Parameter` objects so
+they can drive both network weights and codebooks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.nn.tensor import Parameter
+
+
+class Optimizer:
+    def __init__(self, params: Iterable[Parameter], lr: float):
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.value) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if not p.requires_grad:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.value
+            if self.momentum:
+                v *= self.momentum
+                v += grad
+                update = v
+            else:
+                update = grad
+            p.value -= self.lr * update
+
+
+class Adam(Optimizer):
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas=(0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.value) for p in self.params]
+        self._v = [np.zeros_like(p.value) for p in self.params]
+        self._t = 0
+
+    def _decayed_grad(self, p: Parameter) -> np.ndarray:
+        if self.weight_decay:
+            return p.grad + self.weight_decay * p.value
+        return p.grad
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1 - self.beta1**self._t
+        bias2 = 1 - self.beta2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if not p.requires_grad:
+                continue
+            grad = self._decayed_grad(p)
+            m *= self.beta1
+            m += (1 - self.beta1) * grad
+            v *= self.beta2
+            v += (1 - self.beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay."""
+
+    def _decayed_grad(self, p: Parameter) -> np.ndarray:
+        return p.grad
+
+    def step(self) -> None:
+        if self.weight_decay:
+            for p in self.params:
+                if p.requires_grad:
+                    p.value -= self.lr * self.weight_decay * p.value
+        super().step()

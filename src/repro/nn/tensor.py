@@ -1,0 +1,48 @@
+"""Parameter container used by every trainable layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable array together with its accumulated gradient.
+
+    The framework uses explicit forward/backward methods on layers instead
+    of a tape-based autograd; each layer writes the gradient of the loss
+    with respect to its parameters into ``Parameter.grad`` during
+    ``backward`` and optimizers read/clear it during ``step``.
+    """
+
+    def __init__(self, value: np.ndarray, requires_grad: bool = True, name: str = ""):
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.requires_grad = requires_grad
+        self.name = name
+
+    @property
+    def shape(self):
+        return self.value.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.value.size)
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        if self.requires_grad:
+            self.grad += grad
+
+    def copy_(self, value: np.ndarray) -> None:
+        """In-place overwrite of the parameter value (shape must match)."""
+        value = np.asarray(value, dtype=self.value.dtype)
+        if value.shape != self.value.shape:
+            raise ValueError(
+                f"shape mismatch in copy_: {value.shape} vs {self.value.shape}"
+            )
+        self.value[...] = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Parameter(name={self.name!r}, shape={self.value.shape})"

@@ -1,0 +1,97 @@
+"""Training loop and evaluation helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.nn.data import SyntheticClassification
+from repro.nn.losses import Loss
+from repro.nn.module import Module
+from repro.nn.optim import Optimizer
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch loss/accuracy curves collected by the trainer."""
+
+    train_loss: List[float] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+    val_accuracy: List[float] = field(default_factory=list)
+
+
+class Trainer:
+    """Minimal epoch-based trainer for classification models.
+
+    A ``hook`` callable may be supplied; it runs after every optimizer step
+    and is how MVQ keeps reconstructed weights and codebook gradients in sync
+    during fine-tuning.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        loss_fn: Loss,
+        optimizer: Optimizer,
+        batch_size: int = 32,
+        hook: Optional[Callable[[], None]] = None,
+    ):
+        self.model = model
+        self.loss_fn = loss_fn
+        self.optimizer = optimizer
+        self.batch_size = batch_size
+        self.hook = hook
+        self.history = TrainHistory()
+
+    def train_epoch(self, dataset: SyntheticClassification) -> float:
+        self.model.train()
+        losses = []
+        correct = 0
+        total = 0
+        for batch in dataset.batches(self.batch_size, shuffle=True):
+            self.optimizer.zero_grad()
+            logits = self.model.forward(batch.images)
+            loss = self.loss_fn.forward(logits, batch.targets)
+            grad = self.loss_fn.backward()
+            self.model.backward(grad)
+            self.optimizer.step()
+            if self.hook is not None:
+                self.hook()
+            losses.append(loss)
+            correct += int((logits.argmax(axis=1) == batch.targets).sum())
+            total += len(batch.targets)
+        epoch_loss = float(np.mean(losses))
+        self.history.train_loss.append(epoch_loss)
+        self.history.train_accuracy.append(correct / max(total, 1))
+        return epoch_loss
+
+    def fit(
+        self,
+        train_set: SyntheticClassification,
+        epochs: int,
+        val_set: Optional[SyntheticClassification] = None,
+    ) -> TrainHistory:
+        for _ in range(epochs):
+            self.train_epoch(train_set)
+            if val_set is not None:
+                self.history.val_accuracy.append(
+                    evaluate_accuracy(self.model, val_set, self.batch_size)
+                )
+        return self.history
+
+
+def evaluate_accuracy(
+    model: Module, dataset: SyntheticClassification, batch_size: int = 64
+) -> float:
+    """Top-1 accuracy of ``model`` on a classification dataset."""
+    model.eval()
+    correct = 0
+    total = 0
+    for batch in dataset.batches(batch_size, shuffle=False):
+        logits = model.forward(batch.images)
+        correct += int((logits.argmax(axis=1) == batch.targets).sum())
+        total += len(batch.targets)
+    model.train()
+    return correct / max(total, 1)

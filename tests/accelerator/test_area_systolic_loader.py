@@ -1,0 +1,220 @@
+"""Tests for the area model, functional systolic tiles, weight loader and Table 9."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accelerator.area import AreaModel, L1_AREA_MM2, L2_AREA_MM2, OTHERS_AREA_MM2
+from repro.accelerator.comparison import (
+    SOTA_ACCELERATORS,
+    comparison_table,
+    mvq_rows,
+    normalize_efficiency,
+)
+from repro.accelerator.config import HardwareSetting, standard_setting
+from repro.accelerator.systolic import (
+    DenseTile,
+    SparseTile,
+    ZeroGatedPE,
+    lzc_encode_mask,
+    sparse_tile_matches_dense,
+)
+from repro.accelerator.weight_loader import AssignmentAwareWeightLoader, CodebookRegisterFile
+from repro.core.codebook import Codebook
+from repro.core.pruning import nm_prune_mask
+from repro.core.storage import MaskLUT
+
+PAPER_TABLE7 = {
+    "WS": {16: 0.188, 32: 0.734, 64: 2.812},
+    "EWS": {16: 0.36, 32: 1.14, 64: 4.236},
+    "EWS-C/CM": {16: 0.650, 32: 1.505, 64: 4.776},
+    "EWS-CMS": {16: 0.469, 32: 0.828, 64: 2.129},
+}
+
+
+class TestAreaModel:
+    def test_table7_within_tolerance(self):
+        """Synthesised areas of Table 7 are reproduced to within ~30%."""
+        table = AreaModel().table7()
+        for label, row in PAPER_TABLE7.items():
+            for size, target in row.items():
+                assert table[label][size] == pytest.approx(target, rel=0.30)
+
+    def test_sparse_tile_reduces_array_area(self):
+        """The headline claim: the CMS array is ~50-60% smaller than base EWS."""
+        model = AreaModel()
+        ews = model.array_area_mm2(standard_setting(HardwareSetting.EWS_BASE, 64))
+        cms = model.array_area_mm2(standard_setting(HardwareSetting.EWS_CMS, 64))
+        assert 0.35 < cms / ews < 0.65
+
+    def test_accelerator_area_reduction_vs_ews(self):
+        """Paper: EWS-CMS reduces accelerator area by ~55% at 64x64 (CRF included)."""
+        model = AreaModel()
+        ews = model.accelerator_area_mm2(standard_setting(HardwareSetting.EWS_BASE, 64))
+        cms = model.accelerator_area_mm2(standard_setting(HardwareSetting.EWS_CMS, 64))
+        assert (1 - cms / ews) == pytest.approx(0.55, abs=0.12)
+
+    def test_crf_area_grows_with_read_ports(self):
+        model = AreaModel()
+        small = model.crf_area_mm2(standard_setting(HardwareSetting.EWS_CM, 16))
+        large = model.crf_area_mm2(standard_setting(HardwareSetting.EWS_CM, 64))
+        assert large > small
+
+    def test_no_crf_for_baseline(self):
+        model = AreaModel()
+        assert model.crf_area_mm2(standard_setting(HardwareSetting.EWS_BASE, 64)) == 0.0
+        assert model.loader_area_mm2(standard_setting(HardwareSetting.WS_BASE, 64)) == 0.0
+
+    def test_breakdown_totals(self):
+        model = AreaModel()
+        cfg = standard_setting(HardwareSetting.EWS_CMS, 64)
+        b = model.breakdown(cfg)
+        assert b.total == pytest.approx(b.accelerator + b.l1 + b.l2 + b.others)
+        assert b.l2 == L2_AREA_MM2
+        assert b.l1 == L1_AREA_MM2[256]
+        assert b.others == OTHERS_AREA_MM2[64]
+
+    def test_area_scales_with_array_size(self):
+        model = AreaModel()
+        areas = [model.array_area_mm2(standard_setting(HardwareSetting.EWS_BASE, s))
+                 for s in (16, 32, 64)]
+        assert areas[1] == pytest.approx(4 * areas[0], rel=0.01)
+        assert areas[2] == pytest.approx(4 * areas[1], rel=0.01)
+
+
+class TestLZCEncoder:
+    def test_positions_of_set_bits(self):
+        assert lzc_encode_mask([True, False, True, False]) == [0, 2]
+        assert lzc_encode_mask([False, False, False, True]) == [3]
+        assert lzc_encode_mask([False, False]) == []
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=16))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_flatnonzero_property(self, bits):
+        assert lzc_encode_mask(bits) == list(np.flatnonzero(bits))
+
+
+class TestSparseTile:
+    def test_matches_dense_tile(self, rng):
+        weights = rng.normal(size=16)
+        mask = nm_prune_mask(weights.reshape(1, 16), 4, 16)[0]
+        activations = rng.normal(size=10)
+        assert sparse_tile_matches_dense(weights, mask, activations, q=4)
+
+    def test_too_many_kept_weights_raises(self, rng):
+        tile = SparseTile(d=8, q=2)
+        with pytest.raises(ValueError):
+            tile.load_weights(rng.normal(size=8), np.ones(8, dtype=bool))
+
+    def test_compute_before_load_raises(self):
+        with pytest.raises(RuntimeError):
+            SparseTile(4, 2).compute(1.0)
+
+    def test_multiplier_count(self):
+        assert SparseTile(16, 4).num_multipliers == 4
+        assert DenseTile(16).num_multipliers == 16
+
+    @given(q=st.integers(1, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_sparse_equals_dense_property(self, q):
+        rng = np.random.default_rng(q)
+        d = 8
+        weights = rng.normal(size=d)
+        mask = nm_prune_mask(np.abs(weights).reshape(1, d), q, d)[0]
+        acts = rng.normal(size=5)
+        assert sparse_tile_matches_dense(weights, mask, acts, q=q)
+
+
+class TestZeroGatedPE:
+    def test_gates_zero_operands(self):
+        pe = ZeroGatedPE()
+        assert pe.multiply(0.0, 5.0) == 0.0
+        assert pe.multiply(3.0, 0.0) == 0.0
+        assert pe.multiply(2.0, 4.0) == 8.0
+        assert pe.gated_ops == 2 and pe.active_ops == 1
+        assert pe.gating_rate == pytest.approx(2 / 3)
+
+    def test_gating_rate_empty(self):
+        assert ZeroGatedPE().gating_rate == 0.0
+
+
+class TestWeightLoader:
+    def _loader(self, array_size=64):
+        cfg = standard_setting(HardwareSetting.EWS_CMS, array_size)
+        rng = np.random.default_rng(0)
+        codebook = Codebook(rng.normal(size=(cfg.codebook_size, cfg.subvector_length)))
+        codebook.quantize_(8)
+        return cfg, codebook, AssignmentAwareWeightLoader(cfg, codebook)
+
+    def test_reconstruct_layer_matches_direct_lookup(self):
+        cfg, codebook, loader = self._loader()
+        rng = np.random.default_rng(1)
+        assignments = rng.integers(0, cfg.codebook_size, size=100)
+        mask = nm_prune_mask(rng.normal(size=(100, 16)), 4, 16)
+        decoded = loader.reconstruct_layer(assignments, mask)
+        expected = codebook.effective_codewords()[assignments] * mask
+        assert np.allclose(decoded, expected)
+
+    def test_reconstruct_row_uses_lut_masks(self):
+        cfg, codebook, loader = self._loader()
+        lut = MaskLUT(cfg.n_keep, cfg.m_block)
+        rng = np.random.default_rng(2)
+        indices = rng.integers(0, cfg.codebook_size, size=cfg.crf_read_ports)
+        masks = nm_prune_mask(rng.normal(size=(cfg.crf_read_ports, 16)), 4, 16)
+        codes = lut.encode_mask(masks)
+        row = loader.reconstruct_row(indices, codes)
+        expected = (codebook.effective_codewords()[indices] * masks).reshape(-1)
+        assert np.allclose(row, expected)
+        # exactly N/M of the reconstructed weights are non-zero
+        assert np.count_nonzero(row) <= cfg.crf_read_ports * cfg.n_keep
+
+    def test_crf_port_limit(self):
+        cfg, codebook, loader = self._loader(array_size=16)
+        with pytest.raises(ValueError):
+            loader.crf.read(np.zeros(cfg.crf_read_ports + 1, dtype=int))
+
+    def test_traffic_accounting(self):
+        cfg, _, loader = self._loader()
+        traffic = loader.traffic(num_weights=16_000)
+        assert traffic.assignment_bits == 1000 * 9
+        assert traffic.mask_bits == 1000 * 11
+        assert traffic.total_bits > traffic.assignment_bits
+        assert traffic.load_cycles(64) == pytest.approx(traffic.total_bits / 64)
+
+    def test_crf_requires_port(self):
+        with pytest.raises(ValueError):
+            CodebookRegisterFile(Codebook(np.zeros((4, 4))), read_ports=0)
+
+
+class TestComparisonTable:
+    def test_normalization_direction(self):
+        # a 16 nm design projected to 40 nm loses efficiency; a 65 nm one gains
+        assert normalize_efficiency(10.0, 16) < 10.0
+        assert normalize_efficiency(1.0, 65) > 1.0
+        assert normalize_efficiency(3.0, 40) == 3.0
+        with pytest.raises(ValueError):
+            normalize_efficiency(1.0, 22)
+
+    def test_table_contains_prior_work_and_mvq(self):
+        rows = comparison_table()
+        names = {r["name"] for r in rows}
+        assert {"SparTen", "CGNet", "SPOTS", "S2TA", "MVQ-16", "MVQ-32", "MVQ-64"} <= names
+
+    def test_mvq64_beats_prior_normalized_efficiency(self):
+        """Table 9 headline: MVQ-64 has the best 40nm-normalised efficiency."""
+        rows = comparison_table()
+        mvq64 = next(r for r in rows if r["name"] == "MVQ-64")
+        prior_best = max(r["normalized_efficiency"] for r in rows
+                         if not str(r["name"]).startswith("MVQ"))
+        assert mvq64["normalized_efficiency"] > prior_best * 1.5
+
+    def test_mvq_rows_scale_with_array(self):
+        rows = mvq_rows()
+        eff = [r["efficiency_tops_w"] for r in rows]
+        assert eff[0] < eff[1] < eff[2]
+        assert rows[2]["peak_tops"] == pytest.approx(2.4576, rel=1e-6)
+
+    def test_published_numbers_preserved(self):
+        sparten = next(s for s in SOTA_ACCELERATORS if s.name == "SparTen")
+        assert sparten.process_nm == 45
+        assert sparten.efficiency_tops_w == 0.68

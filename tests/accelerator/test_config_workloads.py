@@ -1,0 +1,131 @@
+"""Tests for accelerator configuration and workload shape tables."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator.config import (
+    AcceleratorConfig,
+    ALL_SETTINGS,
+    CompressionMode,
+    Dataflow,
+    HardwareSetting,
+    standard_setting,
+)
+from repro.accelerator.workloads import (
+    WORKLOADS,
+    LayerShape,
+    alexnet_layers,
+    mobilenet_v1_layers,
+    network_macs,
+    network_weights,
+    resnet18_layers,
+    resnet50_layers,
+    vgg16_layers,
+)
+
+
+class TestLayerShape:
+    def test_output_size(self):
+        layer = LayerShape("conv", 3, 64, 7, 224, stride=2, padding=3)
+        assert layer.output_size == 112
+
+    def test_macs_and_flops(self):
+        layer = LayerShape("conv", 64, 128, 3, 56, stride=1, padding=1)
+        assert layer.macs == 64 * 128 * 9 * 56 * 56
+        assert layer.flops == 2 * layer.macs
+
+    def test_depthwise_weights(self):
+        layer = LayerShape("dw", 64, 64, 3, 56, padding=1, depthwise=True)
+        assert layer.num_weights == 64 * 9
+        assert layer.macs == 64 * 9 * 56 * 56
+
+
+class TestWorkloadTables:
+    """The shape tables must match the well-known full-size model statistics."""
+
+    @pytest.mark.parametrize("name,gmacs,mparams", [
+        ("resnet18", 1.81, 11.7),
+        ("resnet50", 4.09, 25.5),
+        ("vgg16", 15.5, 138.0),
+        ("alexnet", 0.71, 61.0),
+        ("mobilenet_v1", 0.57, 4.2),
+    ])
+    def test_macs_and_params_match_reference(self, name, gmacs, mparams):
+        layers = WORKLOADS[name]()
+        assert network_macs(layers) / 1e9 == pytest.approx(gmacs, rel=0.06)
+        assert network_weights(layers) / 1e6 == pytest.approx(mparams, rel=0.06)
+
+    def test_resnet18_flops_match_paper_table4(self):
+        """Paper Table 4/3 quotes 1.81 GFLOPs-as-MACs for dense ResNet-18 and
+        0.54G at 75% conv sparsity."""
+        layers = resnet18_layers()
+        conv_macs = sum(l.macs for l in layers if l.kernel_size > 1 or l.input_size > 1)
+        assert network_macs(layers) / 1e9 == pytest.approx(1.81, rel=0.05)
+        assert (network_macs(layers) - 0.75 * conv_macs) / 1e9 == pytest.approx(0.54, rel=0.2)
+
+    def test_mobilenet_has_depthwise_layers(self):
+        layers = mobilenet_v1_layers()
+        assert any(l.depthwise for l in layers)
+        assert any(not l.depthwise and l.kernel_size == 1 for l in layers)
+
+    def test_feature_map_chaining(self):
+        """Each layer's input size must equal the previous layer's output size
+        within the plain sequential networks."""
+        for layers in (vgg16_layers(),):
+            conv_layers = [l for l in layers if l.input_size > 1]
+            for prev, nxt in zip(conv_layers, conv_layers[1:]):
+                assert nxt.input_size in (prev.output_size, prev.output_size // 2)
+
+
+class TestAcceleratorConfig:
+    def test_compression_ratio_ingredients(self):
+        cfg = standard_setting(HardwareSetting.EWS_CMS)
+        assert cfg.assignment_bits_per_subvector == 9        # log2(512)
+        assert cfg.mask_bits_per_subvector == 11              # ceil(log2 C(16,4))
+        assert cfg.weight_load_bits_per_weight == pytest.approx(20 / 16)
+
+    def test_baseline_loads_full_weights(self):
+        cfg = standard_setting(HardwareSetting.EWS_BASE)
+        assert cfg.weight_load_bits_per_weight == 8.0
+        assert not cfg.uses_vq
+
+    def test_ews_c_no_mask(self):
+        cfg = standard_setting(HardwareSetting.EWS_C)
+        assert cfg.uses_vq and not cfg.uses_mask
+        assert cfg.sparsity == 0.0
+        assert cfg.weight_load_bits_per_weight == pytest.approx(10 / 8)
+
+    def test_sparsity_and_q(self):
+        cfg = standard_setting(HardwareSetting.EWS_CMS)
+        assert cfg.sparsity == 0.75
+        assert cfg.q_pes_per_group == 4
+        assert cfg.crf_read_ports == 4
+
+    def test_l1_size_follows_array_size(self):
+        assert standard_setting(HardwareSetting.EWS_BASE, 16).l1_kib == 128
+        assert standard_setting(HardwareSetting.EWS_BASE, 32).l1_kib == 256
+        assert standard_setting(HardwareSetting.EWS_BASE, 64).l1_kib == 256
+
+    def test_peak_tops(self):
+        cfg = standard_setting(HardwareSetting.EWS_CMS, 64)
+        assert cfg.peak_tops == pytest.approx(2.4576, rel=1e-6)
+
+    def test_all_settings_constructible_for_all_sizes(self):
+        for setting in ALL_SETTINGS:
+            for size in (16, 32, 64):
+                cfg = standard_setting(setting, array_size=size)
+                assert cfg.array_size == size
+
+    def test_invalid_configs_raise(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(array_size=0)
+        with pytest.raises(ValueError):
+            AcceleratorConfig(subvector_length=12, m_block=8)
+        with pytest.raises(ValueError):
+            AcceleratorConfig(array_size=20, subvector_length=16,
+                              compression=CompressionMode.CMS)
+
+    def test_overrides(self):
+        cfg = standard_setting(HardwareSetting.EWS_BASE, 32, frequency_ghz=0.5)
+        assert cfg.frequency_ghz == 0.5
+        assert cfg.with_array_size(16).array_size == 16

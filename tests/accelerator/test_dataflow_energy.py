@@ -1,0 +1,246 @@
+"""Tests for the dataflow access-count model, energy model and performance model."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator.config import (
+    ALL_SETTINGS,
+    AcceleratorConfig,
+    CompressionMode,
+    Dataflow,
+    HardwareSetting,
+    standard_setting,
+)
+from repro.accelerator.dataflow import AccessCounts, analyze_layer, analyze_network
+from repro.accelerator.energy import ENERGY_COSTS, EnergyModel, data_access_reduction
+from repro.accelerator.performance import PerformanceModel
+from repro.accelerator.roofline import RooflineModel, roofline_sweep
+from repro.accelerator.workloads import WORKLOADS, LayerShape
+
+RN18 = WORKLOADS["resnet18"]()
+CONV = LayerShape("conv", 256, 256, 3, 14, stride=1, padding=1)
+
+
+class TestDataflowModel:
+    def test_compute_cycles_lower_bound_is_mac_limited(self):
+        cfg = standard_setting(HardwareSetting.EWS_BASE, 64)
+        analysis = analyze_layer(CONV, cfg)
+        ideal = CONV.macs / (64 * 64)
+        assert analysis.compute_cycles >= ideal
+        assert analysis.compute_cycles <= ideal * 1.5
+
+    def test_ews_reduces_l1_traffic_vs_ws(self):
+        ews = analyze_layer(CONV, standard_setting(HardwareSetting.EWS_BASE, 64))
+        ws = analyze_layer(CONV, standard_setting(HardwareSetting.WS_BASE, 64))
+        assert ews.access.l1_bytes < ws.access.l1_bytes
+        # the reduction factor approaches A*D / B*D for the dominant psum term
+        assert ws.access.l1_bytes / ews.access.l1_bytes > 3
+
+    def test_ews_uses_arf_prf(self):
+        ews = analyze_layer(CONV, standard_setting(HardwareSetting.EWS_BASE, 64))
+        ws = analyze_layer(CONV, standard_setting(HardwareSetting.WS_BASE, 64))
+        assert ews.access.arf_accesses > 0 and ews.access.prf_accesses > 0
+        assert ws.access.arf_accesses == 0 and ws.access.prf_accesses == 0
+
+    def test_compression_reduces_weight_traffic(self):
+        base = analyze_layer(CONV, standard_setting(HardwareSetting.EWS_BASE, 64))
+        cms = analyze_layer(CONV, standard_setting(HardwareSetting.EWS_CMS, 64))
+        assert cms.access.dram_bytes < base.access.dram_bytes / 4
+        assert cms.weight_load_cycles < base.weight_load_cycles / 4
+
+    def test_sparse_array_skips_pruned_macs(self):
+        cms = analyze_layer(CONV, standard_setting(HardwareSetting.EWS_CMS, 64))
+        assert cms.access.effective_macs == pytest.approx(CONV.macs * 0.25)
+        base = analyze_layer(CONV, standard_setting(HardwareSetting.EWS_BASE, 64))
+        assert base.access.effective_macs == CONV.macs
+
+    def test_weight_bound_layers_exist_at_64(self):
+        """Fig. 18: the dense EWS design is weight-loading bound at 64x64."""
+        cfg = standard_setting(HardwareSetting.EWS_BASE, 64)
+        analysis = analyze_network(RN18, cfg)
+        assert any(a.weight_bound for a in analysis.layers)
+        cms = analyze_network(RN18, standard_setting(HardwareSetting.EWS_CMS, 64))
+        assert cms.cycles < analysis.cycles
+
+    def test_small_array_compute_bound(self):
+        cfg = standard_setting(HardwareSetting.EWS_BASE, 16)
+        analysis = analyze_network(RN18, cfg)
+        weight_bound = sum(a.weight_bound for a in analysis.layers)
+        assert weight_bound < len(analysis.layers) * 0.3
+
+    def test_depthwise_maps_to_diagonal(self):
+        dw = LayerShape("dw", 256, 256, 3, 14, padding=1, depthwise=True)
+        cfg = standard_setting(HardwareSetting.EWS_BASE, 64)
+        analysis = analyze_layer(dw, cfg)
+        # only H diagonal PEs are active: cycles ~ macs / H, not macs / (H*L)
+        assert analysis.compute_cycles >= dw.macs / 64
+
+    def test_access_counts_addition(self):
+        a = AccessCounts(dram_bytes=1, l1_bytes=2, effective_macs=3)
+        b = AccessCounts(dram_bytes=10, l1_bytes=20, effective_macs=30)
+        total = a + b
+        assert total.dram_bytes == 11 and total.l1_bytes == 22 and total.effective_macs == 33
+
+    def test_network_analysis_totals(self):
+        cfg = standard_setting(HardwareSetting.EWS_BASE, 32)
+        analysis = analyze_network(RN18, cfg)
+        assert analysis.cycles == pytest.approx(sum(a.cycles for a in analysis.layers))
+        assert analysis.total_ops == pytest.approx(2 * sum(l.macs for l in RN18))
+
+    def test_skip_depthwise(self):
+        mobilenet = WORKLOADS["mobilenet_v1"]()
+        cfg = standard_setting(HardwareSetting.EWS_BASE, 32)
+        full = analyze_network(mobilenet, cfg)
+        pointwise_only = analyze_network(mobilenet, cfg, skip_depthwise=True)
+        assert len(pointwise_only.layers) < len(full.layers)
+
+
+class TestEnergyModel:
+    def test_table8_costs(self):
+        assert ENERGY_COSTS["dram"] == 200
+        assert ENERGY_COSTS["l2"] == 15
+        assert ENERGY_COSTS["l1"] == 6
+        assert ENERGY_COSTS["prf"] == 0.22
+        assert ENERGY_COSTS["arf"] == 0.11
+        assert ENERGY_COSTS["wrf"] == 0.02
+        assert ENERGY_COSTS["crf"] == 0.02
+
+    def test_dram_dominates_data_access(self):
+        """Fig. 14: DRAM access dominates the data-access energy."""
+        model = EnergyModel()
+        cfg = standard_setting(HardwareSetting.EWS_BASE, 64)
+        analysis = analyze_network(RN18, cfg)
+        by_level = model.data_access_by_level(analysis, cfg)
+        assert by_level["dram"] > 0.5 * sum(by_level.values())
+
+    def test_access_reduction_increases_with_array_size(self):
+        """Fig. 15 shape for ResNet-18: larger arrays benefit more."""
+        reductions = [
+            data_access_reduction(RN18,
+                                  standard_setting(HardwareSetting.EWS_BASE, size),
+                                  standard_setting(HardwareSetting.EWS_CMS, size))
+            for size in (16, 32, 64)
+        ]
+        assert all(r > 2.0 for r in reductions)
+        assert reductions[0] < reductions[2]
+
+    def test_access_reduction_in_paper_range(self):
+        """Paper reports 2.9x / 3.6x / 4.1x for ResNet-18."""
+        for size, target in ((16, 2.9), (32, 3.6), (64, 4.1)):
+            r = data_access_reduction(RN18,
+                                      standard_setting(HardwareSetting.EWS_BASE, size),
+                                      standard_setting(HardwareSetting.EWS_CMS, size))
+            assert r == pytest.approx(target, rel=0.25)
+
+    def test_vgg_lower_reduction_due_to_dram_activations(self):
+        """Section 7.3: VGG-16's large early feature maps live in DRAM, lowering
+        its reduction ratio relative to ResNet-18."""
+        vgg = WORKLOADS["vgg16"]()
+        r_vgg = data_access_reduction(vgg, standard_setting(HardwareSetting.EWS_BASE, 32),
+                                      standard_setting(HardwareSetting.EWS_CMS, 32))
+        r_rn18 = data_access_reduction(RN18, standard_setting(HardwareSetting.EWS_BASE, 32),
+                                       standard_setting(HardwareSetting.EWS_CMS, 32))
+        assert r_vgg < r_rn18
+
+    def test_power_breakdown_positive(self):
+        model = EnergyModel()
+        cfg = standard_setting(HardwareSetting.EWS_CMS, 64)
+        analysis = analyze_network(RN18, cfg)
+        power = model.power_breakdown_mw(analysis, cfg)
+        assert set(power) == {"accel", "l1", "l2", "others"}
+        assert all(v > 0 for v in power.values())
+
+    def test_ws_l1_power_exceeds_ews(self):
+        """Fig. 16: WS has much higher L1 power than EWS."""
+        model = EnergyModel()
+        ws_cfg = standard_setting(HardwareSetting.WS_BASE, 64)
+        ews_cfg = standard_setting(HardwareSetting.EWS_BASE, 64)
+        ws = model.power_breakdown_mw(analyze_network(RN18, ws_cfg), ws_cfg)
+        ews = model.power_breakdown_mw(analyze_network(RN18, ews_cfg), ews_cfg)
+        assert ws["l1"] > 2 * ews["l1"]
+
+    def test_efficiency_excludes_dram_by_default(self):
+        model = EnergyModel()
+        cfg = standard_setting(HardwareSetting.EWS_BASE, 64)
+        analysis = analyze_network(RN18, cfg)
+        with_dram = model.efficiency_tops_per_watt(analysis, cfg, include_dram=True)
+        without = model.efficiency_tops_per_watt(analysis, cfg)
+        assert without > with_dram
+
+    def test_breakdown_total_consistency(self):
+        model = EnergyModel()
+        cfg = standard_setting(HardwareSetting.EWS_CM, 32)
+        analysis = analyze_network(RN18, cfg)
+        b = model.breakdown(analysis, cfg)
+        assert b.total == pytest.approx(b.on_chip_total + b.dram)
+        assert b.accelerator <= b.on_chip_total
+
+
+class TestPerformanceModel:
+    def test_speedup_ordering_matches_fig17(self):
+        """EWS-CMS > EWS >= 1 and EWS-CMS > WS-CMS relative to the WS baseline."""
+        pm = PerformanceModel()
+        base = standard_setting(HardwareSetting.WS_BASE, 64)
+        speedups = {
+            s.value: pm.speedup(RN18, standard_setting(s, 64), base)
+            for s in (HardwareSetting.WS_CMS, HardwareSetting.EWS_BASE, HardwareSetting.EWS_CMS)
+        }
+        assert speedups["EWS"] > 1.0
+        assert speedups["EWS-CMS"] > speedups["EWS"]
+        assert speedups["EWS-CMS"] > 1.4
+        assert speedups["WS-CMS"] > 1.0
+
+    def test_efficiency_ordering_matches_fig19(self):
+        """At every array size: EWS-CMS > EWS-CM >= EWS-C > EWS > WS."""
+        pm = PerformanceModel()
+        for size in (16, 32, 64):
+            eff = {s.value: pm.efficiency(RN18, standard_setting(s, size)) for s in ALL_SETTINGS}
+            assert eff["EWS-CMS"] > eff["EWS-CM"] >= eff["EWS-C"] > eff["EWS"] > eff["WS"]
+            assert eff["WS-CMS"] > eff["WS"]
+
+    def test_efficiency_improves_with_array_size(self):
+        pm = PerformanceModel()
+        eff = [pm.efficiency(RN18, standard_setting(HardwareSetting.EWS_CMS, s)) for s in (16, 32, 64)]
+        assert eff[0] < eff[1] < eff[2]
+
+    def test_ews_cms_vs_ews_gain_near_paper(self):
+        """Paper: EWS-CMS boosts energy efficiency by ~2.3x over base EWS (64x64)."""
+        pm = PerformanceModel()
+        gain = (pm.efficiency(RN18, standard_setting(HardwareSetting.EWS_CMS, 64))
+                / pm.efficiency(RN18, standard_setting(HardwareSetting.EWS_BASE, 64)))
+        assert 1.8 < gain < 3.5
+
+    def test_utilization_below_one(self):
+        pm = PerformanceModel()
+        perf = pm.evaluate(RN18, standard_setting(HardwareSetting.EWS_CMS, 64))
+        assert 0 < perf.utilization <= 1.0
+        assert perf.throughput_tops <= perf.config.peak_tops
+
+    def test_setting_sweep_keys(self):
+        pm = PerformanceModel()
+        results = pm.setting_sweep(RN18, ALL_SETTINGS, array_size=32)
+        assert set(results) == {s.value for s in ALL_SETTINGS}
+
+
+class TestRoofline:
+    def test_compression_increases_operational_intensity(self):
+        base = RooflineModel(standard_setting(HardwareSetting.EWS_BASE, 64)).point(RN18, "base")
+        cms = RooflineModel(standard_setting(HardwareSetting.EWS_CMS, 64)).point(RN18, "cms")
+        assert cms.operational_intensity > 4 * base.operational_intensity
+
+    def test_base_memory_bound_cms_compute_bound_at_64(self):
+        base = RooflineModel(standard_setting(HardwareSetting.EWS_BASE, 64)).point(RN18)
+        cms = RooflineModel(standard_setting(HardwareSetting.EWS_CMS, 64)).point(RN18)
+        assert base.bound == "memory"
+        assert cms.bound == "compute"
+
+    def test_performance_under_roof(self):
+        for size in (16, 32, 64):
+            point = RooflineModel(standard_setting(HardwareSetting.EWS_BASE, size)).point(RN18)
+            roof = min(point.peak_gops, point.operational_intensity * point.bandwidth_gbps)
+            assert point.performance_gops <= roof * 1.001
+
+    def test_sweep_labels(self):
+        configs = [standard_setting(HardwareSetting.EWS_BASE, s) for s in (16, 32)]
+        points = roofline_sweep(RN18, configs, labels=["a", "b"])
+        assert [p.label for p in points] == ["a", "b"]

@@ -1,0 +1,132 @@
+"""Tests for the PQF / BGD / PvQ baseline compressors."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BGDCompressor, PQFCompressor, PvQQuantizer, permutation_search, uniform_quantize
+from repro.baselines.bgd import weighted_kmeans
+from repro.baselines.pqf import _within_subvector_variance
+from repro.core import LayerCompressionConfig
+from repro.core.grouping import group_weight
+from repro.nn.models import resnet18_mini
+
+CFG = LayerCompressionConfig(k=32, d=8, n_keep=2, m=8, max_kmeans_iterations=25)
+
+
+class TestPQF:
+    def test_permutation_is_valid(self, rng):
+        weight = rng.normal(size=(16, 4, 3, 3))
+        perm = permutation_search(weight, d=8, num_iterations=50)
+        assert sorted(perm.tolist()) == list(range(16))
+
+    def test_permutation_reduces_variance(self, rng):
+        # construct a weight where a permutation obviously helps: interleaved scales
+        weight = rng.normal(size=(16, 2, 1, 1))
+        weight[::2] *= 10.0
+        before = _within_subvector_variance(group_weight(weight, 8))
+        perm = permutation_search(weight, d=8, num_iterations=400, seed=0)
+        after = _within_subvector_variance(group_weight(weight[perm], 8))
+        assert after <= before
+
+    def test_compress_and_reconstruct_shapes(self):
+        model = resnet18_mini(num_classes=5, seed=0)
+        compressed = PQFCompressor(CFG, permutation_iterations=20).compress(model)
+        modules = dict(model.named_modules())
+        for name, state in compressed.layers.items():
+            assert state.reconstruct_weight().shape == modules[name].weight.shape
+
+    def test_no_mask_stored(self):
+        model = resnet18_mini(num_classes=5, seed=0)
+        compressed = PQFCompressor(CFG, permutation_iterations=10).compress(model)
+        assert compressed.sparsity() == 0.0
+
+    def test_reconstruction_undoes_permutation(self, rng):
+        """Rows of the reconstruction correspond to the original channel order."""
+        model = resnet18_mini(num_classes=5, seed=0)
+        pqf = PQFCompressor(LayerCompressionConfig(k=512, d=8, max_kmeans_iterations=40),
+                            permutation_iterations=30, quantize_codebook=False)
+        compressed = pqf.compress(model)
+        modules = dict(model.named_modules())
+        # with k as large as the number of subvectors the reconstruction is near-exact,
+        # so any row mix-up from the permutation would show up as a large error
+        name, state = next(iter(compressed.layers.items()))
+        err = np.abs(state.reconstruct_weight() - modules[name].weight.value).max()
+        assert err < 0.2
+
+
+class TestBGD:
+    def test_weighted_kmeans_prioritises_heavy_points(self, rng):
+        data = np.concatenate([np.full((50, 2), 0.0), np.full((3, 2), 10.0)])
+        weights = np.concatenate([np.ones(50), np.full(3, 1000.0)])
+        result = weighted_kmeans(data, weights, k=1, seed=0)
+        # the single codeword must sit near the heavily weighted points
+        assert result.codewords[0, 0] > 5.0
+
+    def test_weight_length_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            weighted_kmeans(rng.normal(size=(10, 4)), np.ones(5), k=2)
+
+    def test_compress_model(self, rng):
+        model = resnet18_mini(num_classes=5, seed=0)
+        calibration = rng.normal(size=(2, 3, 16, 16))
+        compressed = BGDCompressor(CFG, calibration_batch=calibration).compress(model)
+        assert len(compressed) > 0
+        assert compressed.sparsity() == 0.0
+        assert compressed.compression_ratio() > 5
+
+
+class TestPvQ:
+    def test_uniform_quantize_levels(self, rng):
+        weight = rng.normal(size=(64,))
+        quantized = uniform_quantize(weight, bits=2)
+        assert len(np.unique(quantized)) <= 4
+
+    def test_apply_and_restore(self):
+        model = resnet18_mini(num_classes=5, seed=0)
+        original = model.state_dict()
+        quantizer = PvQQuantizer(bits=2)
+        sse = quantizer.apply(model)
+        assert all(v >= 0 for v in sse.values())
+        quantizer.restore(model)
+        restored = model.state_dict()
+        assert all(np.allclose(original[k], restored[k]) for k in original)
+
+    def test_two_bit_worse_than_eight_bit(self):
+        model = resnet18_mini(num_classes=5, seed=0)
+        sse2 = sum(PvQQuantizer(bits=2).apply(resnet18_mini(num_classes=5, seed=0)).values())
+        sse8 = sum(PvQQuantizer(bits=8).apply(resnet18_mini(num_classes=5, seed=0)).values())
+        assert sse2 > sse8 * 10
+
+    def test_compression_ratio(self):
+        assert PvQQuantizer(bits=2).compression_ratio() == 16.0
+        assert PvQQuantizer(bits=4).compression_ratio(weight_bits=8) == 2.0
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            PvQQuantizer(bits=1)
+        with pytest.raises(ValueError):
+            uniform_quantize(np.ones(4), bits=1)
+
+
+class TestMVQvsBaselinesSSE:
+    def test_mvq_lower_masked_sse_than_pqf_at_matched_ratio(self, trained_model):
+        """Table 5 shape: at a matched compression ratio MVQ's clustering error on
+        the important (kept) weights is lower than PQF's."""
+        from repro.core import MVQCompressor
+        from repro.core.metrics import masked_sse
+        from repro.core.pruning import nm_prune_mask
+
+        mvq_cfg = LayerCompressionConfig(k=32, d=16, n_keep=4, m=16, max_kmeans_iterations=30)
+        pqf_cfg = LayerCompressionConfig(k=64, d=8, max_kmeans_iterations=30)
+        mvq = MVQCompressor(mvq_cfg).compress(trained_model)
+        pqf = PQFCompressor(pqf_cfg, permutation_iterations=20).compress(trained_model)
+
+        mvq_err = mvq.mask_sse()
+        # evaluate PQF's error on the same "important weight" set (top 4-of-16)
+        pqf_err = 0.0
+        for state in pqf:
+            grouped16 = group_weight(state.reconstruct_weight(), 16)
+            original16 = group_weight(dict(trained_model.named_modules())[state.name].weight.value, 16)
+            mask = nm_prune_mask(original16, 4, 16)
+            pqf_err += masked_sse(original16, grouped16, mask)
+        assert mvq_err < pqf_err

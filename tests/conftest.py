@@ -1,0 +1,46 @@
+"""Shared fixtures: small trained models and datasets reused across tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import CrossEntropyLoss, SGD, Trainer
+from repro.nn.data import SyntheticClassification, train_val_split
+from repro.nn.models import resnet18_mini
+
+
+@pytest.fixture(scope="session")
+def classification_data():
+    """A small synthetic classification dataset split into train/val."""
+    dataset = SyntheticClassification(320, 16, 5, seed=0)
+    return train_val_split(dataset, val_fraction=0.25)
+
+
+@pytest.fixture(scope="session")
+def trained_resnet18(classification_data):
+    """A ResNet-18-mini trained to high accuracy on the synthetic task.
+
+    Session-scoped because training takes a few seconds and many compression
+    tests start from a well-trained model (as the paper does from pretrained
+    ImageNet checkpoints).
+    """
+    train, val = classification_data
+    model = resnet18_mini(num_classes=5, seed=1)
+    trainer = Trainer(model, CrossEntropyLoss(),
+                      SGD(model.parameters(), lr=0.05, momentum=0.9), batch_size=32)
+    trainer.fit(train, epochs=6, val_set=val)
+    return model
+
+
+@pytest.fixture()
+def trained_model(trained_resnet18):
+    """A fresh copy of the trained ResNet-18 that tests may freely mutate."""
+    model = resnet18_mini(num_classes=5, seed=1)
+    model.load_state_dict(trained_resnet18.state_dict())
+    return model
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

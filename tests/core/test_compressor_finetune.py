@@ -1,0 +1,207 @@
+"""Tests for the whole-model MVQ compressor and codebook fine-tuning."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CodebookFinetuner,
+    GroupingStrategy,
+    LayerCompressionConfig,
+    MVQCompressor,
+)
+from repro.core.compressor import CompressedModel
+from repro.core.finetune import finetune_compressed_model
+from repro.nn import CrossEntropyLoss, SGD, evaluate_accuracy
+from repro.nn.models import mobilenet_v2_mini, resnet18_mini
+
+
+SMALL_CFG = LayerCompressionConfig(k=32, d=8, n_keep=2, m=8, max_kmeans_iterations=25)
+
+
+class TestMVQCompressor:
+    def test_compress_returns_all_conv_layers(self):
+        model = resnet18_mini(num_classes=5, seed=0)
+        compressed = MVQCompressor(SMALL_CFG).compress(model)
+        conv_names = [name for name, m in model.named_modules()
+                      if m.__class__.__name__ == "Conv2d" and not getattr(m, "depthwise", False)]
+        assert set(compressed.layers) == set(conv_names)
+
+    def test_sparsity_matches_nm(self):
+        model = resnet18_mini(num_classes=5, seed=0)
+        compressed = MVQCompressor(SMALL_CFG).compress(model)
+        assert np.isclose(compressed.sparsity(), 0.75, atol=0.01)
+
+    def test_reconstruction_shapes_match(self):
+        model = resnet18_mini(num_classes=5, seed=0)
+        compressed = MVQCompressor(SMALL_CFG).compress(model)
+        modules = dict(model.named_modules())
+        for name, state in compressed.layers.items():
+            assert state.reconstruct_weight().shape == modules[name].weight.shape
+
+    def test_apply_to_model_overwrites_weights(self):
+        model = resnet18_mini(num_classes=5, seed=0)
+        original = model.state_dict()
+        compressed = MVQCompressor(SMALL_CFG).compress(model)
+        compressed.apply_to_model()
+        changed = sum(
+            not np.allclose(original[name + ".weight"], mod.weight.value)
+            for name, mod in model.named_modules() if name in compressed.layers
+        )
+        assert changed == len(compressed.layers)
+
+    def test_compression_ratio_in_expected_range(self):
+        model = resnet18_mini(num_classes=5, seed=0)
+        cfg = LayerCompressionConfig(k=64, d=8, n_keep=2, m=8)
+        compressed = MVQCompressor(cfg).compress(model)
+        ratio = compressed.compression_ratio()
+        assert 5 < ratio < 32
+
+    def test_crosslayer_shares_one_codebook(self):
+        model = resnet18_mini(num_classes=5, seed=0)
+        compressed = MVQCompressor(SMALL_CFG, crosslayer=True).compress(model)
+        ids = {id(state.codebook) for state in compressed}
+        assert len(ids) == 1
+
+    def test_crosslayer_higher_ratio_than_layerwise(self):
+        model = resnet18_mini(num_classes=5, seed=0)
+        layerwise = MVQCompressor(SMALL_CFG).compress(model).compression_ratio()
+        crosslayer = MVQCompressor(SMALL_CFG, crosslayer=True).compress(model).compression_ratio()
+        assert crosslayer > layerwise  # one codebook amortised over all layers
+
+    def test_skip_layers(self):
+        model = resnet18_mini(num_classes=5, seed=0)
+        all_layers = set(MVQCompressor(SMALL_CFG).compress(model).layers)
+        skip = next(iter(all_layers))
+        remaining = set(MVQCompressor(SMALL_CFG, skip_layers={skip}).compress(model).layers)
+        assert remaining == all_layers - {skip}
+
+    def test_per_layer_override(self):
+        model = resnet18_mini(num_classes=5, seed=0)
+        target = next(iter(MVQCompressor(SMALL_CFG).compress(model).layers))
+        override = LayerCompressionConfig(k=8, d=8, n_keep=2, m=8)
+        compressed = MVQCompressor(SMALL_CFG, per_layer_overrides={target: override}).compress(model)
+        assert compressed.layers[target].codebook.k == 8
+
+    def test_no_compressible_layers_raises(self):
+        from repro.nn.module import Module
+        from repro.nn.layers import Linear
+
+        class TinyMLP(Module):
+            def __init__(self):
+                super().__init__()
+                self.fc = Linear(7, 3)
+
+            def forward(self, x):
+                return self.fc.forward(x)
+
+            def backward(self, g):
+                return self.fc.backward(g)
+
+        with pytest.raises(ValueError):
+            MVQCompressor(SMALL_CFG).compress(TinyMLP())
+
+    def test_ablation_cases_configuration(self):
+        a = MVQCompressor.ablation_case("A", SMALL_CFG)
+        b = MVQCompressor.ablation_case("B", SMALL_CFG)
+        c = MVQCompressor.ablation_case("C", SMALL_CFG)
+        d = MVQCompressor.ablation_case("D", SMALL_CFG)
+        assert not a.config.prune and not a.config.store_mask
+        assert b.config.prune and not b.config.store_mask
+        assert c.config.prune and c.config.store_mask and not c.config.use_masked_kmeans
+        assert d.config.use_masked_kmeans and d.config.store_mask
+        with pytest.raises(ValueError):
+            MVQCompressor.ablation_case("Z", SMALL_CFG)
+
+    def test_case_without_mask_reconstructs_dense(self):
+        model = resnet18_mini(num_classes=5, seed=0)
+        compressed = MVQCompressor.ablation_case("A", SMALL_CFG).compress(model)
+        for state in compressed:
+            assert state.sparsity() == 0.0
+            weight = state.reconstruct_weight()
+            assert np.mean(weight == 0) < 0.2  # dense reconstruction
+
+    def test_masked_kmeans_beats_common_on_mask_sse(self):
+        """Table 3 shape: case D has lower masked SSE than case C."""
+        model = resnet18_mini(num_classes=5, seed=0)
+        cfg = LayerCompressionConfig(k=32, d=16, n_keep=4, m=16, max_kmeans_iterations=25)
+        case_c = MVQCompressor.ablation_case("C", cfg).compress(model)
+        case_d = MVQCompressor.ablation_case("D", cfg).compress(model)
+        assert case_d.mask_sse() < case_c.mask_sse()
+
+    def test_input_grouping_strategy(self):
+        model = resnet18_mini(num_classes=5, seed=0, width=16)
+        cfg = LayerCompressionConfig(k=32, d=8, n_keep=2, m=8,
+                                     strategy=GroupingStrategy.INPUT)
+        compressed = MVQCompressor(cfg).compress(model)
+        assert len(compressed) > 0
+        compressed.apply_to_model()  # reconstruction must be shape-consistent
+
+
+class TestCodebookFinetuning:
+    def test_finetuner_syncs_model_weights(self, trained_model):
+        compressed = MVQCompressor(SMALL_CFG).compress(trained_model)
+        finetuner = CodebookFinetuner(compressed, lr=1e-3)
+        modules = dict(trained_model.named_modules())
+        for name, state in compressed.layers.items():
+            assert np.allclose(modules[name].weight.value, state.reconstruct_weight())
+        assert len(finetuner.codebook_parameters()) == len(compressed.layers)
+
+    def test_masked_gradients_ignore_pruned_positions(self, trained_model):
+        compressed = MVQCompressor(SMALL_CFG).compress(trained_model)
+        finetuner = CodebookFinetuner(compressed, lr=1e-3)
+        # fabricate a weight gradient that is nonzero ONLY at pruned positions
+        modules = dict(trained_model.named_modules())
+        from repro.core.grouping import ungroup_weight
+        for name, state in compressed.layers.items():
+            grad_grouped = (~state.mask).astype(float)
+            modules[name].weight.grad = ungroup_weight(
+                grad_grouped, state.weight_shape, state.config.d, state.config.strategy)
+        finetuner.accumulate_codebook_gradients()
+        for param in finetuner.codebook_parameters():
+            assert np.allclose(param.grad, 0.0)
+
+    def test_finetuning_recovers_accuracy(self, classification_data, trained_model):
+        """End-to-end Fig. 2 pipeline: compression hurts, fine-tuning recovers."""
+        train, val = classification_data
+        baseline = evaluate_accuracy(trained_model, val)
+
+        compressed = MVQCompressor(LayerCompressionConfig(k=24, d=8, n_keep=2, m=8,
+                                                          max_kmeans_iterations=25)
+                                   ).compress(trained_model)
+        compressed.apply_to_model()
+        degraded = evaluate_accuracy(trained_model, val)
+
+        optimizer = SGD(trained_model.parameters(), lr=0.02, momentum=0.9)
+        finetune_compressed_model(compressed, train, CrossEntropyLoss(), optimizer,
+                                  epochs=2, codebook_lr=5e-3)
+        recovered = evaluate_accuracy(trained_model, val)
+
+        assert degraded < baseline
+        assert recovered > degraded
+        assert recovered >= baseline - 0.15
+
+    def test_crosslayer_finetuner_single_parameter(self, trained_model):
+        compressed = MVQCompressor(SMALL_CFG, crosslayer=True).compress(trained_model)
+        finetuner = CodebookFinetuner(compressed, lr=1e-3)
+        assert len(finetuner.codebook_parameters()) == 1
+
+    def test_compressed_weights_stay_sparse_after_step(self, classification_data, trained_model):
+        train, _ = classification_data
+        compressed = MVQCompressor(SMALL_CFG).compress(trained_model)
+        optimizer = SGD(trained_model.parameters(), lr=0.01)
+        finetune_compressed_model(compressed, train, CrossEntropyLoss(), optimizer, epochs=1)
+        modules = dict(trained_model.named_modules())
+        for name, state in compressed.layers.items():
+            weight = modules[name].weight.value
+            zero_fraction = np.mean(weight == 0)
+            assert zero_fraction > 0.7  # N:M sparsity preserved through fine-tuning
+
+
+class TestMobileNetCompression:
+    def test_fifty_percent_sparsity_config(self):
+        """Parameter-efficient models use 1:2 pruning (Section 6.2)."""
+        model = mobilenet_v2_mini(num_classes=5, seed=0)
+        cfg = LayerCompressionConfig(k=32, d=8, n_keep=1, m=2, max_kmeans_iterations=20)
+        compressed = MVQCompressor(cfg).compress(model)
+        assert np.isclose(compressed.sparsity(), 0.5, atol=0.01)
+        assert len(compressed) > 0

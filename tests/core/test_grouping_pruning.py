@@ -1,0 +1,172 @@
+"""Tests for weight grouping and N:M pruning, including property-based checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.grouping import (
+    GroupingStrategy,
+    compatible_d,
+    group_weight,
+    grouped_shape,
+    ungroup_weight,
+)
+from repro.core.pruning import (
+    SparseFinetuner,
+    apply_mask,
+    asp_prune,
+    nm_prune_mask,
+    sparsity_of_mask,
+)
+from repro.nn.models import resnet18_mini
+
+
+class TestGrouping:
+    @pytest.mark.parametrize("strategy,d", [
+        (GroupingStrategy.OUTPUT, 8),
+        (GroupingStrategy.INPUT, 4),
+        (GroupingStrategy.KERNEL, 9),
+    ])
+    def test_roundtrip(self, rng, strategy, d):
+        weight = rng.normal(size=(16, 8, 3, 3))
+        grouped = group_weight(weight, d, strategy)
+        assert grouped.shape == grouped_shape(weight.shape, d, strategy)
+        restored = ungroup_weight(grouped, weight.shape, d, strategy)
+        assert np.allclose(restored, weight)
+
+    def test_output_grouping_spans_output_channels(self, rng):
+        """A subvector must hold d consecutive output channels at one position."""
+        weight = rng.normal(size=(8, 2, 1, 1))
+        grouped = group_weight(weight, 4, GroupingStrategy.OUTPUT)
+        # first subvector = output channels 0..3 at (cin=0, kh=0, kw=0)
+        assert np.allclose(grouped[0], weight[0:4, 0, 0, 0])
+
+    def test_kernel_grouping_is_kernel_plane(self, rng):
+        weight = rng.normal(size=(4, 2, 3, 3))
+        grouped = group_weight(weight, 9, GroupingStrategy.KERNEL)
+        assert np.allclose(grouped[0], weight[0, 0].reshape(-1))
+
+    def test_linear_weight_as_1x1(self, rng):
+        weight = rng.normal(size=(16, 10))
+        grouped = group_weight(weight, 8, GroupingStrategy.OUTPUT)
+        assert grouped.shape == (2 * 10, 8)
+        assert np.allclose(ungroup_weight(grouped, weight.shape, 8), weight)
+
+    def test_incompatible_d_raises(self, rng):
+        weight = rng.normal(size=(6, 4, 3, 3))
+        with pytest.raises(ValueError):
+            group_weight(weight, 4, GroupingStrategy.OUTPUT)
+        with pytest.raises(ValueError):
+            group_weight(weight, 4, GroupingStrategy.KERNEL)
+        assert not compatible_d(weight.shape, 4, GroupingStrategy.OUTPUT)
+        assert compatible_d(weight.shape, 2, GroupingStrategy.OUTPUT)
+
+    def test_wrong_grouped_shape_raises(self, rng):
+        with pytest.raises(ValueError):
+            ungroup_weight(rng.normal(size=(3, 8)), (16, 8, 3, 3), 8)
+
+    @given(cout_factor=st.integers(1, 4), cin=st.integers(1, 6),
+           k=st.sampled_from([1, 3]), d=st.sampled_from([2, 4, 8]))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, cout_factor, cin, k, d):
+        """group/ungroup is the identity for every compatible shape."""
+        rng = np.random.default_rng(0)
+        weight = rng.normal(size=(cout_factor * d, cin, k, k))
+        grouped = group_weight(weight, d, GroupingStrategy.OUTPUT)
+        assert np.allclose(ungroup_weight(grouped, weight.shape, d), weight)
+
+
+class TestNMPruning:
+    def test_exact_sparsity(self, rng):
+        grouped = rng.normal(size=(100, 16))
+        mask = nm_prune_mask(grouped, 4, 16)
+        assert np.isclose(sparsity_of_mask(mask), 0.75)
+        assert np.all(mask.sum(axis=1) == 4)
+
+    def test_keeps_largest_magnitudes(self):
+        grouped = np.array([[0.1, -5.0, 0.2, 3.0]])
+        mask = nm_prune_mask(grouped, 2, 4)
+        assert np.array_equal(mask[0], [False, True, False, True])
+
+    def test_blockwise_constraint(self, rng):
+        """With M=4 and d=8, each 4-element block keeps exactly N weights."""
+        grouped = rng.normal(size=(50, 8))
+        mask = nm_prune_mask(grouped, 1, 4)
+        blocks = mask.reshape(50, 2, 4)
+        assert np.all(blocks.sum(axis=2) == 1)
+
+    def test_invalid_parameters(self, rng):
+        grouped = rng.normal(size=(10, 8))
+        with pytest.raises(ValueError):
+            nm_prune_mask(grouped, 0, 4)
+        with pytest.raises(ValueError):
+            nm_prune_mask(grouped, 5, 4)
+        with pytest.raises(ValueError):
+            nm_prune_mask(grouped, 2, 3)  # d=8 not a multiple of 3
+        with pytest.raises(ValueError):
+            nm_prune_mask(rng.normal(size=(10,)), 2, 4)
+
+    def test_apply_mask_zeroes_pruned(self, rng):
+        grouped = rng.normal(size=(20, 8))
+        mask = nm_prune_mask(grouped, 2, 8)
+        pruned = apply_mask(grouped, mask)
+        assert np.all(pruned[~mask] == 0)
+        assert np.allclose(pruned[mask], grouped[mask])
+
+    def test_apply_mask_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            apply_mask(rng.normal(size=(4, 8)), np.ones((4, 4), dtype=bool))
+
+    @given(n_keep=st.integers(1, 4), blocks=st.integers(1, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_sparsity_property(self, n_keep, blocks):
+        """Sparsity always equals 1 - N/M regardless of the data."""
+        m = 4
+        rng = np.random.default_rng(42)
+        grouped = rng.normal(size=(30, m * blocks))
+        mask = nm_prune_mask(grouped, n_keep, m)
+        assert np.isclose(sparsity_of_mask(mask), 1 - n_keep / m)
+
+    def test_asp_prune_full_tensor(self, rng):
+        weight = rng.normal(size=(16, 4, 3, 3))
+        pruned = asp_prune(weight, 2, 8, d=8)
+        assert np.isclose(np.mean(pruned == 0), 0.75, atol=0.02)
+        # surviving weights are untouched
+        assert np.allclose(pruned[pruned != 0], weight[pruned != 0])
+
+
+class TestSparseFinetuner:
+    def test_apply_enforces_sparsity(self):
+        model = resnet18_mini(num_classes=3, seed=0)
+        finetuner = SparseFinetuner(model, n_keep=2, m=8, d=8)
+        finetuner.apply()
+        assert np.isclose(finetuner.model_sparsity(), 0.75, atol=0.01)
+
+    def test_frozen_mask_mode(self):
+        model = resnet18_mini(num_classes=3, seed=0)
+        finetuner = SparseFinetuner(model, n_keep=4, m=8, d=8, sr_ste=False)
+        finetuner.apply()
+        masks_before = finetuner.masks()
+        # perturb weights; ASP keeps the original masks
+        for p in model.parameters():
+            p.value += 0.01
+        finetuner.apply()
+        masks_after = finetuner.masks()
+        for name in masks_before:
+            assert np.array_equal(masks_before[name], masks_after[name])
+
+    def test_prunable_layers_skips_depthwise_and_incompatible(self):
+        from repro.nn.models import mobilenet_v1_mini
+
+        model = mobilenet_v1_mini(num_classes=3)
+        finetuner = SparseFinetuner(model, n_keep=2, m=8, d=8)
+        names = [name for name, _ in finetuner.prunable_layers()]
+        assert names  # pointwise convolutions are prunable
+        modules = dict(model.named_modules())
+        assert all(not getattr(modules[n], "depthwise", False) for n in names)
+
+    def test_skip_layers_respected(self):
+        model = resnet18_mini(num_classes=3, seed=0)
+        all_names = [n for n, _ in SparseFinetuner(model, 2, 8, 8).prunable_layers()]
+        skipped = SparseFinetuner(model, 2, 8, 8, skip_layers={all_names[0]})
+        assert all_names[0] not in [n for n, _ in skipped.prunable_layers()]

@@ -1,0 +1,103 @@
+"""Integration tests spanning algorithm and accelerator layers."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator.config import HardwareSetting, standard_setting
+from repro.accelerator.dataflow import analyze_network
+from repro.accelerator.energy import EnergyModel
+from repro.accelerator.performance import PerformanceModel
+from repro.accelerator.weight_loader import AssignmentAwareWeightLoader
+from repro.accelerator.workloads import WORKLOADS
+from repro.core import (
+    CodebookFinetuner,
+    LayerCompressionConfig,
+    MVQCompressor,
+)
+from repro.core.storage import MaskLUT
+from repro.nn import CrossEntropyLoss, SGD, evaluate_accuracy
+from repro.nn.models import resnet18_mini
+
+
+class TestAlgorithmToHardware:
+    """The compressed model produced by the algorithm side must be exactly
+    representable and reconstructible by the hardware weight loader."""
+
+    def test_weight_loader_reproduces_compressed_weights(self, trained_model):
+        cfg = LayerCompressionConfig(k=64, d=16, n_keep=4, m=16, max_kmeans_iterations=25)
+        compressed = MVQCompressor(cfg).compress(trained_model)
+
+        hw_cfg = standard_setting(HardwareSetting.EWS_CMS, array_size=64,
+                                  codebook_size=64)
+        lut = MaskLUT(4, 16)
+        for state in compressed:
+            loader = AssignmentAwareWeightLoader(hw_cfg, state.codebook, lut)
+            # software reconstruction
+            sw = state.reconstruct_grouped()
+            # hardware path: index -> CRF lookup -> LUT mask decode -> AND gate
+            codes = lut.encode_mask(state.mask)
+            hw = loader.reconstruct_layer(state.assignments, lut.decode_mask(codes, 16))
+            assert np.allclose(sw, hw)
+
+    def test_compression_ratio_algorithm_matches_hardware_traffic(self, trained_model):
+        """Eq. 7's bits-per-weight equals what the weight loader streams."""
+        cfg = LayerCompressionConfig(k=512, d=16, n_keep=4, m=16, max_kmeans_iterations=10)
+        compressed = MVQCompressor(cfg).compress(trained_model)
+        hw_cfg = standard_setting(HardwareSetting.EWS_CMS, array_size=64)
+        state = next(iter(compressed))
+        loader = AssignmentAwareWeightLoader(hw_cfg, state.codebook)
+        num_weights = state.num_subvectors * 16
+        traffic = loader.traffic(num_weights)
+        algo_bits = state.config.spec().total_bits(state.num_subvectors, count_codebook=True)
+        assert traffic.total_bits == pytest.approx(algo_bits, rel=0.01)
+
+    def test_sparse_flops_match_hardware_effective_macs(self):
+        """FLOPs reported by the algorithm equal 2x the MACs the sparse array executes."""
+        layers = WORKLOADS["resnet18"]()
+        cfg = standard_setting(HardwareSetting.EWS_CMS, 64)
+        analysis = analyze_network(layers, cfg)
+        conv_macs = sum(l.macs for l in layers)
+        assert analysis.access.effective_macs == pytest.approx(conv_macs * 0.25, rel=1e-6)
+
+
+class TestFullPipeline:
+    def test_paper_pipeline_on_mini_resnet(self, classification_data, trained_model):
+        """The complete Fig. 2 pipeline at a ~20x compression ratio keeps the
+        synthetic-task accuracy within a few points of the dense baseline."""
+        train, val = classification_data
+        baseline = evaluate_accuracy(trained_model, val)
+        cfg = LayerCompressionConfig(k=48, d=8, n_keep=2, m=8, max_kmeans_iterations=30)
+        compressed = MVQCompressor(cfg).compress(trained_model)
+        ratio = compressed.compression_ratio()
+
+        finetuner = CodebookFinetuner(compressed, lr=3e-3)
+        from repro.nn import Trainer
+        trainer = Trainer(trained_model, CrossEntropyLoss(),
+                          SGD(trained_model.parameters(), lr=0.02, momentum=0.9),
+                          batch_size=32, hook=finetuner.step)
+        trainer.fit(train, epochs=2)
+        final = evaluate_accuracy(trained_model, val)
+
+        assert ratio > 10
+        assert final >= baseline - 0.12
+
+    def test_efficiency_claim_chain(self):
+        """The headline hardware claims hold together: ~2.3x energy efficiency and
+        ~55% smaller array vs base EWS, and >1.5x vs the best prior accelerator."""
+        from repro.accelerator.area import AreaModel
+        from repro.accelerator.comparison import comparison_table
+
+        layers = WORKLOADS["resnet18"]()
+        pm = PerformanceModel()
+        ews = standard_setting(HardwareSetting.EWS_BASE, 64)
+        cms = standard_setting(HardwareSetting.EWS_CMS, 64)
+        gain = pm.efficiency(layers, cms) / pm.efficiency(layers, ews)
+        area_model = AreaModel()
+        area_cut = 1 - (area_model.accelerator_area_mm2(cms) / area_model.accelerator_area_mm2(ews))
+        rows = comparison_table()
+        mvq64 = next(r for r in rows if r["name"] == "MVQ-64")["normalized_efficiency"]
+        best_prior = max(r["normalized_efficiency"] for r in rows if not str(r["name"]).startswith("MVQ"))
+
+        assert gain > 1.8
+        assert 0.4 < area_cut < 0.7
+        assert mvq64 / best_prior > 1.5

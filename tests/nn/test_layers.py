@@ -1,0 +1,222 @@
+"""Layer-level forward/backward tests, including numeric gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    ReLU6,
+    Upsample2d,
+)
+
+
+def numeric_param_grad(layer, param, x, upstream, eps=1e-6):
+    grad = np.zeros_like(param.value)
+    flat = param.value.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        plus = float(np.sum(layer.forward(x) * upstream))
+        flat[i] = orig - eps
+        minus = float(np.sum(layer.forward(x) * upstream))
+        flat[i] = orig
+        gflat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestConv2dLayer:
+    def test_forward_shape(self, rng):
+        layer = Conv2d(3, 8, 3, stride=2, padding=1, rng=rng)
+        out = layer.forward(rng.normal(size=(2, 3, 8, 8)))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_parameter_gradients(self, rng):
+        layer = Conv2d(2, 3, 3, padding=1, rng=rng)
+        x = rng.normal(size=(1, 2, 5, 5))
+        upstream = rng.normal(size=(1, 3, 5, 5))
+        layer.forward(x)
+        layer.backward(upstream)
+        num = numeric_param_grad(layer, layer.weight, x, upstream)
+        assert np.allclose(layer.weight.grad, num, atol=1e-4)
+
+    def test_depthwise_groups(self, rng):
+        layer = Conv2d(4, 4, 3, padding=1, groups=4, rng=rng)
+        assert layer.depthwise
+        out = layer.forward(rng.normal(size=(1, 4, 6, 6)))
+        assert out.shape == (1, 4, 6, 6)
+
+    def test_invalid_groups_raises(self):
+        with pytest.raises(ValueError):
+            Conv2d(4, 8, 3, groups=2)
+        with pytest.raises(ValueError):
+            Conv2d(4, 8, 3, groups=4)
+
+    def test_backward_before_forward_raises(self, rng):
+        layer = Conv2d(2, 2, 3, rng=rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2, 4, 4)))
+
+    def test_gradient_accumulates(self, rng):
+        layer = Conv2d(2, 2, 3, padding=1, rng=rng)
+        x = rng.normal(size=(1, 2, 4, 4))
+        up = rng.normal(size=(1, 2, 4, 4))
+        layer.forward(x)
+        layer.backward(up)
+        first = layer.weight.grad.copy()
+        layer.forward(x)
+        layer.backward(up)
+        assert np.allclose(layer.weight.grad, 2 * first)
+
+
+class TestLinear:
+    def test_forward_matches_matmul(self, rng):
+        layer = Linear(6, 4, rng=rng)
+        x = rng.normal(size=(3, 6))
+        assert np.allclose(layer.forward(x), x @ layer.weight.value.T + layer.bias.value)
+
+    def test_gradients(self, rng):
+        layer = Linear(5, 3, rng=rng)
+        x = rng.normal(size=(4, 5))
+        upstream = rng.normal(size=(4, 3))
+        layer.forward(x)
+        grad_x = layer.backward(upstream)
+        assert np.allclose(layer.weight.grad, upstream.T @ x)
+        assert np.allclose(layer.bias.grad, upstream.sum(axis=0))
+        assert np.allclose(grad_x, upstream @ layer.weight.value)
+
+
+class TestBatchNorm2d:
+    def test_normalises_in_training(self, rng):
+        bn = BatchNorm2d(4)
+        x = rng.normal(loc=3.0, scale=2.0, size=(8, 4, 5, 5))
+        out = bn.forward(x)
+        assert np.allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-3)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = BatchNorm2d(3)
+        for _ in range(20):
+            bn.forward(rng.normal(loc=1.0, size=(16, 3, 4, 4)))
+        bn.eval()
+        x = rng.normal(loc=1.0, size=(4, 3, 4, 4))
+        out = bn.forward(x)
+        assert abs(out.mean()) < 0.5
+
+    def test_gamma_beta_gradients(self, rng):
+        bn = BatchNorm2d(2)
+        x = rng.normal(size=(4, 2, 3, 3))
+        up = rng.normal(size=(4, 2, 3, 3))
+        bn.forward(x)
+        bn.backward(up)
+        assert bn.gamma.grad.shape == (2,)
+        assert np.allclose(bn.beta.grad, up.sum(axis=(0, 2, 3)))
+
+    def test_input_gradient_numeric(self, rng):
+        bn = BatchNorm2d(2)
+        x = rng.normal(size=(3, 2, 2, 2))
+        up = rng.normal(size=(3, 2, 2, 2))
+        bn.forward(x)
+        grad = bn.backward(up)
+
+        eps = 1e-6
+        num = np.zeros_like(x)
+        for idx in np.ndindex(x.shape):
+            x[idx] += eps
+            plus = float(np.sum(bn.forward(x) * up))
+            x[idx] -= 2 * eps
+            minus = float(np.sum(bn.forward(x) * up))
+            x[idx] += eps
+            num[idx] = (plus - minus) / (2 * eps)
+        assert np.allclose(grad, num, atol=1e-4)
+
+
+class TestActivations:
+    def test_relu_masks_negative(self, rng):
+        relu = ReLU()
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = relu.forward(x)
+        assert (out >= 0).all()
+        grad = relu.backward(np.ones_like(x))
+        assert np.array_equal(grad, (x > 0).astype(float))
+
+    def test_relu6_clips(self):
+        relu6 = ReLU6()
+        x = np.array([[-1.0, 3.0, 10.0]])
+        assert np.allclose(relu6.forward(x), [[0.0, 3.0, 6.0]])
+        grad = relu6.backward(np.ones_like(x))
+        assert np.allclose(grad, [[0.0, 1.0, 0.0]])
+
+
+class TestPooling:
+    def test_maxpool_forward(self):
+        pool = MaxPool2d(2)
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = pool.forward(x)
+        assert np.allclose(out.reshape(-1), [5, 7, 13, 15])
+
+    def test_maxpool_backward_routes_to_argmax(self):
+        pool = MaxPool2d(2)
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        pool.forward(x)
+        grad = pool.backward(np.ones((1, 1, 2, 2)))
+        assert grad.sum() == 4
+        assert grad[0, 0, 1, 1] == 1  # position of value 5
+
+    def test_avgpool_gradient_uniform(self, rng):
+        pool = AvgPool2d(2)
+        x = rng.normal(size=(1, 2, 4, 4))
+        pool.forward(x)
+        grad = pool.backward(np.ones((1, 2, 2, 2)))
+        assert np.allclose(grad, 0.25)
+
+    def test_global_avgpool(self, rng):
+        pool = GlobalAvgPool2d()
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = pool.forward(x)
+        assert out.shape == (2, 3)
+        assert np.allclose(out, x.mean(axis=(2, 3)))
+        grad = pool.backward(np.ones((2, 3)))
+        assert np.allclose(grad, 1.0 / 16)
+
+
+class TestShapeOps:
+    def test_flatten_roundtrip(self, rng):
+        flat = Flatten()
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = flat.forward(x)
+        assert out.shape == (2, 48)
+        assert flat.backward(out).shape == x.shape
+
+    def test_upsample_and_backward(self, rng):
+        up = Upsample2d(2)
+        x = rng.normal(size=(1, 2, 3, 3))
+        out = up.forward(x)
+        assert out.shape == (1, 2, 6, 6)
+        grad = up.backward(np.ones_like(out))
+        assert np.allclose(grad, 4.0)
+
+    def test_dropout_eval_identity(self, rng):
+        drop = Dropout(0.5, rng=rng)
+        drop.eval()
+        x = rng.normal(size=(4, 10))
+        assert np.array_equal(drop.forward(x), x)
+
+    def test_dropout_train_scales(self, rng):
+        drop = Dropout(0.5, rng=rng)
+        x = np.ones((1000,))
+        out = drop.forward(x)
+        # kept units are scaled by 1/(1-p)
+        assert set(np.unique(out)).issubset({0.0, 2.0})
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.5)

@@ -1,0 +1,134 @@
+"""Tests for loss functions and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import BCEWithLogitsLoss, CrossEntropyLoss, MSELoss, SmoothL1Loss
+from repro.nn.optim import SGD, Adam, AdamW
+from repro.nn.tensor import Parameter
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        loss = CrossEntropyLoss()
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        targets = np.array([0, 1])
+        assert loss.forward(logits, targets) < 1e-4
+
+    def test_uniform_prediction_log_k(self):
+        loss = CrossEntropyLoss()
+        logits = np.zeros((4, 5))
+        targets = np.array([0, 1, 2, 3])
+        assert np.isclose(loss.forward(logits, targets), np.log(5))
+
+    def test_gradient_numeric(self, rng):
+        loss = CrossEntropyLoss()
+        logits = rng.normal(size=(3, 4))
+        targets = np.array([1, 0, 3])
+        loss.forward(logits, targets)
+        grad = loss.backward()
+
+        eps = 1e-6
+        num = np.zeros_like(logits)
+        for idx in np.ndindex(logits.shape):
+            logits[idx] += eps
+            plus = loss.forward(logits, targets)
+            logits[idx] -= 2 * eps
+            minus = loss.forward(logits, targets)
+            logits[idx] += eps
+            num[idx] = (plus - minus) / (2 * eps)
+        loss.forward(logits, targets)
+        assert np.allclose(grad, num, atol=1e-5)
+
+    def test_segmentation_shape(self, rng):
+        loss = CrossEntropyLoss()
+        logits = rng.normal(size=(2, 3, 4, 4))
+        targets = rng.integers(0, 3, size=(2, 4, 4))
+        value = loss.forward(logits, targets)
+        assert np.isfinite(value)
+        assert loss.backward().shape == logits.shape
+
+    def test_label_smoothing_increases_uniformity(self, rng):
+        logits = rng.normal(size=(8, 5)) * 3
+        targets = rng.integers(0, 5, size=8)
+        plain = CrossEntropyLoss().forward(logits, targets)
+        smoothed = CrossEntropyLoss(label_smoothing=0.2).forward(logits, targets)
+        assert smoothed != plain
+
+    def test_invalid_smoothing(self):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss(label_smoothing=1.0)
+
+
+class TestOtherLosses:
+    def test_mse_zero_for_equal(self, rng):
+        x = rng.normal(size=(4, 4))
+        loss = MSELoss()
+        assert loss.forward(x, x.copy()) == 0.0
+
+    def test_mse_gradient(self, rng):
+        pred = rng.normal(size=(3, 2))
+        target = rng.normal(size=(3, 2))
+        loss = MSELoss()
+        loss.forward(pred, target)
+        assert np.allclose(loss.backward(), 2 * (pred - target) / pred.size)
+
+    def test_smooth_l1_quadratic_then_linear(self):
+        loss = SmoothL1Loss(beta=1.0)
+        small = loss.forward(np.array([0.1]), np.array([0.0]))
+        assert np.isclose(small, 0.005)
+        large = loss.forward(np.array([5.0]), np.array([0.0]))
+        assert np.isclose(large, 4.5)
+
+    def test_bce_matches_manual(self):
+        loss = BCEWithLogitsLoss()
+        pred = np.array([0.0])
+        target = np.array([1.0])
+        assert np.isclose(loss.forward(pred, target), -np.log(0.5))
+
+
+def _quadratic_descent(optimizer_cls, **kwargs):
+    """Minimise ||x - 3||^2 and return the final parameter value."""
+    param = Parameter(np.array([0.0]))
+    opt = optimizer_cls([param], **kwargs)
+    for _ in range(300):
+        opt.zero_grad()
+        param.accumulate_grad(2 * (param.value - 3.0))
+        opt.step()
+    return float(param.value[0])
+
+
+class TestOptimizers:
+    def test_sgd_converges(self):
+        assert abs(_quadratic_descent(SGD, lr=0.05) - 3.0) < 1e-3
+
+    def test_sgd_momentum_converges(self):
+        assert abs(_quadratic_descent(SGD, lr=0.02, momentum=0.9) - 3.0) < 1e-3
+
+    def test_adam_converges(self):
+        assert abs(_quadratic_descent(Adam, lr=0.1) - 3.0) < 1e-2
+
+    def test_adamw_converges(self):
+        assert abs(_quadratic_descent(AdamW, lr=0.1, weight_decay=1e-4) - 3.0) < 0.1
+
+    def test_weight_decay_shrinks(self):
+        param = Parameter(np.array([5.0]))
+        opt = SGD([param], lr=0.1, weight_decay=0.5)
+        opt.zero_grad()
+        opt.step()
+        assert param.value[0] < 5.0
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_invalid_lr_raises(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=-1.0)
+
+    def test_requires_grad_false_is_frozen(self):
+        param = Parameter(np.array([1.0]), requires_grad=False)
+        opt = SGD([param], lr=0.1)
+        param.grad = np.array([10.0])
+        opt.step()
+        assert param.value[0] == 1.0

@@ -1,0 +1,219 @@
+"""Tests for the Module system, model zoo and training loop."""
+
+import numpy as np
+import pytest
+
+from repro.nn import CrossEntropyLoss, SGD, Trainer, count_flops, count_parameters, evaluate_accuracy
+from repro.nn.data import SyntheticClassification, SyntheticDetection, SyntheticSegmentation, train_val_split
+from repro.nn.flops import count_sparse_flops, per_layer_flops
+from repro.nn.layers import Conv2d, Linear, ReLU
+from repro.nn.models import (
+    alexnet_mini,
+    deeplab_lite_mini,
+    efficientnet_lite_mini,
+    mobilenet_v1_mini,
+    mobilenet_v2_mini,
+    resnet18_mini,
+    resnet50_mini,
+    simple_detector_mini,
+    vgg16_mini,
+)
+from repro.nn.models.deeplab import segmentation_miou, train_segmenter
+from repro.nn.models.detection import box_iou, detection_ap, train_detector
+from repro.nn.module import Module, Sequential
+
+ALL_CLASSIFIERS = [
+    resnet18_mini, resnet50_mini, mobilenet_v1_mini, mobilenet_v2_mini,
+    efficientnet_lite_mini, vgg16_mini, alexnet_mini,
+]
+
+
+class TestModuleSystem:
+    def test_named_parameters_unique(self):
+        model = resnet18_mini(num_classes=3)
+        names = [name for name, _ in model.named_parameters()]
+        assert len(names) == len(set(names))
+
+    def test_state_dict_roundtrip(self):
+        model = resnet18_mini(num_classes=3, seed=0)
+        other = resnet18_mini(num_classes=3, seed=7)
+        other.load_state_dict(model.state_dict())
+        x = np.random.default_rng(0).normal(size=(1, 3, 16, 16))
+        model.eval(); other.eval()
+        assert np.allclose(model.forward(x), other.forward(x))
+
+    def test_state_dict_mismatch_raises(self):
+        model = resnet18_mini(num_classes=3)
+        with pytest.raises(KeyError):
+            model.load_state_dict({"bogus": np.zeros(1)})
+
+    def test_train_eval_propagates(self):
+        model = resnet18_mini(num_classes=3)
+        model.eval()
+        assert all(not m.training for _, m in model.named_modules())
+        model.train()
+        assert all(m.training for _, m in model.named_modules())
+
+    def test_zero_grad(self):
+        model = resnet18_mini(num_classes=3)
+        x = np.zeros((1, 3, 16, 16))
+        out = model.forward(x)
+        model.backward(np.ones_like(out))
+        model.zero_grad()
+        assert all(np.all(p.grad == 0) for p in model.parameters())
+
+    def test_sequential_indexing(self):
+        seq = Sequential(Linear(4, 4), ReLU(), Linear(4, 2))
+        assert len(seq) == 3
+        assert isinstance(seq[1], ReLU)
+        assert [type(m) for m in seq] == [Linear, ReLU, Linear]
+
+
+class TestModelZoo:
+    @pytest.mark.parametrize("factory", ALL_CLASSIFIERS)
+    def test_forward_backward_shapes(self, factory, rng):
+        model = factory(num_classes=4)
+        x = rng.normal(size=(2, 3, 16, 16))
+        out = model.forward(x)
+        assert out.shape == (2, 4)
+        grad = model.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+        assert np.all(np.isfinite(grad))
+
+    @pytest.mark.parametrize("factory", ALL_CLASSIFIERS)
+    def test_gradients_populated(self, factory, rng):
+        model = factory(num_classes=4)
+        x = rng.normal(size=(1, 3, 16, 16))
+        out = model.forward(x)
+        model.backward(np.ones_like(out))
+        grads = [np.abs(p.grad).sum() for p in model.parameters()]
+        assert sum(g > 0 for g in grads) > len(grads) * 0.8
+
+    def test_bottleneck_expansion(self):
+        model = resnet50_mini(num_classes=3, width=8)
+        assert model.feature_channels == 8 * 2 * 4  # planes * 2 stages * expansion
+
+    def test_parameter_count_positive(self):
+        for factory in ALL_CLASSIFIERS:
+            assert count_parameters(factory(num_classes=3)) > 1000
+
+
+class TestFlopsCounting:
+    def test_flops_scale_with_width(self):
+        small = count_flops(resnet18_mini(num_classes=3, width=8), (3, 16, 16))
+        large = count_flops(resnet18_mini(num_classes=3, width=16), (3, 16, 16))
+        assert large > 2 * small
+
+    def test_single_conv_exact(self, rng):
+        class One(Module):
+            def __init__(self):
+                super().__init__()
+                self.conv = Conv2d(3, 8, 3, padding=1, rng=rng)
+
+            def forward(self, x):
+                return self.conv.forward(x)
+
+            def backward(self, g):
+                return self.conv.backward(g)
+
+        model = One()
+        flops = count_flops(model, (3, 10, 10))
+        assert flops == 2 * 3 * 9 * 100 * 8
+
+    def test_sparse_flops_reduction(self):
+        model = resnet18_mini(num_classes=3)
+        dense = count_flops(model, (3, 16, 16))
+        sparse = count_sparse_flops(model, (3, 16, 16), default_sparsity=0.75)
+        assert sparse < dense * 0.3
+
+    def test_per_layer_keys_are_module_paths(self):
+        model = resnet18_mini(num_classes=3)
+        flops = per_layer_flops(model, (3, 16, 16))
+        modules = dict(model.named_modules())
+        assert all(name in modules for name in flops)
+
+    def test_invalid_sparsity_raises(self):
+        with pytest.raises(ValueError):
+            count_sparse_flops(resnet18_mini(num_classes=3), (3, 16, 16), default_sparsity=1.5)
+
+
+class TestSyntheticData:
+    def test_classification_deterministic(self):
+        a = SyntheticClassification(50, 16, 5, seed=3)
+        b = SyntheticClassification(50, 16, 5, seed=3)
+        assert np.allclose(a.images, b.images)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_split_preserves_total(self):
+        ds = SyntheticClassification(100, 16, 5, seed=0)
+        train, val = train_val_split(ds, 0.2)
+        assert len(train) + len(val) == 100
+
+    def test_batches_cover_dataset(self):
+        ds = SyntheticClassification(55, 8, 3, seed=0)
+        seen = sum(len(b.targets) for b in ds.batches(16))
+        assert seen == 55
+
+    def test_detection_boxes_in_bounds(self):
+        ds = SyntheticDetection(30, 16, 4, seed=1)
+        assert ds.boxes.shape == (30, 4)
+        assert (ds.boxes >= 0).all() and (ds.boxes <= 1).all()
+
+    def test_segmentation_mask_labels(self):
+        ds = SyntheticSegmentation(20, 16, 4, seed=1)
+        assert ds.masks.max() < 4 and ds.masks.min() >= 0
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            SyntheticClassification(0, 16, 5)
+        with pytest.raises(ValueError):
+            train_val_split(SyntheticClassification(10, 8, 3), 1.5)
+
+
+class TestTraining:
+    def test_resnet_learns_synthetic_task(self, classification_data, trained_resnet18):
+        _, val = classification_data
+        assert evaluate_accuracy(trained_resnet18, val) > 0.9
+
+    def test_trainer_records_history(self, classification_data):
+        train, val = classification_data
+        model = mobilenet_v1_mini(num_classes=5, seed=2)
+        trainer = Trainer(model, CrossEntropyLoss(), SGD(model.parameters(), lr=0.05, momentum=0.9))
+        trainer.fit(train, epochs=2, val_set=val)
+        assert len(trainer.history.train_loss) == 2
+        assert trainer.history.train_loss[1] < trainer.history.train_loss[0]
+
+    def test_hook_called_every_step(self, classification_data):
+        train, _ = classification_data
+        calls = []
+        model = resnet18_mini(num_classes=5, seed=3, width=8)
+        trainer = Trainer(model, CrossEntropyLoss(), SGD(model.parameters(), lr=0.01),
+                          batch_size=64, hook=lambda: calls.append(1))
+        trainer.train_epoch(train)
+        assert len(calls) == int(np.ceil(len(train) / 64))
+
+
+class TestDetectionSegmentation:
+    def test_box_iou_identity(self):
+        box = np.array([[0.5, 0.5, 0.4, 0.4]])
+        assert np.isclose(box_iou(box, box)[0], 1.0)
+
+    def test_box_iou_disjoint(self):
+        a = np.array([[0.2, 0.2, 0.2, 0.2]])
+        b = np.array([[0.8, 0.8, 0.2, 0.2]])
+        assert box_iou(a, b)[0] == 0.0
+
+    def test_detector_trains_above_chance(self):
+        dataset = SyntheticDetection(120, 16, 3, seed=0)
+        detector = simple_detector_mini(num_classes=3, seed=0)
+        untrained_ap = detection_ap(detector, dataset, iou_threshold=0.25)
+        train_detector(detector, dataset, epochs=6, batch_size=24)
+        ap = detection_ap(detector, dataset, iou_threshold=0.25)
+        assert ap > max(untrained_ap, 0.25)
+
+    def test_segmenter_trains_above_chance(self):
+        dataset = SyntheticSegmentation(60, 16, 3, seed=0)
+        model = deeplab_lite_mini(num_classes=3, seed=0)
+        train_segmenter(model, dataset, epochs=3, batch_size=12)
+        miou = segmentation_miou(model, dataset)
+        assert miou > 0.3
