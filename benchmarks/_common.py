@@ -51,17 +51,31 @@ MODEL_LR: Dict[str, float] = {"alexnet": 0.01, "vgg16": 0.03}
 MODEL_EPOCHS: Dict[str, int] = {"alexnet": 10, "vgg16": 8}
 
 
+def resolve_training_args(name: str, epochs: int = 0, lr: float = 0.0) -> Tuple[int, float]:
+    """Fill in the per-model training defaults for falsy ``epochs``/``lr``."""
+    return epochs or MODEL_EPOCHS.get(name, 6), lr or MODEL_LR.get(name, 0.05)
+
+
 @lru_cache(maxsize=None)
-def trained_model(name: str, epochs: int = 0, lr: float = 0.0) -> Tuple[object, float]:
-    """Train (and cache) one mini model; returns (model, baseline accuracy)."""
+def _train_model_cached(name: str, epochs: int, lr: float) -> Tuple[object, float]:
     train, val = classification_splits()
-    epochs = epochs or MODEL_EPOCHS.get(name, 6)
-    lr = lr or MODEL_LR.get(name, 0.05)
     model = MODEL_FACTORIES[name](num_classes=NUM_CLASSES, seed=1)
     trainer = Trainer(model, CrossEntropyLoss(),
                       SGD(model.parameters(), lr=lr, momentum=0.9), batch_size=32)
     trainer.fit(train, epochs=epochs, val_set=val)
     return model, evaluate_accuracy(model, val)
+
+
+def trained_model(name: str, epochs: int = 0, lr: float = 0.0) -> Tuple[object, float]:
+    """Train (and cache) one mini model; returns (model, baseline accuracy).
+
+    Arguments are normalised *before* the cache lookup so that passing the
+    defaults explicitly (e.g. ``trained_model("alexnet", epochs=10)``) hits
+    the same cache entry as ``trained_model("alexnet")`` instead of
+    retraining the model.
+    """
+    epochs, lr = resolve_training_args(name, epochs, lr)
+    return _train_model_cached(name, epochs, lr)
 
 
 def copy_of(model_name: str):

@@ -1,0 +1,12 @@
+"""Performance microbenchmark suite (tracked across PRs).
+
+Unlike the ``bench_*`` reproductions of the paper's tables/figures, these
+benchmarks measure *throughput of this codebase itself*: clustering
+iterations/s, conv GFLOP/s and end-to-end compression wall-time.  The
+runner (:mod:`benchmarks.perf.run_perf`) emits ``BENCH_perf.json`` so each
+PR leaves a comparable perf record.
+
+Run with::
+
+    PYTHONPATH=src python -m benchmarks.perf.run_perf [--smoke] [--output BENCH_perf.json]
+"""

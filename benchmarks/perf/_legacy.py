@@ -1,0 +1,47 @@
+"""Frozen copy of the seed (pre-optimisation) clustering hot loops.
+
+This is the ``np.add.at`` / full-distance-matrix implementation the repo
+shipped with, kept verbatim so the perf suite can report a stable
+before/after speedup for the optimised kernels in
+:mod:`repro.core.masked_kmeans`.  Not used by the library itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def legacy_masked_assign(data: np.ndarray, mask: np.ndarray,
+                         codewords: np.ndarray) -> np.ndarray:
+    cross = data @ codewords.T                     # (N_G, k)
+    masked_c_norm = mask @ (codewords**2).T        # (N_G, k)
+    return np.argmin(masked_c_norm - 2.0 * cross, axis=1)
+
+
+def legacy_masked_update(data: np.ndarray, mask: np.ndarray, assignments: np.ndarray,
+                         k: int, previous: np.ndarray) -> np.ndarray:
+    d = data.shape[1]
+    sums = np.zeros((k, d))
+    counts = np.zeros((k, d))
+    np.add.at(sums, assignments, data)
+    np.add.at(counts, assignments, mask.astype(float))
+    updated = np.where(counts > 0, sums / np.maximum(counts, 1.0), previous)
+    return updated
+
+
+def legacy_masked_kmeans(data: np.ndarray, mask: np.ndarray, k: int,
+                         max_iterations: int, init_codewords: np.ndarray,
+                         change_threshold: float = 0.0):
+    """The seed Lloyd loop (float64, unfused assignment, scatter-add update)."""
+    data = np.asarray(data, dtype=np.float64) * mask
+    codewords = np.array(init_codewords, dtype=np.float64, copy=True)
+    assignments = legacy_masked_assign(data, mask, codewords)
+    for _ in range(max_iterations):
+        codewords = legacy_masked_update(data, mask, assignments, k, codewords)
+        new_assignments = legacy_masked_assign(data, mask, codewords)
+        changed = np.count_nonzero(new_assignments != assignments)
+        assignments = new_assignments
+        if changed <= change_threshold * data.shape[0]:
+            break
+    residual = (data - codewords[assignments]) * mask
+    return codewords, assignments, float(np.sum(residual**2))

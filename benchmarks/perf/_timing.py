@@ -1,0 +1,19 @@
+"""Tiny timing helpers shared by the perf microbenchmarks."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+
+def best_of(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Best wall-time over ``repeats`` runs after one untimed warm-up call
+    (so first-run costs — allocator, BLAS spin-up, page faults — do not
+    skew whichever variant happens to be measured first)."""
+    fn()
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best

@@ -1,0 +1,74 @@
+"""Perf suite runner: emits ``BENCH_perf.json`` for the PR's perf trajectory.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.perf.run_perf [--smoke] [--output PATH]
+
+``--smoke`` shrinks every workload so the suite finishes in a few seconds
+(used by CI); the full run produces the numbers quoted in PR descriptions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):  # running as a plain script
+    _root = Path(__file__).resolve().parents[2]
+    for entry in (_root, _root / "src"):
+        if str(entry) not in sys.path:
+            sys.path.insert(0, str(entry))
+
+import numpy as np
+
+from benchmarks.perf import bench_clustering, bench_conv, bench_end_to_end
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_perf.json",
+                        help="where to write the JSON report")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workloads for CI smoke coverage")
+    args = parser.parse_args(argv)
+
+    suites = (
+        ("clustering", bench_clustering.run),
+        ("conv", bench_conv.run),
+        ("end_to_end", bench_end_to_end.run),
+    )
+    report = {
+        "schema": 1,
+        "mode": "smoke" if args.smoke else "full",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+    for name, runner in suites:
+        start = time.perf_counter()
+        report[name] = runner(smoke=args.smoke)
+        print(f"[perf] {name}: done in {time.perf_counter() - start:.2f}s",
+              flush=True)
+
+    out = Path(args.output)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"[perf] wrote {out}")
+
+    cluster = report["clustering"]
+    print(f"[perf] masked k-means speedup vs seed: "
+          f"fp64 {cluster['speedup_fp64_vs_legacy']:.2f}x, "
+          f"fp32 {cluster['speedup_fp32_vs_legacy']:.2f}x")
+    e2e = report["end_to_end"]
+    if not e2e["parallel_matches_sequential"]:
+        print("[perf] ERROR: parallel compression diverged from sequential",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,15 @@ a whole model; :mod:`repro.core.storage` implements the compression-ratio
 accounting of Eq. 7 and the mask look-up-table encoding.
 """
 
+from repro.core import precision
+from repro.core.precision import (
+    accum_dtype,
+    compute_dtype,
+    distance_block_bytes,
+    precision as precision_scope,
+    set_compute_dtype,
+    set_distance_block_bytes,
+)
 from repro.core.grouping import GroupingStrategy, group_weight, ungroup_weight, grouped_shape
 from repro.core.pruning import (
     nm_prune_mask,
@@ -39,6 +48,13 @@ from repro.core.mixed_sparsity import MixedSparsitySearch, LayerSparsityChoice
 from repro.core.serialization import save_compressed_model, load_compressed_model
 
 __all__ = [
+    "precision",
+    "accum_dtype",
+    "compute_dtype",
+    "distance_block_bytes",
+    "precision_scope",
+    "set_compute_dtype",
+    "set_distance_block_bytes",
     "GroupingStrategy",
     "group_weight",
     "ungroup_weight",

@@ -21,6 +21,8 @@ D (MVQ)   True    True               True         the paper's method
 
 from __future__ import annotations
 
+import zlib
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -166,13 +168,19 @@ class MVQCompressor:
                  crosslayer: bool = False,
                  skip_layers: Optional[Iterable[str]] = None,
                  quantize_codebook: bool = True,
-                 include_linear: bool = False):
+                 include_linear: bool = False,
+                 workers: Optional[int] = None,
+                 decorrelate_seeds: bool = False):
         self.config = config
         self.per_layer_overrides = per_layer_overrides or {}
         self.crosslayer = crosslayer
         self.skip_layers = set(skip_layers or [])
         self.quantize_codebook = quantize_codebook
         self.include_linear = include_linear
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.decorrelate_seeds = decorrelate_seeds
 
     # -- layer selection -----------------------------------------------------
     def compressible_layers(self, model: Module) -> List[Tuple[str, Module]]:
@@ -201,11 +209,26 @@ class MVQCompressor:
             pruned = grouped
         return grouped, pruned, mask
 
-    def _cluster(self, data: np.ndarray, mask: np.ndarray, cfg: LayerCompressionConfig):
+    def _layer_seed(self, name: str, cfg: LayerCompressionConfig) -> int:
+        """Deterministic clustering seed for one layer.
+
+        By default every layer uses ``cfg.seed`` verbatim (the seed
+        implementation's behaviour, and invariant under execution order).
+        With ``decorrelate_seeds`` the layer name is mixed in so layers do
+        not all draw the same init indices — still a pure function of
+        (config, name), so the parallel and sequential paths are identical.
+        """
+        if self.decorrelate_seeds:
+            return (cfg.seed + zlib.crc32(name.encode("utf-8"))) % (2**32)
+        return cfg.seed
+
+    def _cluster(self, data: np.ndarray, mask: np.ndarray,
+                 cfg: LayerCompressionConfig, seed: Optional[int] = None):
+        seed = cfg.seed if seed is None else seed
         if cfg.use_masked_kmeans:
             return masked_kmeans(data, mask, cfg.k, cfg.max_kmeans_iterations,
-                                 seed=cfg.seed)
-        return kmeans(data, cfg.k, cfg.max_kmeans_iterations, seed=cfg.seed)
+                                 seed=seed)
+        return kmeans(data, cfg.k, cfg.max_kmeans_iterations, seed=seed)
 
     # -- public API ------------------------------------------------------------
     def compress(self, model: Module) -> CompressedModel:
@@ -224,18 +247,41 @@ class MVQCompressor:
         if self.crosslayer:
             layers = self._compress_crosslayer(targets, prepared)
         else:
-            for name, mod in targets:
-                cfg, grouped, pruned, mask = prepared[name]
-                result = self._cluster(pruned, mask, cfg)
-                codebook = Codebook(result.codewords)
-                if self.quantize_codebook:
-                    codebook.quantize_(cfg.codebook_bits)
-                layers[name] = CompressedLayer(
-                    name=name, weight_shape=mod.weight.shape, config=cfg,
-                    codebook=codebook, assignments=result.assignments,
-                    mask=mask, original_grouped=grouped,
-                )
+            layers = self._compress_layerwise(targets, prepared)
         return CompressedModel(model, layers, crosslayer=self.crosslayer)
+
+    def _compress_layerwise(self, targets, prepared) -> Dict[str, CompressedLayer]:
+        """Cluster each layer independently, optionally across worker threads.
+
+        Per-layer runs share no state and use deterministic per-layer seeds
+        (:meth:`_layer_seed`), so the parallel path is bit-identical to the
+        sequential one; results are assembled in ``targets`` order either
+        way.  Threads suffice because the hot loops are GIL-releasing BLAS
+        and bincount calls.
+        """
+        def cluster_one(item):
+            name, _ = item
+            cfg, _, pruned, mask = prepared[name]
+            return self._cluster(pruned, mask, cfg, seed=self._layer_seed(name, cfg))
+
+        if self.workers and self.workers > 1 and len(targets) > 1:
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                results = list(pool.map(cluster_one, targets))
+        else:
+            results = [cluster_one(item) for item in targets]
+
+        layers: Dict[str, CompressedLayer] = {}
+        for (name, mod), result in zip(targets, results):
+            cfg, grouped, _, mask = prepared[name]
+            codebook = Codebook(result.codewords)
+            if self.quantize_codebook:
+                codebook.quantize_(cfg.codebook_bits)
+            layers[name] = CompressedLayer(
+                name=name, weight_shape=mod.weight.shape, config=cfg,
+                codebook=codebook, assignments=result.assignments,
+                mask=mask, original_grouped=grouped,
+            )
+        return layers
 
     def _compress_crosslayer(self, targets, prepared) -> Dict[str, CompressedLayer]:
         """One shared codebook for all layers (the paper's crosslayer clustering)."""

@@ -56,6 +56,8 @@ class Conv2d(Module):
         self._cache: Optional[Tuple[np.ndarray, Tuple[int, int, int, int]]] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        # entering the parameterised stack: adopt the model's compute dtype
+        x = np.asarray(x).astype(self.weight.value.dtype, copy=False)
         bias = self.bias.value if self.bias is not None else None
         if self.depthwise:
             out, cols = F.depthwise_conv2d_forward(
@@ -109,6 +111,7 @@ class Linear(Module):
         self._cache: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x).astype(self.weight.value.dtype, copy=False)
         self._cache = x
         out = x @ self.weight.value.T
         if self.bias is not None:
@@ -144,9 +147,11 @@ class BatchNorm2d(Module):
         self._cache = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        # statistics are accumulation-sensitive: always reduce in float64,
+        # whatever dtype the activations run in
         if self.training:
-            mean = x.mean(axis=(0, 2, 3))
-            var = x.var(axis=(0, 2, 3))
+            mean = x.mean(axis=(0, 2, 3), dtype=np.float64)
+            var = x.var(axis=(0, 2, 3), dtype=np.float64)
             self.running_mean = (
                 (1 - self.momentum) * self.running_mean + self.momentum * mean
             )
@@ -157,7 +162,8 @@ class BatchNorm2d(Module):
             mean = self.running_mean
             var = self.running_var
 
-        inv_std = 1.0 / np.sqrt(var + self.eps)
+        inv_std = (1.0 / np.sqrt(var + self.eps)).astype(x.dtype)
+        mean = mean.astype(x.dtype)
         x_hat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
         out = (
             self.gamma.value[None, :, None, None] * x_hat
@@ -171,14 +177,14 @@ class BatchNorm2d(Module):
         n, c, h, w = x_shape
         m = n * h * w
 
-        self.gamma.accumulate_grad((grad_out * x_hat).sum(axis=(0, 2, 3)))
-        self.beta.accumulate_grad(grad_out.sum(axis=(0, 2, 3)))
+        self.gamma.accumulate_grad((grad_out * x_hat).sum(axis=(0, 2, 3), dtype=np.float64))
+        self.beta.accumulate_grad(grad_out.sum(axis=(0, 2, 3), dtype=np.float64))
 
         g = grad_out * self.gamma.value[None, :, None, None]
         if self.training:
-            # full batch-norm gradient
-            sum_g = g.sum(axis=(0, 2, 3), keepdims=True)
-            sum_gx = (g * x_hat).sum(axis=(0, 2, 3), keepdims=True)
+            # full batch-norm gradient (means reduced in float64)
+            sum_g = g.sum(axis=(0, 2, 3), keepdims=True, dtype=np.float64).astype(g.dtype)
+            sum_gx = (g * x_hat).sum(axis=(0, 2, 3), keepdims=True, dtype=np.float64).astype(g.dtype)
             grad_x = (
                 inv_std[None, :, None, None]
                 * (g - sum_g / m - x_hat * sum_gx / m)
@@ -241,7 +247,7 @@ class MaxPool2d(Module):
         argmax, cols_shape, x_shape, out_h, out_w = self._cache
         n, c, h, w = x_shape
         k = self.kernel_size
-        grad_cols = np.zeros(cols_shape)
+        grad_cols = np.zeros(cols_shape, dtype=grad_out.dtype)
         grad_cols[np.arange(cols_shape[0]), argmax] = grad_out.reshape(-1)
         grad_x = F.col2im(
             grad_cols, (n * c, 1, h, w), (k, k), self.stride, self.padding
@@ -322,7 +328,7 @@ class Dropout(Module):
         if not self.training or self.p == 0.0:
             self._mask = None
             return x
-        self._mask = (self.rng.random(x.shape) >= self.p) / (1.0 - self.p)
+        self._mask = ((self.rng.random(x.shape) >= self.p) / (1.0 - self.p)).astype(x.dtype)
         return x * self._mask
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:

@@ -58,7 +58,9 @@ class CrossEntropyLoss(Loss):
     def backward(self) -> np.ndarray:
         log_probs, onehot, original_shape, n_samples = self._cache
         probs = np.exp(log_probs)
-        grad = (probs - onehot) / n_samples
+        # keep the gradient in the activations' dtype (the onehot target is
+        # float64, which would otherwise upcast the whole backward pass)
+        grad = ((probs - onehot) / n_samples).astype(log_probs.dtype)
         if len(original_shape) == 4:
             n, c, h, w = original_shape
             grad = grad.reshape(n, h, w, c).transpose(0, 3, 1, 2)

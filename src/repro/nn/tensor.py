@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.precision import compute_dtype
+
 
 class Parameter:
     """A trainable array together with its accumulated gradient.
@@ -12,10 +14,14 @@ class Parameter:
     of a tape-based autograd; each layer writes the gradient of the loss
     with respect to its parameters into ``Parameter.grad`` during
     ``backward`` and optimizers read/clear it during ``step``.
+
+    Values (and therefore gradients) are stored in the global compute dtype
+    (:func:`repro.core.precision.compute_dtype`) captured at construction
+    time, so whole models can run float32 end to end.
     """
 
     def __init__(self, value: np.ndarray, requires_grad: bool = True, name: str = ""):
-        self.value = np.asarray(value, dtype=np.float64)
+        self.value = np.asarray(value, dtype=compute_dtype())
         self.grad = np.zeros_like(self.value)
         self.requires_grad = requires_grad
         self.name = name

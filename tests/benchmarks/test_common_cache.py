@@ -1,0 +1,41 @@
+"""Regression test for the trained-model cache-key aliasing fix.
+
+Calling ``trained_model`` with explicit ``epochs``/``lr`` equal to the
+per-model defaults used to create a second ``lru_cache`` entry and retrain
+the model from scratch; arguments are now normalised before the lookup.
+"""
+
+from functools import lru_cache
+
+import pytest
+
+_common = pytest.importorskip("benchmarks._common")
+
+
+def test_resolve_training_args_fills_defaults():
+    assert _common.resolve_training_args("alexnet") == (10, 0.01)
+    assert _common.resolve_training_args("vgg16") == (8, 0.03)
+    assert _common.resolve_training_args("resnet18") == (6, 0.05)
+    # explicit values pass through untouched
+    assert _common.resolve_training_args("resnet18", epochs=2, lr=0.1) == (2, 0.1)
+
+
+def test_explicit_defaults_hit_the_same_cache_entry(monkeypatch):
+    calls = []
+
+    @lru_cache(maxsize=None)
+    def fake_train(name, epochs, lr):
+        calls.append((name, epochs, lr))
+        return object(), 1.0
+
+    monkeypatch.setattr(_common, "_train_model_cached", fake_train)
+
+    first = _common.trained_model("alexnet")
+    # explicit arguments equal to the defaults: must not retrain
+    second = _common.trained_model("alexnet", epochs=10, lr=0.01)
+    third = _common.trained_model("alexnet", epochs=10)
+    assert len(calls) == 1
+    assert first is second is third
+
+    _common.trained_model("alexnet", epochs=3)  # genuinely different settings
+    assert calls == [("alexnet", 10, 0.01), ("alexnet", 3, 0.01)]

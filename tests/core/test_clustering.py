@@ -72,6 +72,44 @@ class TestKMeans:
         assert np.allclose(a.codewords, b.codewords)
         assert np.array_equal(a.assignments, b.assignments)
 
+    def test_zero_iterations_returns_init_assignment(self, rng):
+        """max_iterations=0 performs no update: the result is the data
+        assigned to the *initial* codewords, with iterations == 0."""
+        data = rng.normal(size=(50, 4))
+        init = rng.normal(size=(6, 4))
+        result = kmeans(data, 6, max_iterations=0, init_codewords=init)
+        assert result.iterations == 0
+        assert np.allclose(result.codewords, init)
+        assert np.array_equal(result.assignments, assign_to_nearest(data, init))
+        with pytest.raises(ValueError):
+            kmeans(data, 6, max_iterations=-1)
+
+    def test_chunked_assignment_matches_unchunked(self, rng):
+        data = rng.normal(size=(333, 8))
+        codewords = rng.normal(size=(16, 8))
+        full = assign_to_nearest(data, codewords)
+        # a tiny budget forces many row blocks; per-row arithmetic is the same
+        chunked = assign_to_nearest(data, codewords, block_bytes=1024)
+        assert np.array_equal(full, chunked)
+
+    def test_kmeanspp_init_runs_and_clusters(self, rng):
+        data, _ = well_separated_clusters(rng)
+        result = kmeans(data, 4, seed=0, init="kmeans++")
+        recon = result.codewords[result.assignments]
+        assert np.mean((data - recon) ** 2) < 0.01
+        a = kmeans(data, 4, seed=3, init="kmeans++")
+        b = kmeans(data, 4, seed=3, init="kmeans++")
+        assert np.allclose(a.codewords, b.codewords)
+        with pytest.raises(ValueError):
+            kmeans(data, 4, init="warmstart")
+
+    def test_minibatch_mode_approximates_full(self, rng):
+        data, _ = well_separated_clusters(rng, per_cluster=100)
+        full = kmeans(data, 4, seed=0)
+        mb = kmeans(data, 4, seed=0, minibatch=64, max_iterations=50)
+        assert mb.iterations == 50
+        assert mb.sse <= full.sse * 2.0 + 1.0
+
 
 class TestMaskedKMeans:
     def test_matches_plain_kmeans_with_full_mask(self, rng):
@@ -146,6 +184,71 @@ class TestMaskedKMeans:
         large = masked_kmeans(data * mask, mask, k * 2, seed=3)
         # more codewords should not make the clustering error much worse
         assert large.sse <= small.sse * 1.05
+
+    def test_zero_iterations_returns_init_assignment(self, rng):
+        data = rng.normal(size=(60, 8))
+        mask = nm_prune_mask(data, 2, 8)
+        init = rng.normal(size=(8, 8))
+        result = masked_kmeans(data * mask, mask, 8, max_iterations=0,
+                               init_codewords=init)
+        assert result.iterations == 0
+        assert np.allclose(result.codewords, init)
+        assert np.array_equal(result.assignments,
+                              masked_assign(data * mask, mask, init))
+        with pytest.raises(ValueError):
+            masked_kmeans(data * mask, mask, 8, max_iterations=-1)
+
+    def test_fully_masked_coordinate_keeps_init_value(self, rng):
+        """A coordinate pruned in every subvector never moves any codeword
+        coordinate away from its initial value."""
+        data = rng.normal(size=(80, 4))
+        mask = np.ones_like(data, dtype=bool)
+        mask[:, 2] = False  # coordinate 2 pruned everywhere
+        init = rng.normal(size=(5, 4))
+        result = masked_kmeans(data * mask, mask, 5, max_iterations=20,
+                               init_codewords=init)
+        assert np.allclose(result.codewords[:, 2], init[:, 2])
+        # and the masked SSE ignores that coordinate entirely
+        recon = result.codewords[result.assignments]
+        assert np.isclose(result.sse, masked_sse(data * mask, recon, mask))
+
+    def test_empty_cluster_keeps_previous_codeword_full_run(self, rng):
+        """With far more codewords than occupied clusters, the empty clusters
+        survive a full run holding their initial codewords."""
+        base = rng.normal(size=(2, 4))
+        data = np.repeat(base, 20, axis=0)          # only 2 distinct points
+        mask = np.ones_like(data, dtype=bool)
+        init = rng.normal(size=(6, 4)) + 100.0      # far away: most stay empty
+        init[0], init[1] = base[0], base[1]
+        result = masked_kmeans(data, mask, 6, max_iterations=10,
+                               init_codewords=init)
+        occupied = np.unique(result.assignments)
+        empty = np.setdiff1d(np.arange(6), occupied)
+        assert empty.size > 0
+        assert np.allclose(result.codewords[empty], init[empty])
+
+    def test_chunked_vs_unchunked_distance_paths(self, rng):
+        """masked_assign under a tiny block budget == argmin of the full
+        masked_distances matrix == unchunked masked_assign."""
+        data = rng.normal(size=(257, 8))
+        mask = nm_prune_mask(data, 2, 8)
+        data = data * mask
+        codewords = rng.normal(size=(12, 8))
+        unchunked = masked_assign(data, mask, codewords)
+        chunked = masked_assign(data, mask, codewords, block_bytes=1024)
+        reference = np.argmin(masked_distances(data, mask, codewords), axis=1)
+        assert np.array_equal(unchunked, chunked)
+        assert np.array_equal(unchunked, reference)
+
+    def test_masked_kmeanspp_and_minibatch(self, rng):
+        data = rng.normal(size=(400, 8))
+        mask = nm_prune_mask(data, 2, 8)
+        kpp = masked_kmeans(data * mask, mask, 16, seed=0, init="kmeans++")
+        assert np.isfinite(kpp.sse)
+        mb = masked_kmeans(data * mask, mask, 16, seed=0, minibatch=128,
+                           max_iterations=30)
+        full = masked_kmeans(data * mask, mask, 16, seed=0)
+        assert mb.sse <= full.sse * 2.0 + 1.0
 
     def test_reported_sse_is_masked_sse(self, rng):
         data = rng.normal(size=(100, 8))

@@ -1,0 +1,48 @@
+"""Parallel per-layer compression must be bit-identical to sequential."""
+
+import numpy as np
+import pytest
+
+from repro.core import LayerCompressionConfig, MVQCompressor
+
+
+def _assert_identical(a, b):
+    assert list(a.layers) == list(b.layers)
+    for name, la in a.layers.items():
+        lb = b.layers[name]
+        assert np.array_equal(la.assignments, lb.assignments)
+        assert np.array_equal(la.codebook.codewords, lb.codebook.codewords)
+        assert np.array_equal(la.mask, lb.mask)
+
+
+class TestParallelCompression:
+    def test_parallel_bit_identical_to_sequential(self, trained_model):
+        cfg = LayerCompressionConfig(k=16, d=8, max_kmeans_iterations=15, seed=3)
+        sequential = MVQCompressor(cfg).compress(trained_model)
+        parallel = MVQCompressor(cfg, workers=4).compress(trained_model)
+        _assert_identical(sequential, parallel)
+
+    def test_parallel_repeatable(self, trained_model):
+        cfg = LayerCompressionConfig(k=16, d=8, max_kmeans_iterations=15)
+        a = MVQCompressor(cfg, workers=3).compress(trained_model)
+        b = MVQCompressor(cfg, workers=3).compress(trained_model)
+        _assert_identical(a, b)
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError):
+            MVQCompressor(LayerCompressionConfig(), workers=0)
+
+    def test_decorrelated_seeds_deterministic_and_parallel_safe(self, trained_model):
+        cfg = LayerCompressionConfig(k=16, d=8, max_kmeans_iterations=15)
+        a = MVQCompressor(cfg, decorrelate_seeds=True).compress(trained_model)
+        b = MVQCompressor(cfg, decorrelate_seeds=True, workers=4).compress(trained_model)
+        _assert_identical(a, b)
+
+    def test_decorrelated_seeds_differ_across_layers(self):
+        compressor = MVQCompressor(LayerCompressionConfig(seed=0),
+                                   decorrelate_seeds=True)
+        cfg = compressor.config
+        seeds = {name: compressor._layer_seed(name, cfg)
+                 for name in ("conv1", "conv2", "layer1.0.conv1")}
+        assert len(set(seeds.values())) == len(seeds)
+        assert compressor._layer_seed("conv1", cfg) == seeds["conv1"]
