@@ -45,3 +45,41 @@ def legacy_masked_kmeans(data: np.ndarray, mask: np.ndarray, k: int,
             break
     residual = (data - codewords[assignments]) * mask
     return codewords, assignments, float(np.sum(residual**2))
+
+
+def legacy_im2col(x: np.ndarray, kernel, stride: int, padding: int) -> np.ndarray:
+    """The seed im2col: one strided-slice copy per kernel tap (kh*kw loop
+    iterations) before the layout transpose, replaced by the single
+    ``sliding_window_view`` copy in :func:`repro.nn.functional.im2col`."""
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    out_h = (h + 2 * padding - kh) // stride + 1
+    out_w = (w + 2 * padding - kw) // stride + 1
+
+    if padding > 0:
+        x = np.pad(
+            x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+        )
+
+    cols = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
+    for i in range(kh):
+        i_max = i + stride * out_h
+        for j in range(kw):
+            j_max = j + stride * out_w
+            cols[:, :, i, j, :, :] = x[:, :, i:i_max:stride, j:j_max:stride]
+
+    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, -1)
+
+
+def legacy_conv2d_forward(x: np.ndarray, weight: np.ndarray, bias, stride: int,
+                          padding: int):
+    """Conv forward on the loop-based im2col (GEMM unchanged)."""
+    n, _, h, w = x.shape
+    c_out, _, kh, kw = weight.shape
+    out_h = (h + 2 * padding - kh) // stride + 1
+    out_w = (w + 2 * padding - kw) // stride + 1
+    cols = legacy_im2col(x, (kh, kw), stride, padding)
+    out = cols @ weight.reshape(c_out, -1).T
+    if bias is not None:
+        out += bias
+    return out.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2), cols

@@ -18,7 +18,7 @@ from repro.core import LayerCompressionConfig, MVQCompressor, precision
 from repro.nn import Conv2d, Sequential
 from repro.nn.models import resnet18_mini
 
-FULL = dict(k=128, d=8, iterations=10, workers=4, repeats=1)
+FULL = dict(k=128, d=8, iterations=10, workers=4, repeats=2)
 SMOKE = dict(k=16, d=8, iterations=5, workers=2, repeats=1)
 
 #: (in_channels, out_channels) of the full-mode synthetic stack; 3x3 kernels.
@@ -37,8 +37,10 @@ def _build_model(smoke: bool):
     return _scaled_convnet(), "conv_stack_512"
 
 
-def _compress(model, cfg: LayerCompressionConfig, workers=None):
-    return MVQCompressor(cfg, workers=workers).compress(model)
+def _compress(model, cfg: LayerCompressionConfig, workers=None,
+              backend: str = "auto"):
+    return MVQCompressor(cfg, workers=workers,
+                         parallel_backend=backend).compress(model)
 
 
 def _identical(a, b) -> bool:
@@ -63,6 +65,8 @@ def run(smoke: bool = False) -> Dict[str, object]:
     cfg = LayerCompressionConfig(k=p["k"], d=p["d"],
                                  max_kmeans_iterations=p["iterations"])
 
+    from repro.core import compressor as compressor_mod
+
     sequential_s = best_of(lambda: _compress(model, cfg), p["repeats"])
     parallel_s = best_of(lambda: _compress(model, cfg, workers=p["workers"]),
                          p["repeats"])
@@ -70,17 +74,30 @@ def run(smoke: bool = False) -> Dict[str, object]:
         fp32_s = best_of(lambda: _compress(model, cfg), p["repeats"])
 
     seq = _compress(model, cfg)
-    par = _compress(model, cfg, workers=p["workers"])
+    # the equivalence check must exercise the real pools even on hosts with
+    # fewer CPUs than workers (where the cap would silently fall back to
+    # the sequential path and verify nothing)
+    results = {}
+    original_cpus = compressor_mod._available_cpus
+    compressor_mod._available_cpus = lambda: p["workers"]
+    try:
+        for backend in ("thread", "process"):
+            par = _compress(model, cfg, workers=p["workers"], backend=backend)
+            results[backend] = _identical(seq, par)
+    finally:
+        compressor_mod._available_cpus = original_cpus
     subvectors = sum(state.num_subvectors for state in seq)
     return {
         "workload": {"model": model_name,
                      "layers": len(seq),
                      "subvectors": subvectors,
+                     "available_cpus": compressor_mod._available_cpus(),
                      **{key: p[key] for key in ("k", "d", "iterations", "workers")}},
         "sequential_fp64_s": sequential_s,
         "parallel_fp64_s": parallel_s,
         "sequential_fp32_s": fp32_s,
         "speedup_parallel": sequential_s / parallel_s,
         "speedup_fp32": sequential_s / fp32_s,
-        "parallel_matches_sequential": _identical(seq, par),
+        "parallel_matches_sequential": all(results.values()),
+        "parallel_matches_by_backend": results,
     }

@@ -1,0 +1,231 @@
+"""Compressed-domain inference throughput and the vectorized tile streams.
+
+Two claims are tracked here:
+
+* **Decode-free serving** — forwarding a compressed conv stack directly
+  from ``(codebook, assignments, mask)`` (cost-model ``auto`` mode) versus
+  the decode-every-call baseline that reconstructs each layer's dense
+  weight before every convolution.  The reference workload uses
+  ResNet-stage shapes up to 512x512x3x3 at single-image spatial sizes —
+  the latency-serving regime where per-call weight decode dominates.
+* **Batched tile simulation** — ``compute_stream`` on whole
+  activation × subvector arrays versus the scalar per-PE tile loop, with
+  identical gating counts (the Table-7 equivalence property).
+
+Runnable standalone for CI gating::
+
+    PYTHONPATH=src python -m benchmarks.perf.bench_inference --quick
+
+exits non-zero when the compressed-domain forward drops below 0.8x the
+dense-reconstruct baseline on the reference workload.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+from typing import Dict
+
+if __package__ in (None, ""):  # running as a plain script
+    _root = Path(__file__).resolve().parents[2]
+    for entry in (_root, _root / "src"):
+        if str(entry) not in sys.path:
+            sys.path.insert(0, str(entry))
+
+import numpy as np
+
+from benchmarks.perf._timing import best_of
+from repro.core import LayerCompressionConfig, MVQCompressor
+from repro.nn import Conv2d, Sequential, predict_batched
+from repro.nn import functional as F
+from repro.accelerator.systolic import (
+    DenseTile,
+    SparseTile,
+    stream_gating_stats,
+)
+from repro.core.pruning import nm_prune_mask
+
+#: (in_channels, out_channels) of the conv-stack workload; 3x3 kernels.
+STAGES = ((64, 128), (128, 256), (256, 512), (512, 512))
+
+#: single-image latency serving at the 7x7 spatial size of ResNet's late
+#: stages — the regime where per-call weight decode dominates the conv work
+FULL = dict(k=256, d=8, iterations=12, batch=1, hw=7, serve_calls=8,
+            stream_subvectors=384, stream_acts=96, stream_d=16, stream_q=4,
+            repeats=5)
+QUICK = dict(k=32, d=8, iterations=4, batch=1, hw=7, serve_calls=3,
+             stream_subvectors=48, stream_acts=24, stream_d=16, stream_q=4,
+             repeats=2)
+
+
+def _conv_stack(stages=STAGES) -> Sequential:
+    rng = np.random.default_rng(7)
+    return Sequential(*(Conv2d(c_in, c_out, 3, padding=1, rng=rng)
+                        for c_in, c_out in stages))
+
+
+def _reconstruct_forward(states, x: np.ndarray) -> np.ndarray:
+    """The decode-every-call baseline: dense-reconstruct-then-conv."""
+    for state in states:
+        weight = state.reconstruct_weight()
+        x, _ = F.conv2d_forward(x, weight, None, stride=1, padding=1)
+    return x
+
+
+def _compressed_workload(p: Dict[str, object]) -> Dict[str, object]:
+    model = _conv_stack()
+    cfg = LayerCompressionConfig(k=p["k"], d=p["d"],
+                                 max_kmeans_iterations=p["iterations"])
+    compressor = MVQCompressor(cfg)
+    compressed = compressor.export_compressed_model(model)
+    states = list(compressed.layers.values())
+    model.eval()
+
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(p["batch"], STAGES[0][0], p["hw"], p["hw"]))
+
+    baseline_s = best_of(lambda: _reconstruct_forward(states, x), p["repeats"])
+    compressed_s = best_of(lambda: model.forward(x), p["repeats"])
+
+    # mode-forced timings for transparency: what auto chose between
+    for mod in model:
+        mod.engine.mode = "dense"
+    dense_cached_s = best_of(lambda: model.forward(x), p["repeats"])
+    for mod in model:
+        mod.engine.mode = "centroid"
+    centroid_s = best_of(lambda: model.forward(x), p["repeats"])
+    for mod in model:
+        mod.engine.mode = "auto"
+
+    # equivalence guard: the timed path must produce the baseline's numbers
+    max_err = float(np.max(np.abs(model.forward(x) - _reconstruct_forward(states, x))))
+
+    # batched serving throughput (persistent im2col buffers across calls)
+    stream = rng.normal(size=(p["batch"] * p["serve_calls"], STAGES[0][0],
+                              p["hw"], p["hw"]))
+    serve_s = best_of(lambda: predict_batched(model, stream,
+                                              batch_size=p["batch"]), 1)
+
+    return {
+        "workload": {"model": "conv_stack_512", "stages": len(STAGES),
+                     "k": p["k"], "d": p["d"], "batch": p["batch"],
+                     "hw": p["hw"], "table_sizes":
+                         [mod.engine.table_size for mod in model]},
+        "reconstruct_then_conv_s": baseline_s,
+        "compressed_auto_s": compressed_s,
+        "compressed_dense_cached_s": dense_cached_s,
+        "compressed_centroid_s": centroid_s,
+        "speedup_compressed_vs_reconstruct": baseline_s / compressed_s,
+        "max_abs_error_vs_baseline": max_err,
+        "serve_samples_per_s": stream.shape[0] / serve_s,
+    }
+
+
+def _stream_workload(p: Dict[str, object]) -> Dict[str, object]:
+    rng = np.random.default_rng(1)
+    s, t = p["stream_subvectors"], p["stream_acts"]
+    d, q = p["stream_d"], p["stream_q"]
+    weights = rng.normal(size=(s, d))
+    mask = nm_prune_mask(np.abs(weights), q, d)
+    acts = rng.normal(size=t)
+    acts[rng.random(t) < 0.3] = 0.0
+    masked = weights * mask
+
+    def scalar_loop():
+        dense, sparse = DenseTile(d), SparseTile(d, q)
+        for i in range(s):
+            sparse.load_weights(masked[i], mask[i])
+            for j in range(t):
+                dense.compute(masked[i], float(acts[j]))
+                sparse.compute(float(acts[j]))
+        return dense, sparse
+
+    def stream_pass():
+        dense, sparse = DenseTile(d), SparseTile(d, q)
+        dense.compute_stream(masked, acts)
+        sparse.compute_stream_array(masked, mask, acts)
+        return dense, sparse
+
+    # the scalar loop is pure-Python PE calls: one timed run provides both
+    # the wall time and the populated gating counters (no warm-up effects)
+    start = time.perf_counter()
+    dense_a, sparse_a = scalar_loop()
+    scalar_s = time.perf_counter() - start
+    stream_s = best_of(stream_pass, p["repeats"])
+    dense_b, sparse_b = stream_pass()
+    counts_match = (
+        [(pe.gated_ops, pe.active_ops) for pe in dense_a.pes]
+        == [(pe.gated_ops, pe.active_ops) for pe in dense_b.pes]
+        and [(pe.gated_ops, pe.active_ops) for pe in sparse_a.pes]
+        == [(pe.gated_ops, pe.active_ops) for pe in sparse_b.pes]
+    )
+    dense_stats, sparse_stats = stream_gating_stats(weights, mask, acts, q)
+
+    return {
+        "workload": {"subvectors": s, "activations": t, "d": d, "q": q},
+        "scalar_tile_loop_s": scalar_s,
+        "stream_s": stream_s,
+        "stream_speedup_vs_scalar": scalar_s / stream_s,
+        "gating_counts_match": bool(counts_match),
+        "dense_gating_rate": dense_stats.gating_rate,
+        "sparse_gating_rate": sparse_stats.gating_rate,
+    }
+
+
+def run(smoke: bool = False) -> Dict[str, object]:
+    p = QUICK if smoke else FULL
+    result = _compressed_workload(p)
+    result["systolic_stream"] = _stream_workload(p)
+    return result
+
+
+#: CI gate: compressed-domain forward must stay above this fraction of the
+#: dense-reconstruct baseline on the reference workload
+MIN_SPEEDUP = 0.8
+
+#: CI gate: compressed outputs must match the dense-reconstruct baseline
+#: (generous for float re-association; catches real datapath bugs)
+MAX_ABS_ERROR = 1e-6
+
+
+def check_report(report: Dict[str, object]) -> list:
+    """Gate conditions on one :func:`run` report; returns error strings.
+
+    Shared by the standalone ``--quick`` entry point and
+    ``benchmarks.perf.run_perf`` so the two CI steps cannot drift apart.
+    """
+    errors = []
+    stream = report["systolic_stream"]
+    if not stream["gating_counts_match"]:
+        errors.append("stream gating counts diverge from the scalar path")
+    error = report["max_abs_error_vs_baseline"]
+    if not error <= MAX_ABS_ERROR:
+        errors.append(f"compressed outputs diverge from the baseline "
+                      f"(max abs error {error:.2e} > {MAX_ABS_ERROR})")
+    speedup = report["speedup_compressed_vs_reconstruct"]
+    if speedup < MIN_SPEEDUP:
+        errors.append(f"compressed-domain forward is {speedup:.2f}x dense "
+                      f"(minimum {MIN_SPEEDUP}x)")
+    return errors
+
+
+def main(argv=None) -> int:
+    quick = "--quick" in (argv if argv is not None else sys.argv[1:])
+    report = run(smoke=quick)
+    speedup = report["speedup_compressed_vs_reconstruct"]
+    stream = report["systolic_stream"]
+    print(f"[perf] compressed-domain forward: {speedup:.2f}x vs "
+          f"dense-reconstruct-then-conv "
+          f"(centroid {report['reconstruct_then_conv_s'] / report['compressed_centroid_s']:.2f}x, "
+          f"max err {report['max_abs_error_vs_baseline']:.2e})")
+    print(f"[perf] systolic stream: {stream['stream_speedup_vs_scalar']:.1f}x vs "
+          f"scalar tile loop, gating counts match: {stream['gating_counts_match']}")
+    errors = check_report(report)
+    for error in errors:
+        print(f"[perf] ERROR: {error}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

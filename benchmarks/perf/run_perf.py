@@ -25,7 +25,12 @@ if __package__ in (None, ""):  # running as a plain script
 
 import numpy as np
 
-from benchmarks.perf import bench_clustering, bench_conv, bench_end_to_end
+from benchmarks.perf import (
+    bench_clustering,
+    bench_conv,
+    bench_end_to_end,
+    bench_inference,
+)
 
 
 def main(argv=None) -> int:
@@ -40,6 +45,7 @@ def main(argv=None) -> int:
         ("clustering", bench_clustering.run),
         ("conv", bench_conv.run),
         ("end_to_end", bench_end_to_end.run),
+        ("inference", bench_inference.run),
     )
     report = {
         "schema": 1,
@@ -67,7 +73,17 @@ def main(argv=None) -> int:
         print("[perf] ERROR: parallel compression diverged from sequential",
               file=sys.stderr)
         return 1
-    return 0
+
+    inference = report["inference"]
+    stream = inference["systolic_stream"]
+    print(f"[perf] compressed-domain forward: "
+          f"{inference['speedup_compressed_vs_reconstruct']:.2f}x vs "
+          f"dense-reconstruct-then-conv; systolic stream "
+          f"{stream['stream_speedup_vs_scalar']:.1f}x vs scalar tile loop")
+    errors = bench_inference.check_report(inference)
+    for error in errors:
+        print(f"[perf] ERROR: {error}", file=sys.stderr)
+    return 1 if errors else 0
 
 
 if __name__ == "__main__":

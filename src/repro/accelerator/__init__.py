@@ -45,7 +45,15 @@ from repro.accelerator.area import AreaModel, AreaBreakdown
 from repro.accelerator.performance import PerformanceModel, NetworkPerformance
 from repro.accelerator.roofline import RooflineModel, RooflinePoint
 from repro.accelerator.weight_loader import AssignmentAwareWeightLoader, WeightLoadTraffic
-from repro.accelerator.systolic import SparseTile, DenseTile, lzc_encode_mask, ZeroGatedPE
+from repro.accelerator.systolic import (
+    SparseTile,
+    DenseTile,
+    StreamStats,
+    lzc_encode_mask,
+    sparse_stream_matches_dense,
+    stream_gating_stats,
+    ZeroGatedPE,
+)
 from repro.accelerator.comparison import SOTA_ACCELERATORS, normalize_efficiency, comparison_table
 
 __all__ = [
@@ -79,6 +87,9 @@ __all__ = [
     "SparseTile",
     "DenseTile",
     "lzc_encode_mask",
+    "StreamStats",
+    "sparse_stream_matches_dense",
+    "stream_gating_stats",
     "ZeroGatedPE",
     "SOTA_ACCELERATORS",
     "normalize_efficiency",

@@ -105,7 +105,8 @@ class EnergyModel:
                  baseline_weight_zero_fraction: float = 0.05,
                  array_background_per_pe: float = 0.15,
                  sparse_tile_background_fraction: float = 0.35,
-                 area_model: Optional[AreaModel] = None):
+                 area_model: Optional[AreaModel] = None,
+                 measured_gating: Optional[Dict[str, float]] = None):
         """Parameters
         ----------
         mac_energy_pj:
@@ -130,6 +131,12 @@ class EnergyModel:
             tile of the same logical width — the sparse tile keeps the adder
             tree and DEMUX/MUX network but only Q of d multipliers/WRFs
             (Table 2), roughly half the dense cost at 4:16.
+        measured_gating:
+            Optional per-array gating rates ``{"dense": r, "sparse": r}``
+            measured from the functional tile simulation
+            (:func:`repro.accelerator.systolic.stream_gating_stats`); when
+            present they replace the closed-form zero-fraction heuristics
+            in the MAC energy term.
         """
         self.costs = dict(ENERGY_COSTS if costs is None else costs)
         self.mac_energy_pj = mac_energy_pj
@@ -141,6 +148,7 @@ class EnergyModel:
         self.array_background_per_pe = array_background_per_pe
         self.sparse_tile_background_fraction = sparse_tile_background_fraction
         self.area_model = area_model or AreaModel()
+        self.measured_gating = dict(measured_gating or {})
 
     # -- core accounting -----------------------------------------------------------
     def _mac_energy(self, analysis: NetworkAnalysis, config: AcceleratorConfig) -> float:
@@ -148,13 +156,27 @@ class EnergyModel:
         act_zero = self.activation_zero_fraction
         if config.sparse_array:
             # zero weights are skipped structurally; gating only on activations
-            gating = act_zero
+            gating = self.measured_gating.get("sparse", act_zero)
             macs = access.effective_macs
         else:
             weight_zero = config.sparsity if config.uses_mask else self.baseline_weight_zero_fraction
-            gating = weight_zero + (1.0 - weight_zero) * act_zero
+            gating = self.measured_gating.get(
+                "dense", weight_zero + (1.0 - weight_zero) * act_zero)
             macs = access.dense_macs
         return macs * (1.0 - gating) * self.costs["mac"]
+
+    @classmethod
+    def from_stream_stats(cls, dense_stats=None, sparse_stats=None, **kwargs
+                          ) -> "EnergyModel":
+        """Energy model whose MAC gating terms come from functional-tile
+        measurements (:func:`repro.accelerator.systolic.stream_gating_stats`)
+        instead of the closed-form zero-fraction heuristics."""
+        measured = dict(kwargs.pop("measured_gating", {}))
+        if dense_stats is not None:
+            measured["dense"] = dense_stats.gating_rate
+        if sparse_stats is not None:
+            measured["sparse"] = sparse_stats.gating_rate
+        return cls(measured_gating=measured, **kwargs)
 
     def _array_background(self, analysis: NetworkAnalysis, config: AcceleratorConfig) -> float:
         pes = config.array_size * config.array_size

@@ -12,7 +12,7 @@ property the 55% area saving of Table 7 rests on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -21,18 +21,44 @@ def lzc_encode_mask(mask: np.ndarray) -> List[int]:
     """Cascaded leading-zero-counter encoding of a d-bit sparsity mask.
 
     Returns the positions of the set bits in ascending order — exactly what
-    the Q cascaded LZCs of Fig. 8 produce, one position per stage, with each
-    stage XOR-ing out the bit found by the previous one.
+    the Q cascaded LZCs of Fig. 8 produce: stage ``i`` reports the index of
+    the first bit still set after the previous stage XOR-ed out the bit it
+    found, so the cascade as a whole enumerates set bits in ascending
+    order.  That enumeration is precisely ``np.flatnonzero``, which
+    replaces the original stage-by-stage argmax loop with one vectorized
+    scan (the cascaded-semantics test pins the equivalence down).
     """
-    mask = np.asarray(mask, dtype=bool)
-    remaining = mask.copy()
-    positions: List[int] = []
-    while remaining.any():
-        # leading-zero count == index of the first set bit
-        first = int(np.argmax(remaining))
-        positions.append(first)
-        remaining[first] = False       # XOR with the one-hot of the found bit
-    return positions
+    return [int(i) for i in np.flatnonzero(np.asarray(mask, dtype=bool))]
+
+
+@dataclass
+class StreamStats:
+    """Aggregate gating statistics of a batched tile stream.
+
+    ``gated_per_pe``/``active_per_pe`` hold one count per physical PE of the
+    tile — by construction identical to what the scalar per-call path
+    accumulates in each :class:`ZeroGatedPE`.
+    """
+
+    gated_per_pe: np.ndarray
+    active_per_pe: np.ndarray
+
+    @property
+    def gated_ops(self) -> int:
+        return int(self.gated_per_pe.sum())
+
+    @property
+    def active_ops(self) -> int:
+        return int(self.active_per_pe.sum())
+
+    @property
+    def gating_rate(self) -> float:
+        total = self.gated_ops + self.active_ops
+        return self.gated_ops / total if total else 0.0
+
+    def merge(self, other: "StreamStats") -> "StreamStats":
+        return StreamStats(self.gated_per_pe + other.gated_per_pe,
+                           self.active_per_pe + other.active_per_pe)
 
 
 @dataclass
@@ -65,6 +91,49 @@ class ZeroGatedPE:
         return self.gated_ops / total if total else 0.0
 
 
+def _pack_stream(weights: np.ndarray, mask: np.ndarray, q: int
+                 ) -> Tuple[np.ndarray, np.ndarray]:
+    """Batched LZC pack: per-row PE weights and engagement for a subvector
+    stream.  Returns ``(packed, engaged)``, both ``(S, q)`` — ``packed`` is
+    each row's kept weights in ascending mask position (the WRF contents),
+    ``engaged`` marks which PEs that row actually drives.  Raises when any
+    row keeps more weights than the tile has PEs."""
+    counts = mask.sum(axis=1)
+    if counts.max(initial=0) > q:
+        raise ValueError(
+            f"mask has {int(counts.max())} kept weights but the tile only "
+            f"has {q} PEs")
+    # stable sort floats set bits first, in ascending position — exactly
+    # the position order the cascaded LZCs produce
+    order = np.argsort(~mask, axis=1, kind="stable")[:, :q]
+    packed = np.take_along_axis(weights, order, axis=1)
+    engaged = np.arange(q)[None, :] < counts[:, None]
+    return packed, engaged
+
+
+def _stream_pe_counts(weights: np.ndarray, activations: np.ndarray,
+                      engaged: Optional[np.ndarray] = None
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-PE (gated, active) counts of streaming ``activations`` through
+    PEs holding ``weights`` (S, Q) — pure mask reductions, no (S, T, Q)
+    intermediate.  ``engaged`` (S, Q) marks which PEs a subvector drives."""
+    weights = np.asarray(weights, dtype=np.float64)
+    zero_acts = int(np.count_nonzero(np.asarray(activations) == 0.0))
+    total_acts = int(np.asarray(activations).size)
+    zero_w = weights == 0.0
+    if engaged is not None:
+        engaged_nonzero = (~zero_w & engaged).sum(axis=0)
+        engaged_zero = (zero_w & engaged).sum(axis=0)
+    else:
+        engaged_nonzero = (~zero_w).sum(axis=0)
+        engaged_zero = zero_w.sum(axis=0)
+    # a PE holding a zero weight gates every cycle; otherwise it gates
+    # exactly on the zero activations
+    gated = engaged_zero * total_acts + engaged_nonzero * zero_acts
+    active = engaged_nonzero * (total_acts - zero_acts)
+    return gated.astype(np.int64), active.astype(np.int64)
+
+
 class DenseTile:
     """A dense EWS tile: d multipliers per output-channel group."""
 
@@ -80,6 +149,54 @@ class DenseTile:
         if weights.shape != (self.d,):
             raise ValueError(f"expected {self.d} weights")
         return np.array([pe.multiply(w, activation) for pe, w in zip(self.pes, weights)])
+
+    def compute_stream(self, weights: np.ndarray, activations: np.ndarray
+                       ) -> np.ndarray:
+        """Batched :meth:`compute` over whole activation × subvector arrays.
+
+        ``weights`` is ``(d,)`` (one subvector, returns ``(T, d)``) or
+        ``(S, d)`` (a stream of subvectors, returns ``(S, T, d)``, as if
+        each were computed against every activation in order).  Per-PE
+        gating counters advance exactly as the scalar loop would — the
+        counts come from mask reductions, not per-element calls.
+        """
+        weights = np.asarray(weights, dtype=np.float64)
+        activations = np.asarray(activations, dtype=np.float64).reshape(-1)
+        single = weights.ndim == 1
+        w2 = weights[None, :] if single else weights
+        if w2.ndim != 2 or w2.shape[1] != self.d:
+            raise ValueError(f"expected subvectors of length {self.d}")
+        # a gated product is exactly the zero one operand already is, so a
+        # single broadcast multiply reproduces the scalar outputs; adding
+        # +0.0 in place normalises the -0.0 cases the gating logic forces
+        # to +0.0, keeping the stream bit-identical without (S, T, d)
+        # boolean temporaries
+        out = w2[:, None, :] * activations[None, :, None]
+        np.add(out, 0.0, out=out)
+        g, a = _stream_pe_counts(w2, activations)
+        for i, pe in enumerate(self.pes):
+            pe.gated_ops += int(g[i])
+            pe.active_ops += int(a[i])
+        self._latch_operands(w2, activations)
+        return out[0] if single else out
+
+    def _latch_operands(self, w2: np.ndarray, activations: np.ndarray) -> None:
+        """Latch each PE's operand registers to its last non-gated pair,
+        matching the scalar path's register state after the same stream.
+
+        The last active (subvector, activation) pair in stream order is the
+        last subvector whose weight is non-zero for this PE, paired with
+        the last non-zero activation — two 1D scans, no (S, T) scan.
+        """
+        nonzero_acts = np.flatnonzero(activations != 0.0)
+        if not nonzero_acts.size:
+            return
+        last_input = float(activations[nonzero_acts[-1]])
+        for i, pe in enumerate(self.pes):
+            rows = np.flatnonzero(w2[:, i] != 0.0)
+            if rows.size:
+                pe._held_weight = float(w2[rows[-1], i])
+                pe._held_input = last_input
 
     @property
     def num_multipliers(self) -> int:
@@ -127,6 +244,68 @@ class SparseTile:
             out[position] = pe.multiply(weight, activation)
         return out
 
+    def compute_stream(self, activations: np.ndarray) -> np.ndarray:
+        """Batched :meth:`compute`: route the loaded subvector against a
+        whole activation stream at once, returning ``(T, d)`` partial sums
+        with per-PE gating counters identical to the scalar loop."""
+        if self._wrf is None or self._mrf is None:
+            raise RuntimeError("load_weights must be called before compute")
+        activations = np.asarray(activations, dtype=np.float64).reshape(-1)
+        out = np.zeros((activations.size, self.d))
+        if self._mrf:
+            wrf = self._wrf
+            routed = activations[:, None] * wrf
+            np.add(routed, 0.0, out=routed)   # normalise gated -0.0 to +0.0
+            out[:, self._mrf] = routed
+            g, a = _stream_pe_counts(wrf[None, :], activations)
+            nonzero_acts = np.flatnonzero(activations != 0.0)
+            for qi in range(len(self._mrf)):
+                self.pes[qi].gated_ops += int(g[qi])
+                self.pes[qi].active_ops += int(a[qi])
+                if wrf[qi] != 0.0 and nonzero_acts.size:
+                    self.pes[qi]._held_weight = float(wrf[qi])
+                    self.pes[qi]._held_input = float(activations[nonzero_acts[-1]])
+        return out
+
+    def compute_stream_array(self, weights: np.ndarray, mask: np.ndarray,
+                             activations: np.ndarray) -> np.ndarray:
+        """Load-and-stream a whole ``(S, d)`` subvector array.
+
+        Equivalent to ``load_weights(w[s], mask[s]); compute(a[t])`` for
+        every ``(s, t)`` pair in order, but fully vectorized: positions
+        come from one stable argsort (the batched LZC cascade), products
+        and gating statistics from array reductions.  Returns ``(S, T, d)``
+        routed partial sums; the WRF/MRF end up holding the last
+        subvector, as the scalar sequence would leave them.
+        """
+        weights = np.asarray(weights, dtype=np.float64)
+        mask = np.asarray(mask, dtype=bool)
+        if weights.ndim != 2 or weights.shape[1] != self.d or mask.shape != weights.shape:
+            raise ValueError(f"expected (S, {self.d}) weights and mask")
+        activations = np.asarray(activations, dtype=np.float64).reshape(-1)
+        packed, engaged = _pack_stream(weights, mask, self.q)    # (S, q) each
+
+        # routed outputs: the DEMUX writes each product back to its mask
+        # position and unengaged positions stay zero, so masked weights
+        # reproduce the routing with one broadcast multiply (+0.0
+        # normalises the gated -0.0 cases, as in the dense stream)
+        out = (weights * mask)[:, None, :] * activations[None, :, None]
+        np.add(out, 0.0, out=out)
+
+        g, a = _stream_pe_counts(packed, activations, engaged=engaged)
+        nonzero_acts = np.flatnonzero(activations != 0.0)
+        for qi, pe in enumerate(self.pes):
+            pe.gated_ops += int(g[qi])
+            pe.active_ops += int(a[qi])
+            # last non-gated (s, t) pair this PE saw, scanned in stream order
+            eng_rows = np.flatnonzero(engaged[:, qi] & (packed[:, qi] != 0.0))
+            if eng_rows.size and nonzero_acts.size:
+                pe._held_weight = float(packed[eng_rows[-1], qi])
+                pe._held_input = float(activations[nonzero_acts[-1]])
+        if weights.shape[0]:
+            self.load_weights(weights[-1], mask[-1])
+        return out
+
     @property
     def num_multipliers(self) -> int:
         return self.q
@@ -147,3 +326,58 @@ def sparse_tile_matches_dense(weights: np.ndarray, mask: np.ndarray,
         if not np.allclose(dense_out, sparse_out):
             return False
     return True
+
+
+def stream_gating_stats(weights: np.ndarray, mask: np.ndarray,
+                        activations: np.ndarray, q: int
+                        ) -> Tuple[StreamStats, StreamStats]:
+    """Gating statistics of streaming a whole layer through both tiles.
+
+    Returns ``(dense_stats, sparse_stats)`` for a ``(S, d)`` masked-weight
+    array against ``(T,)`` activations — the counts every PE of a dense
+    tile (on the masked weights) and a sparse tile would accumulate.  Pure
+    mask reductions: no ``(S, T, d)`` tensor is materialised, so
+    layer-scale gating-rate sweeps run in milliseconds.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    mask = np.asarray(mask, dtype=bool)
+    if weights.ndim != 2 or mask.shape != weights.shape:
+        raise ValueError("expected matching (S, d) weights and mask")
+    activations = np.asarray(activations, dtype=np.float64).reshape(-1)
+    masked = weights * mask
+    dense_stats = StreamStats(*_stream_pe_counts(masked, activations))
+    packed, engaged = _pack_stream(masked, mask, q)
+    sparse_stats = StreamStats(*_stream_pe_counts(packed, activations,
+                                                  engaged=engaged))
+    return dense_stats, sparse_stats
+
+
+def sparse_stream_matches_dense(weights: np.ndarray, mask: np.ndarray,
+                                activations: np.ndarray, q: int,
+                                chunk: int = 4096) -> bool:
+    """Batched Table-7 equivalence check on realistic layer sizes.
+
+    Streams the whole ``(S, d)`` subvector array through a dense and a
+    sparse tile in chunks and verifies identical routed partial sums plus
+    identical *total* active-multiply counts (the per-PE split necessarily
+    differs: the dense tile charges structural weight zeros as gated ops
+    the sparse tile never sees).
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    mask = np.asarray(mask, dtype=bool)
+    d = weights.shape[1]
+    dense = DenseTile(d)
+    sparse = SparseTile(d, q)
+    chunk = max(1, chunk)
+    for lo in range(0, weights.shape[0], chunk):
+        w = weights[lo:lo + chunk] * mask[lo:lo + chunk]
+        m = mask[lo:lo + chunk]
+        dense_out = dense.compute_stream(w, activations)
+        sparse_out = sparse.compute_stream_array(w, m, activations)
+        if not np.array_equal(dense_out, sparse_out):
+            return False
+    # every active multiply happens in both tiles; only the gated-op split
+    # differs (the sparse tile never sees the structurally-zero weights)
+    dense_active = sum(pe.active_ops for pe in dense.pes)
+    sparse_active = sum(pe.active_ops for pe in sparse.pes)
+    return dense_active == sparse_active

@@ -21,13 +21,16 @@ D (MVQ)   True    True               True         the paper's method
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import zlib
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core import precision
 from repro.core.codebook import Codebook
 from repro.core.grouping import GroupingStrategy, compatible_d, group_weight
 from repro.core.kmeans import kmeans
@@ -38,6 +41,37 @@ from repro.core.reconstruct import reconstruct_grouped, reconstruct_weight
 from repro.core.storage import CompressionSpec, compression_ratio
 from repro.nn.layers import Conv2d, Linear
 from repro.nn.module import Module
+
+
+#: recognised values of ``MVQCompressor(parallel_backend=...)``
+PARALLEL_BACKENDS = ("auto", "thread", "process")
+
+#: clustering work (subvectors x iterations) above which ``"auto"`` prefers
+#: real processes over threads: below this the fork/pickle overhead dominates,
+#: above it the GIL-holding portions of the numpy path do
+_PROCESS_BACKEND_WORK_THRESHOLD = 2_000_000
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without CPU affinity (macOS, Windows)
+        return os.cpu_count() or 1
+
+
+def _cluster_layer_task(args):
+    """Cluster one prepared layer; top-level so process pools can pickle it.
+
+    The worker re-applies the caller's precision policy explicitly: child
+    processes inherit only the environment defaults, not scoped
+    ``precision(...)`` overrides active in the parent.
+    """
+    pruned, mask, cfg, seed, dtype_name, block_bytes = args
+    with precision.precision(dtype_name, block_bytes):
+        if cfg.use_masked_kmeans:
+            return masked_kmeans(pruned, mask, cfg.k, cfg.max_kmeans_iterations,
+                                 seed=seed)
+        return kmeans(pruned, cfg.k, cfg.max_kmeans_iterations, seed=seed)
 
 
 @dataclass
@@ -170,7 +204,8 @@ class MVQCompressor:
                  quantize_codebook: bool = True,
                  include_linear: bool = False,
                  workers: Optional[int] = None,
-                 decorrelate_seeds: bool = False):
+                 decorrelate_seeds: bool = False,
+                 parallel_backend: str = "auto"):
         self.config = config
         self.per_layer_overrides = per_layer_overrides or {}
         self.crosslayer = crosslayer
@@ -179,8 +214,13 @@ class MVQCompressor:
         self.include_linear = include_linear
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1")
+        if parallel_backend not in PARALLEL_BACKENDS:
+            raise ValueError(
+                f"parallel_backend must be one of {PARALLEL_BACKENDS}, "
+                f"got {parallel_backend!r}")
         self.workers = workers
         self.decorrelate_seeds = decorrelate_seeds
+        self.parallel_backend = parallel_backend
 
     # -- layer selection -----------------------------------------------------
     def compressible_layers(self, model: Module) -> List[Tuple[str, Module]]:
@@ -225,10 +265,11 @@ class MVQCompressor:
     def _cluster(self, data: np.ndarray, mask: np.ndarray,
                  cfg: LayerCompressionConfig, seed: Optional[int] = None):
         seed = cfg.seed if seed is None else seed
-        if cfg.use_masked_kmeans:
-            return masked_kmeans(data, mask, cfg.k, cfg.max_kmeans_iterations,
-                                 seed=seed)
-        return kmeans(data, cfg.k, cfg.max_kmeans_iterations, seed=seed)
+        # single dispatch site: the crosslayer path runs the same task the
+        # layer-wise pools do, under the caller's current precision policy
+        return _cluster_layer_task((data, mask, cfg, seed,
+                                    str(precision.compute_dtype()),
+                                    precision.distance_block_bytes()))
 
     # -- public API ------------------------------------------------------------
     def compress(self, model: Module) -> CompressedModel:
@@ -250,25 +291,93 @@ class MVQCompressor:
             layers = self._compress_layerwise(targets, prepared)
         return CompressedModel(model, layers, crosslayer=self.crosslayer)
 
+    def export_compressed_model(self, model: Module, mode: str = "auto",
+                                cost_model=None) -> CompressedModel:
+        """Compress ``model`` and convert it in place to compressed modules.
+
+        Every compressed Conv2d/Linear is replaced by its decode-free
+        counterpart (:mod:`repro.nn.compressed`), so subsequent forwards
+        serve directly from ``(codebook, assignments, mask)`` instead of a
+        reconstructed dense weight.  ``mode`` and ``cost_model`` configure
+        the per-layer execution-path selection.  Returns the
+        :class:`CompressedModel` (whose layer states the new modules share).
+        """
+        # imported lazily: repro.nn.compressed depends on repro.core
+        from repro.nn.compressed import swap_to_compressed
+
+        compressed = self.compress(model)
+        swap_to_compressed(model, compressed, mode=mode, cost_model=cost_model)
+        return compressed
+
+    def _effective_workers(self, num_layers: int) -> int:
+        """Worker count actually worth using: parallelism beyond the CPUs
+        this process may run on (or the layer count) only adds contention —
+        the root cause of thread pools *losing* to sequential runs."""
+        if not self.workers:
+            return 1
+        return max(1, min(self.workers, num_layers, _available_cpus()))
+
+    def _choose_backend(self, tasks) -> str:
+        if self.parallel_backend != "auto":
+            return self.parallel_backend
+        # never auto-select processes under a spawn start method: spawned
+        # workers re-import __main__, which breaks unguarded user scripts
+        # that were fine with the historical thread pool (explicitly
+        # requesting parallel_backend="process" remains available).
+        # allow_none probing keeps the caller free to set_start_method()
+        # later; None means unset, whose platform default leads
+        # get_all_start_methods().
+        start_method = multiprocessing.get_start_method(allow_none=True)
+        if start_method is None:
+            start_method = multiprocessing.get_all_start_methods()[0]
+        if start_method != "fork":
+            return "thread"
+        work = sum(task[0].shape[0] * task[2].max_kmeans_iterations
+                   for task in tasks)
+        return "process" if work >= _PROCESS_BACKEND_WORK_THRESHOLD else "thread"
+
     def _compress_layerwise(self, targets, prepared) -> Dict[str, CompressedLayer]:
-        """Cluster each layer independently, optionally across worker threads.
+        """Cluster each layer independently, optionally across a worker pool.
 
         Per-layer runs share no state and use deterministic per-layer seeds
-        (:meth:`_layer_seed`), so the parallel path is bit-identical to the
-        sequential one; results are assembled in ``targets`` order either
-        way.  Threads suffice because the hot loops are GIL-releasing BLAS
-        and bincount calls.
-        """
-        def cluster_one(item):
-            name, _ = item
-            cfg, _, pruned, mask = prepared[name]
-            return self._cluster(pruned, mask, cfg, seed=self._layer_seed(name, cfg))
+        (:meth:`_layer_seed`), so every parallel path is bit-identical to
+        the sequential one; results are assembled in ``targets`` order
+        regardless of scheduling.  Three backends:
 
-        if self.workers and self.workers > 1 and len(targets) > 1:
-            with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                results = list(pool.map(cluster_one, targets))
+        * ``"thread"`` — cheap, parallel only in the GIL-releasing BLAS
+          and bincount portions of the clustering kernels;
+        * ``"process"`` — a fork-based pool with the caller's precision
+          policy shipped to each worker, parallel across the whole kernel;
+        * ``"auto"`` — processes for coarse work, threads for small runs
+          where fork/pickle overhead would dominate.
+
+        Layers are scheduled largest-first so one big trailing layer does
+        not serialise the tail of the pool (classic makespan reduction),
+        and the worker count is capped at the CPUs actually available.
+        """
+        dtype_name = str(precision.compute_dtype())
+        block_bytes = precision.distance_block_bytes()
+        tasks = []
+        for name, _ in targets:
+            cfg, _, pruned, mask = prepared[name]
+            tasks.append((pruned, mask, cfg, self._layer_seed(name, cfg),
+                          dtype_name, block_bytes))
+
+        workers = self._effective_workers(len(targets))
+        if workers > 1:
+            order = sorted(range(len(tasks)),
+                           key=lambda i: tasks[i][0].shape[0], reverse=True)
+            backend = self._choose_backend(tasks)
+            pool_cls = (ProcessPoolExecutor if backend == "process"
+                        else ThreadPoolExecutor)
+            results: List = [None] * len(tasks)
+            with pool_cls(max_workers=workers) as pool:
+                futures = {i: pool.submit(_cluster_layer_task, tasks[i])
+                           for i in order}
+                for i, future in futures.items():
+                    results[i] = future.result()
         else:
-            results = [cluster_one(item) for item in targets]
+            results = [_cluster_layer_task(task) for task in tasks]
 
         layers: Dict[str, CompressedLayer] = {}
         for (name, mod), result in zip(targets, results):

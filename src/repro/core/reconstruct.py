@@ -22,6 +22,45 @@ def reconstruct_grouped(codebook: Codebook, assignments: np.ndarray,
     return decoded
 
 
+def effective_subvector_table(codebook: Codebook, assignments: np.ndarray,
+                              mask: Optional[np.ndarray] = None
+                              ) -> Tuple[np.ndarray, np.ndarray]:
+    """Deduplicated table of the subvector values a layer can decode to.
+
+    Returns ``(table, index)`` with ``table`` of shape ``(U, d)`` and
+    ``index`` of shape ``(N_G,)`` such that ``table[index]`` equals
+    :func:`reconstruct_grouped`.  Without a mask every codeword decodes to
+    itself (``U == k``); with an N:M mask each *(codeword, mask pattern)*
+    pair that actually occurs becomes one table row, so ``U`` stays far
+    below ``N_G`` (at most ``k`` times the number of distinct mask
+    patterns in use).  Compressed-domain inference computes activation
+    products against this table once and reuses them across every
+    subvector with the same entry — the product-reuse idea of the paper's
+    accelerator datapath.
+    """
+    assignments = np.asarray(assignments, dtype=np.int64)
+    codewords = codebook.effective_codewords()
+    if mask is None:
+        return codewords.copy(), assignments.copy()
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape != (assignments.shape[0], codewords.shape[1]):
+        raise ValueError("mask shape must match (N_G, d)")
+    d = mask.shape[1]
+    if d <= 48:
+        # one integer key per (assignment, mask pattern) pair
+        pattern = mask @ (1 << np.arange(d, dtype=np.int64))
+        keys = assignments * (1 << d) + pattern
+        unique_keys, index = np.unique(keys, return_inverse=True)
+        table = codewords[unique_keys >> d]
+        table = table * (((unique_keys & ((1 << d) - 1))[:, None]
+                          >> np.arange(d)) & 1).astype(bool)
+    else:  # subvectors too long for a packed integer key: row-wise unique
+        pairs = np.column_stack([assignments, mask.astype(np.int64)])
+        unique_rows, index = np.unique(pairs, axis=0, return_inverse=True)
+        table = codewords[unique_rows[:, 0]] * unique_rows[:, 1:].astype(bool)
+    return table, index.reshape(-1).astype(np.int64)
+
+
 def reconstruct_weight(codebook: Codebook, assignments: np.ndarray,
                        weight_shape: Tuple[int, ...], d: int,
                        mask: Optional[np.ndarray] = None,

@@ -28,6 +28,15 @@ from repro.nn.losses import CrossEntropyLoss, MSELoss, Loss
 from repro.nn.optim import SGD, Adam, AdamW, Optimizer
 from repro.nn.train import Trainer, evaluate_accuracy
 from repro.nn.flops import count_flops, count_sparse_flops, count_parameters
+from repro.nn.compressed import (
+    CentroidEngine,
+    CompressedConv2d,
+    CompressedLinear,
+    InferenceCostModel,
+    compress_module,
+    swap_to_compressed,
+)
+from repro.nn.serve import predict_batched
 
 __all__ = [
     "Parameter",
@@ -57,4 +66,11 @@ __all__ = [
     "count_flops",
     "count_sparse_flops",
     "count_parameters",
+    "CentroidEngine",
+    "CompressedConv2d",
+    "CompressedLinear",
+    "InferenceCostModel",
+    "compress_module",
+    "swap_to_compressed",
+    "predict_batched",
 ]

@@ -1,0 +1,531 @@
+"""Decode-free compressed-domain inference (the paper's Section 5 datapath).
+
+:class:`CompressedLinear` and :class:`CompressedConv2d` run forward — and
+backward with respect to activations — directly from ``(codebook,
+assignments, mask)`` without materialising the dense weight tensor per
+call.  The centroid-domain path mirrors what the MVQ accelerator does in
+hardware: activations are combined with the small effective-codeword table
+once (``(batch, U)`` products, ``U ≪ N_G``) and partial sums are routed to
+outputs by assignment index, the product-reuse idea of the CRF + assignment
+routing datapath.
+
+Three execution modes per layer:
+
+* ``"centroid"`` — the decode-free path.  For grouping strategies whose
+  subvectors lie along the *reduction* dimension (``INPUT``, ``KERNEL``)
+  the forward pass is *gather-form*: one skinny GEMM against the table
+  followed by a fused segment-gather of partial sums.  For the paper's
+  ``OUTPUT`` grouping the forward pass is *scatter-form* (activations are
+  segment-summed per codeword first) and the backward pass is gather-form.
+* ``"dense"`` — reconstruct the weight matrix **once**, cache it, and run
+  ordinary GEMMs.  Still serves from compressed storage (nothing is decoded
+  per call after the first), and on BLAS-backed CPUs it is usually the
+  fastest steady state.
+* ``"auto"`` — a calibrated :class:`InferenceCostModel` picks between the
+  two per (layer, batch, dtype).  On CPU the gather/scatter rates are far
+  below BLAS GEMM rates, so large layers fall back to the cached-dense
+  path exactly as large ``k``/``U`` erodes the centroid path's reuse; on
+  the modelled accelerator the same formulas favour the centroid path.
+
+The centroid implementations are exact (not approximations): every mode
+produces bit-comparable results up to float summation order, which the
+equivalence tests pin down across grouping strategies, mask settings and
+compute dtypes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.codebook import Codebook
+from repro.core.grouping import GroupingStrategy, grouped_shape, ungroup_weight
+from repro.core.precision import compute_dtype, distance_block_bytes
+from repro.core.reconstruct import effective_subvector_table
+from repro.nn import functional as F
+from repro.nn.module import Module
+from repro.nn.tensor import Parameter
+
+MODES = ("auto", "centroid", "dense")
+
+
+@dataclass
+class InferenceCostModel:
+    """Per-primitive throughput estimates behind ``mode="auto"``.
+
+    The constants are element/FLOP rates of the numpy primitives each path
+    is built from, calibrated on a single AVX core; they only need to be
+    directionally right, since the selection compares path estimates
+    against each other.  Lowering ``gather_elems_per_s``/raising
+    ``gemm_flops_per_s`` models a CPU (dense GEMM wins); the converse
+    models accelerator-style hardware where routing is free and FLOPs are
+    the scarce resource.
+    """
+
+    #: large-K BLAS GEMM throughput (FLOP/s)
+    gemm_flops_per_s: float = 3.0e10
+    #: GEMM against the (U, d) table: K == d is tiny, BLAS runs far below peak
+    skinny_gemm_flops_per_s: float = 3.0e9
+    #: fancy-indexed gather + accumulate (elements/s)
+    gather_elems_per_s: float = 3.0e8
+    #: ``np.add.at`` scatter-accumulate (elements/s)
+    scatter_elems_per_s: float = 5.0e7
+    #: layout transposes / copies (elements/s)
+    copy_elems_per_s: float = 2.0e8
+    #: float32 speedup over the float64 rates above
+    fp32_speedup: float = 2.0
+
+    def _scale(self, dtype: np.dtype) -> float:
+        return self.fp32_speedup if np.dtype(dtype) == np.float32 else 1.0
+
+    def dense_seconds(self, batch: int, n_in: int, n_out: int,
+                      dtype=np.float64) -> float:
+        """Steady-state cost of the cached-dense GEMM path."""
+        return 2.0 * batch * n_in * n_out / (self.gemm_flops_per_s * self._scale(dtype))
+
+    def centroid_seconds(self, batch: int, n_in: int, n_out: int, d: int,
+                         table_size: int, gather_form: bool,
+                         dtype=np.float64) -> float:
+        """Cost of the decode-free path.
+
+        ``gather_form`` selects the fused segment-gather variant (reduction
+        -side grouping); the scatter variant pays ``np.add.at`` rates
+        instead.  Both share the skinny table GEMM whose cost scales with
+        ``table_size`` — this is where large ``k`` (relative to ``N_G``)
+        erodes the centroid path's product reuse.
+        """
+        scale = self._scale(dtype)
+        num_blocks = n_in // d if gather_form else n_in
+        seconds = 2.0 * batch * n_in * table_size / (self.skinny_gemm_flops_per_s * scale)
+        if gather_form:
+            # transpose of the (batch, NB, U) product tensor + routed gather
+            seconds += batch * num_blocks * table_size / (self.copy_elems_per_s * scale)
+            seconds += batch * n_out * num_blocks / (self.gather_elems_per_s * scale)
+        else:
+            # scatter-form: segment-sum activations per output group first
+            seconds += batch * n_in * (n_out // d) / (self.scatter_elems_per_s * scale)
+        return seconds
+
+    def select(self, batch: int, n_in: int, n_out: int, d: int,
+               table_size: int, gather_form: bool, dtype=np.float64) -> str:
+        dense = self.dense_seconds(batch, n_in, n_out, dtype)
+        centroid = self.centroid_seconds(batch, n_in, n_out, d, table_size,
+                                         gather_form, dtype)
+        return "centroid" if centroid < dense else "dense"
+
+
+#: grouping strategies whose subvectors lie along the GEMM reduction axis,
+#: making the centroid *forward* pass gather-form (fast segment-gather)
+_REDUCTION_SIDE = (GroupingStrategy.INPUT, GroupingStrategy.KERNEL)
+
+
+class CentroidEngine:
+    """Strategy-aware compressed GEMM core shared by Linear and Conv2d.
+
+    Operates on the im2col view: ``forward(cols) -> (batch, c_out)`` and
+    ``backward(grad) -> grad_cols``, where ``cols`` rows are laid out
+    ``(c_in, kh, kw)`` exactly as :func:`repro.nn.functional.im2col`
+    produces them.
+    """
+
+    def __init__(self, codebook: Codebook, assignments: np.ndarray,
+                 mask: Optional[np.ndarray], weight_shape: Tuple[int, ...],
+                 d: int, strategy: GroupingStrategy,
+                 mode: str = "auto",
+                 cost_model: Optional[InferenceCostModel] = None):
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        shape4 = weight_shape if len(weight_shape) == 4 else (*weight_shape, 1, 1)
+        expected = grouped_shape(shape4, d, strategy)
+        assignments = np.asarray(assignments, dtype=np.int64)
+        if assignments.shape[0] != expected[0]:
+            raise ValueError(
+                f"{assignments.shape[0]} assignments for {expected[0]} subvectors")
+        self.codebook = codebook
+        self.assignments = assignments
+        self.mask = None if mask is None else np.asarray(mask, dtype=bool)
+        self.weight_shape = tuple(weight_shape)
+        self.c_out, self.c_in, self.kh, self.kw = shape4
+        self.n_in = self.c_in * self.kh * self.kw
+        self.d = d
+        self.strategy = strategy
+        self.mode = mode
+        self.cost_model = cost_model or InferenceCostModel()
+        self.gather_forward = strategy in _REDUCTION_SIDE
+
+        self._table: Optional[np.ndarray] = None       # (U, d) float64
+        self._index: Optional[np.ndarray] = None       # (N_G,)
+        self._assign2d: Optional[np.ndarray] = None    # strategy-specific 2D view
+        self._dense_cache: Dict[str, np.ndarray] = {}  # dtype -> (c_out, n_in)
+        self._table_cache: Dict[str, np.ndarray] = {}  # dtype -> (U, d)
+
+    # -- compressed state -----------------------------------------------------
+    def _build_table(self) -> None:
+        if self._table is not None:
+            return
+        self._table, self._index = effective_subvector_table(
+            self.codebook, self.assignments, self.mask)
+        s = self.strategy
+        if s is GroupingStrategy.OUTPUT:
+            # rows (c_out/d, c_in, kh, kw): one assignment row per output group
+            self._assign2d = self._index.reshape(self.c_out // self.d, self.n_in)
+        elif s is GroupingStrategy.INPUT:
+            # rows (c_out, c_in/d, kh, kw): blocks stride the reduction axis
+            self._assign2d = self._index.reshape(
+                self.c_out, (self.c_in // self.d) * self.kh * self.kw)
+        else:  # KERNEL: rows (c_out, c_in), one kernel plane per subvector
+            self._assign2d = self._index.reshape(self.c_out, self.c_in)
+
+    @property
+    def table_size(self) -> int:
+        """U — number of distinct decoded subvector values."""
+        self._build_table()
+        return int(self._table.shape[0])
+
+    @property
+    def num_blocks(self) -> int:
+        """Subvector blocks along the reduction axis (gather-form only)."""
+        return self.n_in // self.d if self.gather_forward else self.n_in
+
+    def _table_as(self, dtype: np.dtype) -> np.ndarray:
+        self._build_table()
+        key = np.dtype(dtype).name
+        if key not in self._table_cache:
+            self._table_cache[key] = np.ascontiguousarray(self._table, dtype=dtype)
+        return self._table_cache[key]
+
+    def weight_matrix(self, dtype: np.dtype) -> np.ndarray:
+        """Cached dense ``(c_out, n_in)`` weight matrix (built at most once
+        per dtype — this is the 'decode once' fallback, not a per-call decode)."""
+        key = np.dtype(dtype).name
+        if key not in self._dense_cache:
+            self._build_table()
+            grouped = self._table[self._index]
+            weight = ungroup_weight(grouped, self.weight_shape, self.d, self.strategy)
+            w_mat = weight.reshape(self.c_out, self.n_in)
+            self._dense_cache[key] = np.ascontiguousarray(w_mat, dtype=dtype)
+        return self._dense_cache[key]
+
+    # -- mode selection -------------------------------------------------------
+    def choose_mode(self, batch: int, dtype: np.dtype) -> str:
+        if self.mode != "auto":
+            return self.mode
+        return self.cost_model.select(batch, self.n_in, self.c_out, self.d,
+                                      self.table_size, self.gather_forward, dtype)
+
+    # -- block layout helpers (gather-form strategies) ------------------------
+    def _to_blocks(self, cols: np.ndarray) -> np.ndarray:
+        """``(batch, n_in)`` im2col rows -> ``(batch, NB, d)`` subvector blocks."""
+        b = cols.shape[0]
+        if self.strategy is GroupingStrategy.KERNEL:
+            return cols.reshape(b, self.c_in, self.kh * self.kw)
+        # INPUT: channels are the subvector axis, strided by kh*kw in cols
+        xb = cols.reshape(b, self.c_in // self.d, self.d, self.kh * self.kw)
+        return np.ascontiguousarray(xb.transpose(0, 1, 3, 2)).reshape(
+            b, self.num_blocks, self.d)
+
+    def _from_blocks(self, xb: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`_to_blocks` for the backward pass."""
+        b = xb.shape[0]
+        if self.strategy is GroupingStrategy.KERNEL:
+            return xb.reshape(b, self.n_in)
+        xb = xb.reshape(b, self.c_in // self.d, self.kh * self.kw, self.d)
+        return np.ascontiguousarray(xb.transpose(0, 1, 3, 2)).reshape(b, self.n_in)
+
+    def _batch_chunk(self, width: int, itemsize: int) -> int:
+        """Batch rows per chunk so intermediates respect the block budget."""
+        return max(1, distance_block_bytes() // max(1, width * itemsize))
+
+    # -- centroid-domain cores -------------------------------------------------
+    # Forward and backward are the same two primitives with the roles of
+    # the block and output dimensions swapped, so one gather core and one
+    # scatter core serve all four directions:
+    #
+    # * gather: subvector-shaped operands meet the table once per
+    #   (row, codeword), then a fused segment-gather routes partial sums —
+    #   ``route`` maps (row, output) to the table entry to pick up.
+    # * scatter: flat operands are segment-summed per (row, codeword)
+    #   first (``route`` maps (row, operand) to the segment), then one
+    #   small GEMM against the table expands each segment to d outputs.
+
+    def _gather_core(self, rows3: np.ndarray, route: np.ndarray,
+                     out_width: int) -> np.ndarray:
+        """``(bc, R, d)`` operands x table -> routed ``(bc, out_width)``."""
+        table = self._table_as(rows3.dtype)
+        u = table.shape[0]
+        bc, r, _ = rows3.shape
+        prod = (rows3.reshape(bc * r, self.d) @ table.T).reshape(bc, r, u)
+        # (R, U, bc) layout makes each routed read a contiguous bc-vector
+        prod = np.ascontiguousarray(prod.transpose(1, 2, 0))
+        acc = np.zeros((out_width, bc), dtype=rows3.dtype)
+        chunk = max(1, distance_block_bytes() //
+                    max(1, out_width * bc * rows3.itemsize))
+        for lo in range(0, r, chunk):
+            rr = np.arange(lo, min(lo + chunk, r))
+            acc += prod[rr[:, None], route[rr]].sum(axis=0)
+        return acc.T
+
+    def _scatter_core(self, values: np.ndarray, route: np.ndarray) -> np.ndarray:
+        """``(bc, M)`` operands segment-summed by ``route`` (R, M), then
+        expanded through the table -> ``(bc, R, d)``."""
+        table = self._table_as(values.dtype)
+        u = table.shape[0]
+        bc = values.shape[0]
+        r = route.shape[0]
+        seg = np.zeros((r, u, bc), dtype=values.dtype)
+        np.add.at(seg, (np.arange(r)[:, None], route), values.T[None, :, :])
+        expanded = seg.transpose(0, 2, 1).reshape(r * bc, u) @ table
+        return np.ascontiguousarray(
+            expanded.reshape(r, bc, self.d).transpose(1, 0, 2))
+
+    def _centroid_chunks(self, total: int, itemsize: int):
+        """Batch-row chunks sized so the (bc, R, U) product tensor of
+        either core respects the global block budget."""
+        self._build_table()
+        width = max(self.num_blocks, self.c_out // self.d) * self.table_size
+        chunk = self._batch_chunk(width, itemsize)
+        for lo in range(0, total, chunk):
+            yield lo, min(lo + chunk, total)
+
+    # -- centroid-domain forward ----------------------------------------------
+    def _forward_gather(self, cols: np.ndarray) -> np.ndarray:
+        """Gather-form: skinny table GEMM, then fused segment-gather."""
+        out = np.empty((cols.shape[0], self.c_out), dtype=cols.dtype)
+        for lo, hi in self._centroid_chunks(cols.shape[0], cols.itemsize):
+            out[lo:hi] = self._gather_core(
+                self._to_blocks(cols[lo:hi]), self._assign2d.T, self.c_out)
+        return out
+
+    def _forward_scatter(self, cols: np.ndarray) -> np.ndarray:
+        """Scatter-form (OUTPUT grouping): segment-sum activations per
+        codeword and output group, then one small GEMM against the table."""
+        out = np.empty((cols.shape[0], self.c_out), dtype=cols.dtype)
+        for lo, hi in self._centroid_chunks(cols.shape[0], cols.itemsize):
+            partial = self._scatter_core(cols[lo:hi], self._assign2d)
+            out[lo:hi] = partial.reshape(hi - lo, self.c_out)
+        return out
+
+    # -- centroid-domain backward (w.r.t. activations) ------------------------
+    def _backward_gather(self, grad_out: np.ndarray) -> np.ndarray:
+        """OUTPUT grouping: the transpose product is gather-form."""
+        n_go = self.c_out // self.d
+        grad_cols = np.empty((grad_out.shape[0], self.n_in), dtype=grad_out.dtype)
+        for lo, hi in self._centroid_chunks(grad_out.shape[0], grad_out.itemsize):
+            rows3 = grad_out[lo:hi].reshape(hi - lo, n_go, self.d)
+            grad_cols[lo:hi] = self._gather_core(rows3, self._assign2d, self.n_in)
+        return grad_cols
+
+    def _backward_scatter(self, grad_out: np.ndarray) -> np.ndarray:
+        """INPUT/KERNEL grouping: scatter grad_out per codeword, then GEMM."""
+        grad_cols = np.empty((grad_out.shape[0], self.n_in), dtype=grad_out.dtype)
+        for lo, hi in self._centroid_chunks(grad_out.shape[0], grad_out.itemsize):
+            blocks3 = self._scatter_core(grad_out[lo:hi], self._assign2d.T)
+            grad_cols[lo:hi] = self._from_blocks(blocks3)
+        return grad_cols
+
+    # -- public entry points --------------------------------------------------
+    def forward(self, cols: np.ndarray) -> np.ndarray:
+        mode = self.choose_mode(cols.shape[0], cols.dtype)
+        if mode == "dense":
+            return cols @ self.weight_matrix(cols.dtype).T
+        if self.gather_forward:
+            return self._forward_gather(cols)
+        return self._forward_scatter(cols)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        mode = self.choose_mode(grad_out.shape[0], grad_out.dtype)
+        if mode == "dense":
+            return grad_out @ self.weight_matrix(grad_out.dtype)
+        if self.gather_forward:          # forward gathered -> backward scatters
+            return self._backward_scatter(grad_out)
+        return self._backward_gather(grad_out)
+
+
+class CompressedLinear(Module):
+    """A Linear layer that serves directly from compressed storage."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 codebook: Codebook, assignments: np.ndarray,
+                 mask: Optional[np.ndarray], d: int,
+                 strategy: GroupingStrategy = GroupingStrategy.OUTPUT,
+                 bias: Optional[np.ndarray] = None,
+                 mode: str = "auto",
+                 cost_model: Optional[InferenceCostModel] = None,
+                 dtype=None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.dtype = np.dtype(dtype) if dtype is not None else compute_dtype()
+        self.engine = CentroidEngine(codebook, assignments, mask,
+                                     (out_features, in_features), d, strategy,
+                                     mode=mode, cost_model=cost_model)
+        self.bias = (Parameter(np.asarray(bias, dtype=np.float64), name="bias")
+                     if bias is not None else None)
+        self._cache: Optional[Tuple[int, ...]] = None
+
+    @classmethod
+    def from_layer(cls, layer, state, mode: str = "auto",
+                   cost_model: Optional[InferenceCostModel] = None
+                   ) -> "CompressedLinear":
+        """Build from an ``nn.Linear`` and its core ``CompressedLayer``."""
+        mask = state.mask if state.config.store_mask else None
+        return cls(layer.in_features, layer.out_features,
+                   state.codebook, state.assignments, mask,
+                   state.config.d, state.config.strategy,
+                   bias=None if layer.bias is None else layer.bias.value.copy(),
+                   mode=mode, cost_model=cost_model,
+                   dtype=layer.weight.value.dtype)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x).astype(self.dtype, copy=False)
+        self._cache = x.shape
+        x2d = x.reshape(-1, self.in_features)
+        out = self.engine.forward(np.ascontiguousarray(x2d))
+        if self.bias is not None:
+            out += self.bias.value
+        return out.reshape(*x.shape[:-1], self.out_features)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        g2d = np.ascontiguousarray(grad_out.reshape(-1, self.out_features))
+        if self.bias is not None:
+            self.bias.accumulate_grad(g2d.sum(axis=0))
+        return self.engine.backward(g2d).reshape(self._cache)
+
+
+class CompressedConv2d(Module):
+    """A dense Conv2d that serves directly from compressed storage.
+
+    Keeps Conv2d's interface surface (channel/kernel/stride attributes and
+    the im2col ``_cache``) so FLOPs counting and downstream tooling treat
+    it as a convolution.  Holds a persistent im2col buffer that batched
+    serving (:func:`repro.nn.serve.predict_batched`) reuses across calls.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 codebook: Codebook, assignments: np.ndarray,
+                 mask: Optional[np.ndarray], d: int,
+                 strategy: GroupingStrategy = GroupingStrategy.OUTPUT,
+                 stride: int = 1, padding: int = 0,
+                 bias: Optional[np.ndarray] = None,
+                 mode: str = "auto",
+                 cost_model: Optional[InferenceCostModel] = None,
+                 dtype=None):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.depthwise = False
+        self.groups = 1
+        self.dtype = np.dtype(dtype) if dtype is not None else compute_dtype()
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.engine = CentroidEngine(codebook, assignments, mask, shape, d,
+                                     strategy, mode=mode, cost_model=cost_model)
+        self.bias = (Parameter(np.asarray(bias, dtype=np.float64), name="bias")
+                     if bias is not None else None)
+        self._cache = None
+        self._col_buffer: Optional[np.ndarray] = None
+
+    @classmethod
+    def from_layer(cls, layer, state, mode: str = "auto",
+                   cost_model: Optional[InferenceCostModel] = None
+                   ) -> "CompressedConv2d":
+        """Build from an ``nn.Conv2d`` and its core ``CompressedLayer``."""
+        if layer.depthwise:
+            raise ValueError("depthwise convolutions are not compressed")
+        mask = state.mask if state.config.store_mask else None
+        return cls(layer.in_channels, layer.out_channels, layer.kernel_size,
+                   state.codebook, state.assignments, mask,
+                   state.config.d, state.config.strategy,
+                   stride=layer.stride, padding=layer.padding,
+                   bias=None if layer.bias is None else layer.bias.value.copy(),
+                   mode=mode, cost_model=cost_model,
+                   dtype=layer.weight.value.dtype)
+
+    def _columns(self, x: np.ndarray) -> np.ndarray:
+        n, _, h, w = x.shape
+        k = self.kernel_size
+        out_h = F.conv_output_size(h, k, self.stride, self.padding)
+        out_w = F.conv_output_size(w, k, self.stride, self.padding)
+        shape = (n * out_h * out_w, self.in_channels * k * k)
+        buf = self._col_buffer
+        if buf is None or buf.shape != shape or buf.dtype != x.dtype:
+            buf = np.empty(shape, dtype=x.dtype)
+            self._col_buffer = buf
+        return F.im2col(x, (k, k), self.stride, self.padding, out=buf)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x).astype(self.dtype, copy=False)
+        n, _, h, w = x.shape
+        k = self.kernel_size
+        out_h = F.conv_output_size(h, k, self.stride, self.padding)
+        out_w = F.conv_output_size(w, k, self.stride, self.padding)
+        cols = self._columns(x)
+        out = self.engine.forward(cols)
+        if self.bias is not None:
+            out += self.bias.value
+        self._cache = (cols, x.shape)
+        return out.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Gradient w.r.t. activations only — compressed weights are frozen."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        _, x_shape = self._cache
+        grad_mat = np.ascontiguousarray(
+            grad_out.transpose(0, 2, 3, 1).reshape(-1, self.out_channels))
+        if self.bias is not None:
+            self.bias.accumulate_grad(grad_mat.sum(axis=0))
+        grad_cols = self.engine.backward(grad_mat)
+        k = self.kernel_size
+        return F.col2im(grad_cols, x_shape, (k, k), self.stride, self.padding)
+
+
+def compress_module(module: Module, state, mode: str = "auto",
+                    cost_model: Optional[InferenceCostModel] = None) -> Module:
+    """The compressed counterpart of one Linear/Conv2d module."""
+    from repro.nn.layers import Conv2d, Linear
+    if isinstance(module, Conv2d):
+        return CompressedConv2d.from_layer(module, state, mode, cost_model)
+    if isinstance(module, Linear):
+        return CompressedLinear.from_layer(module, state, mode, cost_model)
+    raise TypeError(f"cannot compress module of type {type(module).__name__}")
+
+
+def _replace_module(root: Module, dotted: str, replacement: Module) -> None:
+    """Swap the module at ``dotted`` path (attribute or list entry) in place."""
+    parts = dotted.split(".")
+    parent: object = root
+    for part in parts[:-1]:
+        parent = parent[int(part)] if part.isdigit() else getattr(parent, part)
+    leaf = parts[-1]
+    if leaf.isdigit():
+        idx = int(leaf)
+        if isinstance(parent, tuple):
+            raise TypeError(
+                f"cannot replace {dotted!r}: container is an immutable tuple")
+        parent[idx] = replacement
+    else:
+        setattr(parent, leaf, replacement)
+
+
+def swap_to_compressed(model: Module, compressed_model, mode: str = "auto",
+                       cost_model: Optional[InferenceCostModel] = None
+                       ) -> Dict[str, Module]:
+    """Replace every compressed layer of ``model`` with a compressed module.
+
+    ``compressed_model`` is a :class:`repro.core.compressor.CompressedModel`;
+    returns the mapping of dotted layer names to the new modules.
+    """
+    modules = dict(model.named_modules())
+    swapped: Dict[str, Module] = {}
+    for name, state in compressed_model.layers.items():
+        replacement = compress_module(modules[name], state, mode, cost_model)
+        _replace_module(model, name, replacement)
+        swapped[name] = replacement
+    return swapped

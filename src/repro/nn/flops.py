@@ -14,6 +14,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.nn.compressed import CompressedConv2d, CompressedLinear
 from repro.nn.layers import Conv2d, Linear
 from repro.nn.module import Module
 
@@ -32,7 +33,7 @@ def per_layer_flops(model: Module, input_shape, batch: int = 1) -> Dict[str, int
 
     flops: Dict[str, int] = {}
     for name, mod in model.named_modules():
-        if isinstance(mod, Conv2d) and mod._cache is not None:
+        if isinstance(mod, (Conv2d, CompressedConv2d)) and mod._cache is not None:
             cols, x_shape = mod._cache
             out_positions = cols.shape[0] // x_shape[0]  # out_h * out_w
             if mod.depthwise:
@@ -48,6 +49,9 @@ def per_layer_flops(model: Module, input_shape, batch: int = 1) -> Dict[str, int
                 )
         elif isinstance(mod, Linear) and mod._cache is not None:
             rows = int(np.prod(mod._cache.shape[:-1]))
+            flops[name] = 2 * rows * mod.in_features * mod.out_features * batch
+        elif isinstance(mod, CompressedLinear) and mod._cache is not None:
+            rows = int(np.prod(mod._cache[:-1]))  # cached input shape tuple
             flops[name] = 2 * rows * mod.in_features * mod.out_features * batch
     return flops
 

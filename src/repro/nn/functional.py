@@ -7,7 +7,7 @@ All tensors follow the NCHW layout used throughout the paper.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -24,12 +24,19 @@ def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
 
 
 def im2col(
-    x: np.ndarray, kernel: Tuple[int, int], stride: int, padding: int
+    x: np.ndarray, kernel: Tuple[int, int], stride: int, padding: int,
+    out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Lower ``x`` of shape (N, C, H, W) to columns.
 
     Returns an array of shape ``(N * out_h * out_w, C * kh * kw)`` where each
-    row holds one receptive field.
+    row holds one receptive field.  The receptive fields are materialised
+    from a zero-copy :func:`~numpy.lib.stride_tricks.sliding_window_view`,
+    so the only data movement is the single final copy into row layout.
+
+    ``out`` may supply a preallocated ``(N * out_h * out_w, C * kh * kw)``
+    buffer (matching dtype) that receives that copy — serving loops reuse
+    one buffer across calls instead of allocating per batch.
     """
     n, c, h, w = x.shape
     kh, kw = kernel
@@ -41,16 +48,22 @@ def im2col(
             x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
         )
 
-    cols = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
-    for i in range(kh):
-        i_max = i + stride * out_h
-        for j in range(kw):
-            j_max = j + stride * out_w
-            cols[:, :, i, j, :, :] = x[:, :, i:i_max:stride, j:j_max:stride]
+    # (N, C, H', W', kh, kw) strided view of every receptive field
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
+    if stride > 1:
+        windows = windows[:, :, ::stride, ::stride]
 
-    # (N, out_h, out_w, C, kh, kw) -> rows
-    cols = cols.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, -1)
-    return cols
+    rows, width = n * out_h * out_w, c * kh * kw
+    if out is None:
+        out = np.empty((rows, width), dtype=x.dtype)
+    elif out.shape != (rows, width) or out.dtype != x.dtype:
+        raise ValueError(
+            f"im2col buffer must be {(rows, width)} {x.dtype}, "
+            f"got {out.shape} {out.dtype}"
+        )
+    # (N, out_h, out_w, C, kh, kw) -> rows; the assignment is the one copy
+    out.reshape(n, out_h, out_w, c, kh, kw)[...] = windows.transpose(0, 2, 3, 1, 4, 5)
+    return out
 
 
 def col2im(

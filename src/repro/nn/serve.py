@@ -1,0 +1,59 @@
+"""Batched inference serving on top of the compressed-domain engine.
+
+:func:`predict_batched` is the steady-state serving loop: it slices a
+request stream into fixed-size batches and pushes them through the model in
+eval mode.  Keeping the batch shape constant is what lets every
+:class:`~repro.nn.compressed.CompressedConv2d` reuse its persistent im2col
+buffer call after call — the last partial batch is zero-padded up to the
+batch size (and the padding outputs dropped) for exactly that reason.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def predict_batched(model: Module, inputs: np.ndarray, batch_size: int = 32,
+                    pad_partial: bool = True) -> np.ndarray:
+    """Forward ``inputs`` through ``model`` in fixed-size batches.
+
+    Parameters
+    ----------
+    inputs:
+        Stacked requests, shape ``(num_samples, ...)``.
+    batch_size:
+        Rows per forward call.  All full batches share one activation
+        shape, so compressed convolutions hit their im2col buffers.
+    pad_partial:
+        Zero-pad the final short batch up to ``batch_size`` (padding rows
+        are discarded from the output).  Keeps buffer shapes stable for a
+        stream of arbitrary length; disable to forward the tail as-is.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    inputs = np.asarray(inputs)
+    n = inputs.shape[0]
+    was_training = model.training
+    model.eval()
+    try:
+        outputs: Optional[np.ndarray] = None
+        for lo in range(0, n, batch_size):
+            batch = inputs[lo:lo + batch_size]
+            valid = batch.shape[0]
+            if valid < batch_size and pad_partial:
+                padded = np.zeros((batch_size, *inputs.shape[1:]), dtype=inputs.dtype)
+                padded[:valid] = batch
+                batch = padded
+            out = np.asarray(model.forward(batch))[:valid]
+            if outputs is None:
+                outputs = np.empty((n, *out.shape[1:]), dtype=out.dtype)
+            outputs[lo:lo + valid] = out
+        if outputs is None:
+            raise ValueError("predict_batched needs at least one input row")
+        return outputs
+    finally:
+        model.train(was_training)

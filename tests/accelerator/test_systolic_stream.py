@@ -1,0 +1,191 @@
+"""Batched tile streams must be bit-identical to the scalar PE loop —
+outputs, per-PE gating counters and latched operand registers alike."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator.energy import EnergyModel
+from repro.accelerator.systolic import (
+    DenseTile,
+    SparseTile,
+    StreamStats,
+    lzc_encode_mask,
+    sparse_stream_matches_dense,
+    stream_gating_stats,
+)
+from repro.core.pruning import nm_prune_mask
+
+
+def _workload(rng, s=23, t=17, d=16, q=4, weight_zeros=0.2, act_zeros=0.3):
+    weights = rng.normal(size=(s, d))
+    weights[rng.random(size=weights.shape) < weight_zeros] = 0.0
+    mask = nm_prune_mask(np.abs(weights) + rng.random(weights.shape) * 0.01, q, d)
+    acts = rng.normal(size=t)
+    acts[rng.random(t) < act_zeros] = 0.0
+    return weights, mask, acts
+
+
+def _scalar_reference(weights, mask, acts, d, q):
+    dense, sparse = DenseTile(d), SparseTile(d, q)
+    dense_out, sparse_out = [], []
+    for s in range(weights.shape[0]):
+        sparse.load_weights(weights[s] * mask[s], mask[s])
+        for t in range(acts.size):
+            dense_out.append(dense.compute(weights[s] * mask[s], float(acts[t])))
+            sparse_out.append(sparse.compute(float(acts[t])))
+    shape = (weights.shape[0], acts.size, d)
+    return (dense, np.array(dense_out).reshape(shape),
+            sparse, np.array(sparse_out).reshape(shape))
+
+
+def _pe_state(pe):
+    return (pe.gated_ops, pe.active_ops, pe._held_weight, pe._held_input)
+
+
+class TestStreamBitIdentical:
+    def test_dense_stream_matches_scalar(self, rng):
+        weights, mask, acts = _workload(rng)
+        ref_tile, ref_out, _, _ = _scalar_reference(weights, mask, acts, 16, 4)
+        tile = DenseTile(16)
+        out = tile.compute_stream(weights * mask, acts)
+        assert np.array_equal(out, ref_out)
+        assert not np.any(np.signbit(out) != np.signbit(ref_out))
+        assert [_pe_state(pe) for pe in tile.pes] == \
+               [_pe_state(pe) for pe in ref_tile.pes]
+
+    def test_sparse_stream_matches_scalar(self, rng):
+        weights, mask, acts = _workload(rng)
+        _, _, ref_tile, ref_out = _scalar_reference(weights, mask, acts, 16, 4)
+        tile = SparseTile(16, 4)
+        out = tile.compute_stream_array(weights * mask, mask, acts)
+        assert np.array_equal(out, ref_out)
+        assert not np.any(np.signbit(out) != np.signbit(ref_out))
+        assert [_pe_state(pe) for pe in tile.pes] == \
+               [_pe_state(pe) for pe in ref_tile.pes]
+        # the WRF/MRF hold the last subvector, as after the scalar sequence
+        np.testing.assert_array_equal(tile._mrf, ref_tile._mrf)
+        np.testing.assert_array_equal(tile._wrf, ref_tile._wrf)
+
+    def test_single_subvector_stream(self, rng):
+        """(d,) weights stream one subvector against many activations."""
+        weights = np.array([1.0, 0.0, -2.0, 3.0])
+        acts = np.array([2.0, 0.0, -1.0])
+        ref = DenseTile(4)
+        expected = np.array([ref.compute(weights, float(a)) for a in acts])
+        tile = DenseTile(4)
+        out = tile.compute_stream(weights, acts)
+        assert out.shape == (3, 4)
+        assert np.array_equal(out, expected)
+        assert [_pe_state(pe) for pe in tile.pes] == \
+               [_pe_state(pe) for pe in ref.pes]
+
+    def test_loaded_sparse_compute_stream(self, rng):
+        weights, mask, acts = _workload(rng, s=1)
+        ref = SparseTile(16, 4)
+        ref.load_weights(weights[0] * mask[0], mask[0])
+        expected = np.array([ref.compute(float(a)) for a in acts])
+        tile = SparseTile(16, 4)
+        tile.load_weights(weights[0] * mask[0], mask[0])
+        out = tile.compute_stream(acts)
+        assert np.array_equal(out, expected)
+        assert [_pe_state(pe) for pe in tile.pes[:4]] == \
+               [_pe_state(pe) for pe in ref.pes[:4]]
+
+    def test_stream_before_load_raises(self):
+        with pytest.raises(RuntimeError):
+            SparseTile(4, 2).compute_stream(np.ones(3))
+
+    def test_stream_array_respects_pe_budget(self, rng):
+        weights = rng.normal(size=(4, 8))
+        with pytest.raises(ValueError):
+            SparseTile(8, 2).compute_stream_array(
+                weights, np.ones((4, 8), dtype=bool), np.ones(3))
+
+
+class TestGatingStats:
+    def test_stats_match_scalar_counters(self, rng):
+        weights, mask, acts = _workload(rng)
+        dense_ref, _, sparse_ref, _ = _scalar_reference(weights, mask, acts, 16, 4)
+        dense_stats, sparse_stats = stream_gating_stats(weights, mask, acts, 4)
+        assert list(dense_stats.gated_per_pe) == [pe.gated_ops for pe in dense_ref.pes]
+        assert list(dense_stats.active_per_pe) == [pe.active_ops for pe in dense_ref.pes]
+        assert list(sparse_stats.gated_per_pe) == [pe.gated_ops for pe in sparse_ref.pes]
+        assert list(sparse_stats.active_per_pe) == [pe.active_ops for pe in sparse_ref.pes]
+
+    def test_sparse_gates_only_on_activations(self, rng):
+        """With all kept weights non-zero, the sparse tile's gating rate is
+        exactly the zero-activation fraction — the CMS claim."""
+        weights = np.abs(rng.normal(size=(50, 16))) + 0.1
+        mask = nm_prune_mask(weights, 4, 16)
+        acts = rng.normal(size=40)
+        acts[:10] = 0.0
+        _, sparse_stats = stream_gating_stats(weights, mask, acts, 4)
+        assert sparse_stats.gating_rate == pytest.approx(10 / 40)
+
+    def test_stats_merge(self):
+        a = StreamStats(np.array([1, 2]), np.array([3, 4]))
+        b = StreamStats(np.array([5, 6]), np.array([7, 8]))
+        merged = a.merge(b)
+        assert merged.gated_ops == 14 and merged.active_ops == 22
+        assert StreamStats(np.zeros(2, int), np.zeros(2, int)).gating_rate == 0.0
+
+    def test_equivalence_checker_on_layer_scale(self, rng):
+        weights = rng.normal(size=(600, 16))
+        mask = nm_prune_mask(np.abs(weights), 4, 16)
+        acts = rng.normal(size=32)
+        acts[::5] = 0.0
+        assert sparse_stream_matches_dense(weights, mask, acts, q=4, chunk=128)
+
+    def test_equivalence_checker_clamps_chunk(self, rng):
+        """chunk <= 0 must not degrade into vacuous empty-slice comparisons:
+        an over-budget mask still raises, exactly as with a positive chunk."""
+        weights = rng.normal(size=(8, 16))
+        mask = nm_prune_mask(np.abs(weights), 4, 16)  # keeps 4 per subvector
+        with pytest.raises(ValueError):
+            sparse_stream_matches_dense(weights, mask, np.ones(3), q=1, chunk=0)
+
+
+class TestLZCEncoder:
+    def test_cascaded_lzc_semantics(self):
+        """The vectorized encoder must still behave as the LZC cascade:
+        each stage finds the first remaining set bit, XORs it out, and the
+        stages report ascending positions."""
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            mask = rng.random(12) < 0.4
+            remaining = mask.copy()
+            cascade = []
+            while remaining.any():
+                first = int(np.argmax(remaining))
+                cascade.append(first)
+                remaining[first] = False
+            assert lzc_encode_mask(mask) == cascade
+
+    def test_returns_plain_ints(self):
+        positions = lzc_encode_mask([False, True, True])
+        assert positions == [1, 2]
+        assert all(type(p) is int for p in positions)
+
+
+class TestEnergyHook:
+    def test_measured_gating_overrides_heuristics(self, rng):
+        from repro.accelerator.config import HardwareSetting, standard_setting
+        from repro.accelerator.dataflow import analyze_network
+        from repro.accelerator.workloads import LayerShape
+
+        weights, mask, acts = _workload(rng, s=64, t=64)
+        dense_stats, sparse_stats = stream_gating_stats(weights, mask, acts, 4)
+        measured = EnergyModel.from_stream_stats(dense_stats, sparse_stats)
+        assert measured.measured_gating["dense"] == dense_stats.gating_rate
+        assert measured.measured_gating["sparse"] == sparse_stats.gating_rate
+
+        layers = [LayerShape("conv", 16, 16, 8, 8, 3, 3)]
+        config = standard_setting(HardwareSetting.EWS_CMS, 16)
+        analysis = analyze_network(layers, config)
+        heuristic = EnergyModel()
+        got = measured.breakdown(analysis, config).mac
+        want = heuristic.breakdown(analysis, config).mac
+        # the sparse array's MAC energy now scales with the measured rate
+        expected_ratio = ((1 - sparse_stats.gating_rate)
+                          / (1 - heuristic.activation_zero_fraction))
+        assert got / want == pytest.approx(expected_ratio)

@@ -179,3 +179,39 @@ class TestActivationHelpers:
         assert np.all(np.isfinite(s))
         assert np.isclose(s[2], 0.5)
         assert s[0] < 1e-4 and s[-1] > 1 - 1e-4
+
+
+class TestIm2colBuffer:
+    def test_out_buffer_reused(self, rng):
+        x = rng.normal(size=(2, 3, 6, 6))
+        cols = F.im2col(x, (3, 3), 1, 1)
+        buf = np.empty_like(cols)
+        result = F.im2col(x, (3, 3), 1, 1, out=buf)
+        assert result is buf
+        np.testing.assert_array_equal(result, cols)
+
+    def test_out_buffer_shape_checked(self, rng):
+        x = rng.normal(size=(2, 3, 6, 6))
+        with pytest.raises(ValueError):
+            F.im2col(x, (3, 3), 1, 1, out=np.empty((1, 1)))
+        with pytest.raises(ValueError):
+            F.im2col(x, (3, 3), 1, 1,
+                     out=np.empty((2 * 6 * 6, 27), dtype=np.float32))
+
+    def test_matches_naive_receptive_fields(self, rng):
+        """Each row is one receptive field in (C, kh, kw) layout — checked
+        against a direct loop over output positions."""
+        x = rng.normal(size=(2, 3, 5, 7))
+        stride, padding, k = 2, 1, 3
+        cols = F.im2col(x, (k, k), stride, padding)
+        xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+        out_h = (5 + 2 * padding - k) // stride + 1
+        out_w = (7 + 2 * padding - k) // stride + 1
+        row = 0
+        for n in range(2):
+            for i in range(out_h):
+                for j in range(out_w):
+                    field = xp[n, :, i * stride:i * stride + k,
+                               j * stride:j * stride + k]
+                    np.testing.assert_array_equal(cols[row], field.reshape(-1))
+                    row += 1

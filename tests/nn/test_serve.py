@@ -1,0 +1,71 @@
+"""Batched serving: output equivalence, buffer reuse, partial batches."""
+
+import numpy as np
+import pytest
+
+from repro.core import LayerCompressionConfig, MVQCompressor
+from repro.nn import Conv2d, Sequential, predict_batched
+from repro.nn.compressed import CompressedConv2d
+
+
+def _compressed_stack():
+    model = Sequential(
+        Conv2d(4, 8, 3, padding=1, rng=np.random.default_rng(0)),
+        Conv2d(8, 8, 3, padding=1, rng=np.random.default_rng(1)),
+    )
+    cfg = LayerCompressionConfig(k=8, d=8, max_kmeans_iterations=5)
+    MVQCompressor(cfg).export_compressed_model(model)
+    return model
+
+
+class TestPredictBatched:
+    def test_matches_single_forward(self, rng):
+        model = _compressed_stack()
+        x = rng.normal(size=(10, 4, 6, 6))
+        model.eval()
+        expected = model.forward(x)
+        for batch_size in (3, 4, 10, 32):
+            out = predict_batched(model, x, batch_size=batch_size)
+            np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_reuses_im2col_buffer_across_batches(self, rng):
+        model = _compressed_stack()
+        x = rng.normal(size=(12, 4, 6, 6))
+        predict_batched(model, x, batch_size=4)
+        first = model.layers[0]
+        assert isinstance(first, CompressedConv2d)
+        buffer_id = id(first._col_buffer)
+        predict_batched(model, x, batch_size=4)
+        assert id(first._col_buffer) == buffer_id
+
+    def test_partial_batch_padding_keeps_buffer_shape(self, rng):
+        model = _compressed_stack()
+        x = rng.normal(size=(7, 4, 6, 6))
+        model.eval()
+        expected = model.forward(x)
+        out = predict_batched(model, x, batch_size=4)  # 4 + 3-row tail
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+        # padded tail ran at the full batch shape, so the buffer fits 4 rows
+        rows = 4 * 6 * 6
+        assert model.layers[0]._col_buffer.shape[0] == rows
+
+    def test_no_padding_mode(self, rng):
+        model = _compressed_stack()
+        x = rng.normal(size=(5, 4, 6, 6))
+        model.eval()
+        expected = model.forward(x)
+        out = predict_batched(model, x, batch_size=4, pad_partial=False)
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_restores_training_mode(self, rng):
+        model = _compressed_stack()
+        model.train(True)
+        predict_batched(model, rng.normal(size=(2, 4, 6, 6)), batch_size=2)
+        assert model.training
+
+    def test_invalid_inputs(self, rng):
+        model = _compressed_stack()
+        with pytest.raises(ValueError):
+            predict_batched(model, rng.normal(size=(2, 4, 6, 6)), batch_size=0)
+        with pytest.raises(ValueError):
+            predict_batched(model, np.zeros((0, 4, 6, 6)), batch_size=2)
