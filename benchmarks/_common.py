@@ -15,28 +15,13 @@ import numpy as np
 
 from repro.nn import CrossEntropyLoss, SGD, Trainer, evaluate_accuracy
 from repro.nn.data import SyntheticClassification, train_val_split
-from repro.nn.models import (
-    alexnet_mini,
-    efficientnet_lite_mini,
-    mobilenet_v1_mini,
-    mobilenet_v2_mini,
-    resnet18_mini,
-    resnet50_mini,
-    vgg16_mini,
-)
+from repro.nn.models import MODEL_ZOO
 
 NUM_CLASSES = 5
 IMAGE_SIZE = 16
 
-MODEL_FACTORIES: Dict[str, Callable] = {
-    "resnet18": resnet18_mini,
-    "resnet50": resnet50_mini,
-    "mobilenet_v1": mobilenet_v1_mini,
-    "mobilenet_v2": mobilenet_v2_mini,
-    "efficientnet": efficientnet_lite_mini,
-    "vgg16": vgg16_mini,
-    "alexnet": alexnet_mini,
-}
+#: the shared model zoo (kept under the harness's historical name)
+MODEL_FACTORIES: Dict[str, Callable] = dict(MODEL_ZOO)
 
 
 @lru_cache(maxsize=1)

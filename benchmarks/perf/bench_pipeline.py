@@ -1,0 +1,108 @@
+"""Declarative pipeline wall-time: cold vs warm artifact cache.
+
+Measures one end-to-end pipeline run (group -> prune -> cluster -> quantize
+-> export -> serve_eval) cold, then again against the same
+:class:`~repro.pipeline.artifacts.ArtifactStore` — the warm run must skip
+the cluster stage entirely (assert via the stage-event log) and produce
+bit-identical artifacts, so the reported speedup is exactly the clustering
+wall-time the cache saves.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict
+
+import numpy as np
+
+from repro.nn import Conv2d, Sequential
+from repro.nn.models import resnet18_mini
+from repro.pipeline.artifacts import ArtifactStore
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.runner import Pipeline
+
+FULL = dict(k=96, iterations=12, serve_samples=8)
+SMOKE = dict(k=16, iterations=5, serve_samples=4)
+
+#: (in_channels, out_channels) of the full-mode synthetic stack; 3x3 kernels.
+FULL_STAGES = ((32, 64), (64, 128), (128, 256), (256, 256))
+
+
+def _build_model(smoke: bool):
+    if smoke:
+        return resnet18_mini(num_classes=5, seed=1), "resnet18_mini", (3, 16, 16)
+    rng = np.random.default_rng(7)
+    model = Sequential(*(Conv2d(c_in, c_out, 3, padding=1, rng=rng)
+                         for c_in, c_out in FULL_STAGES))
+    return model, "conv_stack_256", (32, 8, 8)
+
+
+def _identical(a, b) -> bool:
+    for name, la in a.layers.items():
+        lb = b.layers[name]
+        if not (np.array_equal(la.assignments, lb.assignments)
+                and np.array_equal(la.codebook.codewords, lb.codebook.codewords)
+                and np.array_equal(la.mask, lb.mask)):
+            return False
+    return set(a.layers) == set(b.layers)
+
+
+def run(smoke: bool = False) -> Dict[str, object]:
+    p = SMOKE if smoke else FULL
+    model, model_name, input_shape = _build_model(smoke)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        config = PipelineConfig.from_dict({
+            "preset": "mvq",
+            "base": {"k": p["k"], "max_kmeans_iterations": p["iterations"]},
+            "stages": ["group", "prune", "cluster", "quantize", "export",
+                       "serve_eval"],
+            "export_path": str(Path(tmp) / "artifact.npz"),
+            "serve": {"batch_size": 4, "num_samples": p["serve_samples"],
+                      "input_shape": list(input_shape)},
+        })
+        store = ArtifactStore()
+
+        def timed_run(fresh_model):
+            start = time.perf_counter()
+            result = Pipeline(config, store=store).run(fresh_model)
+            return time.perf_counter() - start, result
+
+        cold_s, cold = timed_run(model)
+        warm_s, warm = timed_run(model)
+
+    cold_cluster = cold.event_for("cluster")
+    warm_cluster = warm.event_for("cluster")
+    return {
+        "workload": {"model": model_name,
+                     "layers": len(cold.compressed),
+                     "k": p["k"], "iterations": p["iterations"]},
+        "cold_seconds": cold_s,
+        "warm_seconds": warm_s,
+        "warm_speedup": cold_s / max(warm_s, 1e-12),
+        "cold_cluster_status": cold_cluster["status"],
+        "warm_cluster_status": warm_cluster["status"],
+        "cluster_skipped_on_warm": warm_cluster["status"] == "cached",
+        "warm_matches_cold": _identical(cold.compressed, warm.compressed),
+        "serve_outputs_match": bool(
+            warm.artifacts["serve_report"]["outputs_match"]),
+    }
+
+
+def check_report(report: Dict[str, object]):
+    """Hard failures for the perf runner's exit code."""
+    errors = []
+    if not report["cluster_skipped_on_warm"]:
+        errors.append("warm pipeline re-ran the cluster stage")
+    if not report["warm_matches_cold"]:
+        errors.append("warm-cache pipeline artifacts diverged from cold run")
+    if not report["serve_outputs_match"]:
+        errors.append("pipeline serve_eval diverged from dense reference")
+    return errors
+
+
+if __name__ == "__main__":
+    import json
+    print(json.dumps(run(smoke=True), indent=2))

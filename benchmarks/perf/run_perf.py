@@ -30,6 +30,7 @@ from benchmarks.perf import (
     bench_conv,
     bench_end_to_end,
     bench_inference,
+    bench_pipeline,
 )
 
 
@@ -46,6 +47,7 @@ def main(argv=None) -> int:
         ("conv", bench_conv.run),
         ("end_to_end", bench_end_to_end.run),
         ("inference", bench_inference.run),
+        ("pipeline", bench_pipeline.run),
     )
     report = {
         "schema": 1,
@@ -80,7 +82,14 @@ def main(argv=None) -> int:
           f"{inference['speedup_compressed_vs_reconstruct']:.2f}x vs "
           f"dense-reconstruct-then-conv; systolic stream "
           f"{stream['stream_speedup_vs_scalar']:.1f}x vs scalar tile loop")
+    pipeline = report["pipeline"]
+    print(f"[perf] pipeline cold {pipeline['cold_seconds']:.2f}s -> warm "
+          f"{pipeline['warm_seconds']:.2f}s "
+          f"({pipeline['warm_speedup']:.1f}x, cluster "
+          f"{pipeline['warm_cluster_status']})")
+
     errors = bench_inference.check_report(inference)
+    errors += bench_pipeline.check_report(pipeline)
     for error in errors:
         print(f"[perf] ERROR: {error}", file=sys.stderr)
     return 1 if errors else 0

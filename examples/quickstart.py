@@ -1,23 +1,30 @@
 """Quickstart: compress a trained CNN with MVQ and recover accuracy by fine-tuning.
 
-Runs the full four-stage pipeline of the paper (Fig. 2) on a scaled-down
-ResNet-18 trained on a synthetic classification task:
+Runs the full pipeline of the paper (Fig. 2) on a scaled-down ResNet-18
+trained on a synthetic classification task, expressed as the repo's
+*declarative pipeline*: the compression hyper-parameters, the stage list
+and the fine-tuning recipe are all one JSON-able
+:class:`~repro.pipeline.config.PipelineConfig` instead of imperative glue.
 
-1. weight grouping + N:M pruning,
-2. masked k-means clustering,
-3. int8 codebook quantization,
-4. codebook fine-tuning with masked gradients.
+1. weight grouping + N:M pruning            (``group``, ``prune`` stages)
+2. masked k-means clustering                (``cluster`` stage, cached)
+3. int8 codebook quantization               (``quantize`` stage)
+4. codebook fine-tuning with masked grads   (``finetune`` stage)
+5. write reconstructed weights back         (``apply`` stage)
+
+The same config can be saved with ``config.save("quickstart.json")`` and
+re-run from the command line: ``python -m repro.pipeline run quickstart.json``.
 
 Usage:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro.core import CodebookFinetuner, LayerCompressionConfig, MVQCompressor
 from repro.nn import CrossEntropyLoss, SGD, Trainer, evaluate_accuracy
 from repro.nn.data import SyntheticClassification, train_val_split
 from repro.nn.flops import count_flops, count_sparse_flops
 from repro.nn.models import resnet18_mini
+from repro.pipeline import Pipeline, PipelineConfig
 
 
 def main() -> None:
@@ -34,16 +41,30 @@ def main() -> None:
     dense_flops = count_flops(model, (3, 16, 16))
     print(f"dense baseline:     accuracy={baseline_acc:.3f}  FLOPs={dense_flops/1e6:.2f}M")
 
-    # ------------------------------------------------- MVQ compression (Fig. 2)
-    config = LayerCompressionConfig(
-        k=48,          # codewords per layer codebook
-        d=8,           # subvector length (output-channel-wise grouping)
-        n_keep=2,      # N of N:M pruning ...
-        m=8,           # ... i.e. 2:8 -> 75% sparsity
-        codebook_bits=8,
-    )
-    compressed = MVQCompressor(config).compress(model)
-    compressed.apply_to_model()
+    # ------------------------------------------- the declarative MVQ pipeline
+    config = PipelineConfig.from_dict({
+        "preset": "mvq",          # Table 3 case D: prune + masked k-means + mask
+        "base": {
+            "k": 48,              # codewords per layer codebook
+            "d": 8,               # subvector length (output-channel-wise grouping)
+            "n_keep": 2,          # N of N:M pruning ...
+            "m": 8,               # ... i.e. 2:8 -> 75% sparsity
+            "codebook_bits": 8,
+        },
+        # stage list: compress, then fine-tune the codebooks (Eq. 6), then
+        # write the reconstructed weights back into the live network
+        "stages": ["group", "prune", "cluster", "quantize", "finetune", "apply"],
+        "data": {"num_samples": 360, "image_size": 16, "num_classes": 5,
+                 "seed": 0, "val_fraction": 0.25},
+        "finetune": {"epochs": 3, "lr": 0.02, "codebook_lr": 3e-3},
+    })
+
+    # run compression only first (stop before fine-tuning) to report the
+    # accuracy drop the fine-tune stage then recovers
+    pipeline = Pipeline(config)
+    result = pipeline.run(model, stages=["group", "prune", "cluster",
+                                         "quantize", "apply"])
+    compressed = result.compressed
     compressed_acc = evaluate_accuracy(model, val_set)
     sparse_flops = count_sparse_flops(model, (3, 16, 16),
                                       sparsity_by_layer=compressed.sparsity_by_layer())
@@ -52,11 +73,10 @@ def main() -> None:
           f"sparsity={compressed.sparsity():.0%}  FLOPs={sparse_flops/1e6:.2f}M")
 
     # ------------------------------------------- codebook fine-tuning (Eq. 6)
-    finetuner = CodebookFinetuner(compressed, lr=3e-3)
-    finetune_trainer = Trainer(model, CrossEntropyLoss(),
-                               SGD(model.parameters(), lr=0.02, momentum=0.9),
-                               batch_size=32, hook=finetuner.step)
-    finetune_trainer.fit(train_set, epochs=3)
+    # continue the same run: the finetune stage reuses the clustered state
+    # already in the context (nothing recomputed) and keeps the model's
+    # weights in sync with the updated codebooks
+    pipeline.run(model, stages=["finetune"], context=result.context)
     final_acc = evaluate_accuracy(model, val_set)
     print(f"after fine-tuning:  accuracy={final_acc:.3f} "
           f"(baseline {baseline_acc:.3f}, {compressed.compression_ratio():.1f}x smaller, "

@@ -5,6 +5,9 @@ Public API surface:
 * :mod:`repro.nn`           — numpy DNN substrate (layers, models, training, data).
 * :mod:`repro.core`         — the MVQ compression pipeline (grouping, N:M pruning,
   masked k-means, codebook quantization, masked-gradient fine-tuning).
+* :mod:`repro.pipeline`     — declarative staged orchestration: JSON pipeline
+  configs with per-layer overrides, content-hash artifact caching, scenario
+  registry and the ``python -m repro.pipeline`` CLI.
 * :mod:`repro.baselines`    — PQF / BGD / PvQ comparators.
 * :mod:`repro.accelerator`  — EWS/WS systolic-array accelerator simulator with
   energy, area, performance and roofline models.

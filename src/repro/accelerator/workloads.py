@@ -192,6 +192,16 @@ WORKLOADS: Dict[str, Callable[[], List[LayerShape]]] = {
 }
 
 
+def get_workload(name: str) -> Callable[[], List[LayerShape]]:
+    """Workload layer-table factory by name (the pipeline's ``accel_eval``
+    stage resolves scenario workloads through this)."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}") from None
+
+
 def network_macs(layers: List[LayerShape]) -> int:
     return sum(layer.macs for layer in layers)
 

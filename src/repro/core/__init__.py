@@ -42,7 +42,14 @@ from repro.core.storage import (
     MaskLUT,
 )
 from repro.core.metrics import total_sse, masked_sse, clustering_report
-from repro.core.compressor import MVQCompressor, LayerCompressionConfig, CompressedLayer, CompressedModel
+from repro.core.compressor import (
+    MVQCompressor,
+    LayerCompressionConfig,
+    CompressedLayer,
+    CompressedModel,
+    layer_config_from_dict,
+    layer_config_to_dict,
+)
 from repro.core.finetune import CodebookFinetuner
 from repro.core.mixed_sparsity import MixedSparsitySearch, LayerSparsityChoice
 from repro.core.serialization import save_compressed_model, load_compressed_model
@@ -86,6 +93,8 @@ __all__ = [
     "LayerCompressionConfig",
     "CompressedLayer",
     "CompressedModel",
+    "layer_config_from_dict",
+    "layer_config_to_dict",
     "CodebookFinetuner",
     "MixedSparsitySearch",
     "LayerSparsityChoice",

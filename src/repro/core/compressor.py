@@ -21,6 +21,7 @@ D (MVQ)   True    True               True         the paper's method
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import os
 import zlib
@@ -96,6 +97,45 @@ class LayerCompressionConfig:
             k=self.k, d=self.d, n_keep=self.n_keep, m=self.m,
             codebook_bits=self.codebook_bits, weight_bits=self.weight_bits,
         )
+
+
+# -- the layer-config wire schema ---------------------------------------------
+# Single source of truth for LayerCompressionConfig (de)serialization: the
+# .npz manifest (repro.core.serialization) and the declarative pipeline
+# config (repro.pipeline.config) both use these two functions, so the
+# archive format and the pipeline schema cannot drift apart.
+
+_LAYER_CONFIG_FIELDS = {f.name for f in dataclasses.fields(LayerCompressionConfig)}
+
+
+def layer_config_to_dict(config: LayerCompressionConfig) -> Dict:
+    """Full JSON-able dict of one :class:`LayerCompressionConfig`."""
+    data = dataclasses.asdict(config)
+    data["strategy"] = config.strategy.value
+    return data
+
+
+def layer_config_from_dict(data, base: Optional[LayerCompressionConfig] = None
+                           ) -> LayerCompressionConfig:
+    """Rebuild a :class:`LayerCompressionConfig` from a (possibly partial) dict.
+
+    Missing fields fall back to ``base`` (or the dataclass defaults), which
+    keeps pre-schema ``.npz`` manifests — written without
+    ``max_kmeans_iterations``/``seed`` — loadable, and lets pipeline
+    overrides specify only the fields they change.  Unknown keys are an
+    error so config typos fail loudly.
+    """
+    unknown = set(data) - _LAYER_CONFIG_FIELDS
+    if unknown:
+        raise ValueError(
+            f"unknown LayerCompressionConfig fields {sorted(unknown)}; "
+            f"expected a subset of {sorted(_LAYER_CONFIG_FIELDS)}")
+    fields = dict(data)
+    if "strategy" in fields and not isinstance(fields["strategy"], GroupingStrategy):
+        fields["strategy"] = GroupingStrategy(fields["strategy"])
+    if base is None:
+        return LayerCompressionConfig(**fields)
+    return replace(base, **fields)
 
 
 @dataclass
@@ -193,6 +233,20 @@ class CompressedModel:
     def sparsity_by_layer(self) -> Dict[str, float]:
         return {name: state.sparsity() for name, state in self.layers.items()}
 
+    def swap_into_model(self, mode: str = "auto", cost_model=None) -> Dict[str, Module]:
+        """Replace the underlying model's compressed layers with decode-free
+        compressed-domain modules (:mod:`repro.nn.compressed`) in place.
+
+        Works for any :class:`CompressedModel` — including one rebuilt from
+        an ``.npz`` archive by :func:`repro.core.serialization.load_compressed_model`
+        — so serialized artifacts can be served without re-running
+        compression.  Returns the mapping of layer names to new modules.
+        """
+        # imported lazily: repro.nn.compressed depends on repro.core
+        from repro.nn.compressed import swap_to_compressed
+
+        return swap_to_compressed(self.model, self, mode=mode, cost_model=cost_model)
+
 
 class MVQCompressor:
     """Runs the MVQ pipeline (group -> prune -> cluster -> quantize) on a model."""
@@ -238,16 +292,35 @@ class MVQCompressor:
                     selected.append((name, mod))
         return selected
 
-    # -- single-weight compression --------------------------------------------
-    def _prepare_layer(self, name: str, weight: np.ndarray, cfg: LayerCompressionConfig):
-        grouped = group_weight(weight, cfg.d, cfg.strategy)
+    # -- stage-sized building blocks -------------------------------------------
+    # Each of these is one named stage of the declarative pipeline
+    # (repro.pipeline.stages); compress() is their canonical composition.
+
+    def layer_config(self, name: str) -> LayerCompressionConfig:
+        """Effective config of one layer (override or the global default)."""
+        return self.per_layer_overrides.get(name, self.config)
+
+    def group_layer(self, weight: np.ndarray, cfg: LayerCompressionConfig) -> np.ndarray:
+        """``group`` stage for one weight tensor: (N_G, d) subvectors."""
+        return group_weight(weight, cfg.d, cfg.strategy)
+
+    def prune_grouped(self, grouped: np.ndarray, cfg: LayerCompressionConfig
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+        """``prune`` stage for one grouped layer: (mask, pruned data)."""
         if cfg.prune:
             mask = nm_prune_mask(grouped, cfg.n_keep, cfg.m)
-            pruned = apply_mask(grouped, mask)
-        else:
-            mask = np.ones_like(grouped, dtype=bool)
-            pruned = grouped
-        return grouped, pruned, mask
+            return mask, apply_mask(grouped, mask)
+        return np.ones_like(grouped, dtype=bool), grouped
+
+    def prepare_layers(self, targets) -> Dict[str, Tuple]:
+        """Group + prune every target: ``{name: (cfg, grouped, pruned, mask)}``."""
+        prepared = {}
+        for name, mod in targets:
+            cfg = self.layer_config(name)
+            grouped = self.group_layer(mod.weight.value, cfg)
+            mask, pruned = self.prune_grouped(grouped, cfg)
+            prepared[name] = (cfg, grouped, pruned, mask)
+        return prepared
 
     def _layer_seed(self, name: str, cfg: LayerCompressionConfig) -> int:
         """Deterministic clustering seed for one layer.
@@ -273,23 +346,18 @@ class MVQCompressor:
 
     # -- public API ------------------------------------------------------------
     def compress(self, model: Module) -> CompressedModel:
-        """Compress every eligible layer and return the compressed model."""
-        targets = self.compressible_layers(model)
-        if not targets:
-            raise ValueError("no compressible layers found for the given configuration")
+        """Compress every eligible layer and return the compressed model.
 
-        prepared = {}
-        for name, mod in targets:
-            cfg = self.per_layer_overrides.get(name, self.config)
-            grouped, pruned, mask = self._prepare_layer(name, mod.weight.value, cfg)
-            prepared[name] = (cfg, grouped, pruned, mask)
+        This runs the canonical stage composition ``group -> prune ->
+        cluster -> quantize`` of :mod:`repro.pipeline` — the declarative
+        pipeline and this imperative API are the same code path, so a JSON
+        :class:`~repro.pipeline.config.PipelineConfig` describing this
+        compressor reproduces the result bit-identically.
+        """
+        # imported lazily: repro.pipeline depends on repro.core
+        from repro.pipeline.runner import run_compression_stages
 
-        layers: Dict[str, CompressedLayer] = {}
-        if self.crosslayer:
-            layers = self._compress_crosslayer(targets, prepared)
-        else:
-            layers = self._compress_layerwise(targets, prepared)
-        return CompressedModel(model, layers, crosslayer=self.crosslayer)
+        return run_compression_stages(self, model)
 
     def export_compressed_model(self, model: Module, mode: str = "auto",
                                 cost_model=None) -> CompressedModel:
@@ -336,13 +404,16 @@ class MVQCompressor:
                    for task in tasks)
         return "process" if work >= _PROCESS_BACKEND_WORK_THRESHOLD else "thread"
 
-    def _compress_layerwise(self, targets, prepared) -> Dict[str, CompressedLayer]:
-        """Cluster each layer independently, optionally across a worker pool.
+    def cluster_layerwise(self, targets, prepared,
+                          subset: Optional[Iterable[str]] = None) -> Dict[str, "object"]:
+        """``cluster`` stage, layerwise: independent k-means per layer,
+        optionally across a worker pool.
 
         Per-layer runs share no state and use deterministic per-layer seeds
-        (:meth:`_layer_seed`), so every parallel path is bit-identical to
-        the sequential one; results are assembled in ``targets`` order
-        regardless of scheduling.  Three backends:
+        (:meth:`_layer_seed`), so every parallel path — and any ``subset``
+        of layers, which is how the pipeline's artifact cache re-clusters
+        only invalidated layers — is bit-identical to a sequential full
+        run.  Three backends:
 
         * ``"thread"`` — cheap, parallel only in the GIL-releasing BLAS
           and bincount portions of the clustering kernels;
@@ -354,16 +425,19 @@ class MVQCompressor:
         Layers are scheduled largest-first so one big trailing layer does
         not serialise the tail of the pool (classic makespan reduction),
         and the worker count is capped at the CPUs actually available.
+        Returns ``{layer name: KMeansResult}``.
         """
+        wanted = None if subset is None else set(subset)
+        names = [name for name, _ in targets if wanted is None or name in wanted]
         dtype_name = str(precision.compute_dtype())
         block_bytes = precision.distance_block_bytes()
         tasks = []
-        for name, _ in targets:
+        for name in names:
             cfg, _, pruned, mask = prepared[name]
             tasks.append((pruned, mask, cfg, self._layer_seed(name, cfg),
                           dtype_name, block_bytes))
 
-        workers = self._effective_workers(len(targets))
+        workers = self._effective_workers(len(names))
         if workers > 1:
             order = sorted(range(len(tasks)),
                            key=lambda i: tasks[i][0].shape[0], reverse=True)
@@ -378,22 +452,12 @@ class MVQCompressor:
                     results[i] = future.result()
         else:
             results = [_cluster_layer_task(task) for task in tasks]
+        return dict(zip(names, results))
 
-        layers: Dict[str, CompressedLayer] = {}
-        for (name, mod), result in zip(targets, results):
-            cfg, grouped, _, mask = prepared[name]
-            codebook = Codebook(result.codewords)
-            if self.quantize_codebook:
-                codebook.quantize_(cfg.codebook_bits)
-            layers[name] = CompressedLayer(
-                name=name, weight_shape=mod.weight.shape, config=cfg,
-                codebook=codebook, assignments=result.assignments,
-                mask=mask, original_grouped=grouped,
-            )
-        return layers
-
-    def _compress_crosslayer(self, targets, prepared) -> Dict[str, CompressedLayer]:
-        """One shared codebook for all layers (the paper's crosslayer clustering)."""
+    def stack_prepared(self, targets, prepared):
+        """Concatenate every layer's pruned data and mask for crosslayer
+        clustering: ``(stacked, stacked_mask, boundaries)`` with boundaries
+        the ``(name, start, end)`` row ranges of each layer."""
         base_cfg = self.config
         all_pruned = []
         all_masks = []
@@ -407,23 +471,80 @@ class MVQCompressor:
             all_masks.append(mask)
             boundaries.append((name, offset, offset + pruned.shape[0]))
             offset += pruned.shape[0]
-        stacked = np.concatenate(all_pruned, axis=0)
-        stacked_mask = np.concatenate(all_masks, axis=0)
-        result = self._cluster(stacked, stacked_mask, base_cfg)
-        codebook = Codebook(result.codewords)
-        if self.quantize_codebook:
-            codebook.quantize_(base_cfg.codebook_bits)
+        return (np.concatenate(all_pruned, axis=0),
+                np.concatenate(all_masks, axis=0), boundaries)
 
+    def cluster_crosslayer(self, targets, prepared, stacked=None,
+                           stacked_mask=None):
+        """``cluster`` stage, crosslayer: one shared codebook for all layers.
+
+        ``stacked``/``stacked_mask`` may be passed when the caller already
+        built them (e.g. to hash for the artifact cache), avoiding a second
+        concatenation of the whole compressible weight set.  Returns
+        ``(KMeansResult, boundaries)``.
+        """
+        if stacked is None or stacked_mask is None:
+            stacked, stacked_mask, boundaries = self.stack_prepared(targets, prepared)
+        else:
+            offset = 0
+            boundaries = []
+            for name, _ in targets:
+                end = offset + prepared[name][2].shape[0]
+                boundaries.append((name, offset, end))
+                offset = end
+        return self._cluster(stacked, stacked_mask, self.config), boundaries
+
+    def assemble_layerwise(self, targets, prepared, results) -> Dict[str, CompressedLayer]:
+        """Build per-layer :class:`CompressedLayer` states from clustering
+        results (codebooks still unquantized — that is the next stage)."""
         layers: Dict[str, CompressedLayer] = {}
-        modules = {name: mod for name, mod in targets}
-        for name, start, end in boundaries:
+        for name, mod in targets:
             cfg, grouped, _, mask = prepared[name]
+            result = results[name]
             layers[name] = CompressedLayer(
-                name=name, weight_shape=modules[name].weight.shape, config=cfg,
-                codebook=codebook, assignments=result.assignments[start:end],
+                name=name, weight_shape=mod.weight.shape, config=cfg,
+                codebook=Codebook(result.codewords), assignments=result.assignments,
                 mask=mask, original_grouped=grouped,
             )
         return layers
+
+    def assemble_crosslayer(self, targets, prepared, result) -> Dict[str, CompressedLayer]:
+        """Split one shared clustering result back into per-layer states
+        (all sharing a single, still-unquantized codebook object)."""
+        codebook = Codebook(result.codewords)
+        layers: Dict[str, CompressedLayer] = {}
+        offset = 0
+        for name, mod in targets:
+            cfg, grouped, pruned, mask = prepared[name]
+            end = offset + pruned.shape[0]
+            layers[name] = CompressedLayer(
+                name=name, weight_shape=mod.weight.shape, config=cfg,
+                codebook=codebook, assignments=result.assignments[offset:end],
+                mask=mask, original_grouped=grouped,
+            )
+            offset = end
+        return layers
+
+    def quantize_codebooks(self, compressed: CompressedModel) -> int:
+        """``quantize`` stage: int8(+LSQ) quantize every distinct codebook.
+
+        A no-op when the compressor was built with ``quantize_codebook=False``.
+        The crosslayer codebook is shared, so it is quantized once with the
+        global config's bits (per-layer bits apply in the layerwise case).
+        Returns the number of codebooks quantized.
+        """
+        if not self.quantize_codebook:
+            return 0
+        seen = set()
+        for state in compressed:
+            key = id(state.codebook)
+            if key in seen:
+                continue
+            seen.add(key)
+            bits = (self.config.codebook_bits if compressed.crosslayer
+                    else state.config.codebook_bits)
+            state.codebook.quantize_(bits)
+        return len(seen)
 
     # -- convenience constructors ---------------------------------------------
     @classmethod

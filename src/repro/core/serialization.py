@@ -16,28 +16,19 @@ from typing import Dict, Union
 import numpy as np
 
 from repro.core.codebook import Codebook
-from repro.core.compressor import CompressedLayer, CompressedModel, LayerCompressionConfig
-from repro.core.grouping import GroupingStrategy
+
+# the manifest uses the shared layer-config wire schema (also the pipeline
+# config's schema — one source of truth).  Archives written by older
+# versions (manifests without max_kmeans_iterations/seed) still load:
+# missing fields fall back to the dataclass defaults.
+from repro.core.compressor import (
+    CompressedLayer,
+    CompressedModel,
+    layer_config_from_dict,
+    layer_config_to_dict,
+)
 from repro.core.storage import MaskLUT
 from repro.nn.module import Module
-
-
-def _config_to_dict(config: LayerCompressionConfig) -> Dict:
-    return {
-        "k": config.k, "d": config.d, "n_keep": config.n_keep, "m": config.m,
-        "codebook_bits": config.codebook_bits, "weight_bits": config.weight_bits,
-        "strategy": config.strategy.value, "prune": config.prune,
-        "use_masked_kmeans": config.use_masked_kmeans, "store_mask": config.store_mask,
-    }
-
-
-def _config_from_dict(data: Dict) -> LayerCompressionConfig:
-    return LayerCompressionConfig(
-        k=data["k"], d=data["d"], n_keep=data["n_keep"], m=data["m"],
-        codebook_bits=data["codebook_bits"], weight_bits=data["weight_bits"],
-        strategy=GroupingStrategy(data["strategy"]), prune=data["prune"],
-        use_masked_kmeans=data["use_masked_kmeans"], store_mask=data["store_mask"],
-    )
 
 
 def save_compressed_model(compressed: CompressedModel, path: Union[str, Path]) -> None:
@@ -62,7 +53,7 @@ def save_compressed_model(compressed: CompressedModel, path: Union[str, Path]) -
             arrays[f"{safe}__mask_codes"] = lut.encode_mask(state.mask).astype(np.int32)
         manifest["layers"][state.name] = {
             "weight_shape": list(state.weight_shape),
-            "config": _config_to_dict(state.config),
+            "config": layer_config_to_dict(state.config),
             "codebook": codebook_ids[key],
         }
 
@@ -90,7 +81,7 @@ def load_compressed_model(model: Module, path: Union[str, Path]) -> CompressedMo
     for name, info in manifest["layers"].items():
         if name not in modules:
             raise KeyError(f"layer {name!r} from the archive is missing from the model")
-        config = _config_from_dict(info["config"])
+        config = layer_config_from_dict(info["config"])
         cb_name = info["codebook"]
         if cb_name not in codebooks:
             # the stored codewords are already fake-quantized; bits=None means

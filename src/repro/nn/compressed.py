@@ -35,6 +35,7 @@ compute dtypes.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -529,3 +530,33 @@ def swap_to_compressed(model: Module, compressed_model, mode: str = "auto",
         _replace_module(model, name, replacement)
         swapped[name] = replacement
     return swapped
+
+
+def restore_modules(model: Module, originals: Dict[str, Module]) -> None:
+    """Swap previously replaced modules back into ``model`` (inverse of
+    :func:`swap_to_compressed` given the pre-swap modules)."""
+    for name, module in originals.items():
+        _replace_module(model, name, module)
+
+
+@contextmanager
+def compressed_serving(model: Module, compressed_model, mode: str = "auto",
+                       cost_model: Optional[InferenceCostModel] = None):
+    """Serve from compressed storage within a scope, then restore the model.
+
+    Swaps every compressed layer to its decode-free module on entry and
+    puts the original dense modules back on exit, so evaluation harnesses
+    (e.g. the pipeline's ``serve_eval`` stage) can compare compressed and
+    dense serving on the same live model without cloning it.  Yields the
+    ``{name: module}`` mapping of the swapped-in compressed modules.
+    """
+    originals = dict(model.named_modules())
+    originals = {name: originals[name] for name in compressed_model.layers}
+    try:
+        # the swap runs inside the try so a failure partway through the
+        # per-layer loop still restores the modules already replaced
+        swapped = swap_to_compressed(model, compressed_model, mode=mode,
+                                     cost_model=cost_model)
+        yield swapped
+    finally:
+        restore_modules(model, originals)

@@ -7,6 +7,8 @@ detection and segmentation heads) trained on the synthetic datasets in
 accelerator experiments live in :mod:`repro.accelerator.workloads`.
 """
 
+from typing import Callable, Dict
+
 from repro.nn.models.resnet import ResNet, resnet18_mini, resnet50_mini, BasicBlock, Bottleneck
 from repro.nn.models.mobilenet import MobileNetV1, MobileNetV2, mobilenet_v1_mini, mobilenet_v2_mini
 from repro.nn.models.efficientnet import EfficientNetLite, efficientnet_lite_mini
@@ -15,7 +17,31 @@ from repro.nn.models.alexnet import AlexNet, alexnet_mini
 from repro.nn.models.detection import SimpleDetector, simple_detector_mini
 from repro.nn.models.deeplab import DeepLabLite, deeplab_lite_mini
 
+#: classification model zoo, keyed by the names the pipeline's scenario
+#: registry (and the benchmark harness) use
+MODEL_ZOO: Dict[str, Callable] = {
+    "resnet18": resnet18_mini,
+    "resnet50": resnet50_mini,
+    "mobilenet_v1": mobilenet_v1_mini,
+    "mobilenet_v2": mobilenet_v2_mini,
+    "efficientnet": efficientnet_lite_mini,
+    "vgg16": vgg16_mini,
+    "alexnet": alexnet_mini,
+}
+
+
+def get_model_factory(name: str) -> Callable:
+    """Model-zoo factory by name, with a helpful error for typos."""
+    try:
+        return MODEL_ZOO[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(MODEL_ZOO)}") from None
+
+
 __all__ = [
+    "MODEL_ZOO",
+    "get_model_factory",
     "ResNet",
     "BasicBlock",
     "Bottleneck",

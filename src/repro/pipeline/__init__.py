@@ -1,0 +1,58 @@
+"""Declarative, staged MVQ compression pipeline (config -> artifacts -> stages).
+
+Public surface::
+
+    from repro.pipeline import (
+        PipelineConfig, LayerOverride, Pipeline, PipelineResult, ArtifactStore,
+        Scenario, register_scenario, get_scenario, list_scenarios, run_scenario,
+        register_stage, get_stage, available_stages,
+    )
+
+Exports resolve lazily so that importing one leaf module (e.g.
+:mod:`repro.pipeline.config`, which :mod:`repro.core.serialization` reuses
+for the layer-config schema) does not drag in the whole package.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    "PipelineConfig": "repro.pipeline.config",
+    "LayerOverride": "repro.pipeline.config",
+    "PRESETS": "repro.pipeline.config",
+    "CORE_STAGES": "repro.pipeline.config",
+    "DEFAULT_STAGES": "repro.pipeline.config",
+    "layer_config_to_dict": "repro.pipeline.config",
+    "layer_config_from_dict": "repro.pipeline.config",
+    "ArtifactStore": "repro.pipeline.artifacts",
+    "stable_hash": "repro.pipeline.artifacts",
+    "MISS": "repro.pipeline.artifacts",
+    "StageContext": "repro.pipeline.stages",
+    "StageInfo": "repro.pipeline.stages",
+    "register_stage": "repro.pipeline.stages",
+    "get_stage": "repro.pipeline.stages",
+    "available_stages": "repro.pipeline.stages",
+    "Pipeline": "repro.pipeline.runner",
+    "PipelineResult": "repro.pipeline.runner",
+    "run_compression_stages": "repro.pipeline.runner",
+    "Scenario": "repro.pipeline.scenarios",
+    "SCENARIOS": "repro.pipeline.scenarios",
+    "register_scenario": "repro.pipeline.scenarios",
+    "get_scenario": "repro.pipeline.scenarios",
+    "list_scenarios": "repro.pipeline.scenarios",
+    "run_scenario": "repro.pipeline.scenarios",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.pipeline' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,132 @@
+"""Content-hash artifact store backing the pipeline's stage cache.
+
+Stage outputs are keyed by a stable SHA-256 digest of their *inputs* — the
+raw layer data plus exactly the config fields the stage reads — so a re-run
+with unchanged inputs is a cache hit and any relevant config change misses
+(and therefore recomputes) only the stages downstream of it.  Clustering is
+the expensive stage this exists for; the store itself is generic.
+
+Artifacts live in memory, and optionally on disk (``cache_dir``) as pickles
+so warm caches survive across processes (e.g. the CLI run twice).
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import pickle
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+#: sentinel returned by :meth:`ArtifactStore.get` on a miss (``None`` is a
+#: legal artifact value)
+MISS = object()
+
+
+def _feed(h: "hashlib._Hash", obj: Any) -> None:
+    """Feed one (possibly nested) object into the hash, type-tagged so that
+    e.g. the int 1 and the string "1" cannot collide."""
+    if isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        h.update(b"nd")
+        h.update(str(arr.dtype).encode())
+        h.update(str(arr.shape).encode())
+        h.update(arr.tobytes())
+    elif isinstance(obj, bytes):
+        h.update(b"by")
+        h.update(obj)
+    elif isinstance(obj, str):
+        h.update(b"st")
+        h.update(obj.encode("utf-8"))
+    elif isinstance(obj, bool):
+        h.update(b"bo" + (b"1" if obj else b"0"))
+    elif isinstance(obj, (int, np.integer)):
+        h.update(b"in")
+        h.update(str(int(obj)).encode())
+    elif isinstance(obj, (float, np.floating)):
+        h.update(b"fl")
+        h.update(repr(float(obj)).encode())
+    elif obj is None:
+        h.update(b"no")
+    elif isinstance(obj, enum.Enum):
+        h.update(b"en")
+        _feed(h, obj.value)
+    elif isinstance(obj, dict):
+        h.update(b"di")
+        for key in sorted(obj):
+            _feed(h, key)
+            _feed(h, obj[key])
+    elif isinstance(obj, (list, tuple)):
+        h.update(b"li")
+        for item in obj:
+            _feed(h, item)
+    else:
+        raise TypeError(f"cannot hash object of type {type(obj).__name__}")
+
+
+def stable_hash(*parts: Any) -> str:
+    """Stable SHA-256 content hash over nested python/numpy structures."""
+    h = hashlib.sha256()
+    for part in parts:
+        _feed(h, part)
+    return h.hexdigest()
+
+
+class ArtifactStore:
+    """Two-level (memory, optional disk) store of stage artifacts.
+
+    Keys are the content hashes of :func:`stable_hash`; values are arbitrary
+    picklable objects.  A corrupt or unreadable disk entry counts as a miss
+    — the pipeline recomputes and overwrites it.
+    """
+
+    def __init__(self, cache_dir: Optional[Union[str, Path]] = None):
+        self._memory: Dict[str, Any] = {}
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.pkl"
+
+    def get(self, key: str) -> Any:
+        if key in self._memory:
+            self.hits += 1
+            return self._memory[key]
+        if self.cache_dir is not None:
+            path = self._path(key)
+            if path.exists():
+                try:
+                    with path.open("rb") as fh:
+                        value = pickle.load(fh)
+                except Exception:
+                    self.misses += 1
+                    return MISS
+                self._memory[key] = value
+                self.hits += 1
+                return value
+        self.misses += 1
+        return MISS
+
+    def put(self, key: str, value: Any) -> None:
+        self._memory[key] = value
+        if self.cache_dir is not None:
+            tmp = self._path(key).with_suffix(".tmp")
+            with tmp.open("wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            tmp.replace(self._path(key))
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._memory:
+            return True
+        return self.cache_dir is not None and self._path(key).exists()
+
+    def __len__(self) -> int:
+        keys = set(self._memory)
+        if self.cache_dir is not None:
+            keys.update(p.stem for p in self.cache_dir.glob("*.pkl"))
+        return len(keys)

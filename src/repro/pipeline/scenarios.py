@@ -1,0 +1,192 @@
+"""Scenario registry: named (model-zoo entry x compression config x workload).
+
+A :class:`Scenario` binds everything one end-to-end run needs — which mini
+model to build, the :class:`~repro.pipeline.config.PipelineConfig` to
+compress it with, and which full-size accelerator workload the
+``accel_eval`` stage should price the deployment on.  Scenarios make new
+experiments *data*: registering one is a dict, not another copy of the
+imperative glue.
+
+``python -m repro.pipeline list-scenarios`` prints the registry;
+``python -m repro.pipeline run --scenario NAME`` runs one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.pipeline.artifacts import ArtifactStore
+from repro.pipeline.config import DEFAULT_STAGES, PipelineConfig
+from repro.pipeline.runner import Pipeline, PipelineResult
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named end-to-end configuration."""
+
+    name: str
+    description: str
+    model: str = "resnet18"                       # repro.nn.models.MODEL_ZOO key
+    model_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    pipeline: Mapping[str, Any] = field(default_factory=dict)
+    workload: Optional[str] = None                # repro.accelerator.workloads key
+    input_shape: Tuple[int, ...] = (3, 16, 16)
+
+    def pipeline_config(self) -> PipelineConfig:
+        return PipelineConfig.from_dict(dict(self.pipeline))
+
+    def build_model(self):
+        from repro.nn.models import get_model_factory
+
+        return get_model_factory(self.model)(**dict(self.model_kwargs))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "model": self.model,
+            "model_kwargs": dict(self.model_kwargs),
+            "pipeline": dict(self.pipeline),
+            "workload": self.workload,
+            "input_shape": list(self.input_shape),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        data = dict(data)
+        if "input_shape" in data:
+            data["input_shape"] = tuple(data["input_shape"])
+        data.setdefault("name", "adhoc")
+        data.setdefault("description", "ad-hoc scenario")
+        return cls(**data)
+
+
+SCENARIOS: Dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario, overwrite: bool = False) -> Scenario:
+    if scenario.name in SCENARIOS and not overwrite:
+        raise ValueError(f"scenario {scenario.name!r} is already registered")
+    SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}") from None
+
+
+def list_scenarios() -> List[Scenario]:
+    return [SCENARIOS[name] for name in sorted(SCENARIOS)]
+
+
+def run_scenario(name_or_scenario, stages: Optional[Sequence[str]] = None,
+                 store: Optional[ArtifactStore] = None,
+                 cache_dir: Optional[str] = None) -> PipelineResult:
+    """Build the scenario's model and run its pipeline end to end."""
+    scenario = (name_or_scenario if isinstance(name_or_scenario, Scenario)
+                else get_scenario(name_or_scenario))
+    config = scenario.pipeline_config()
+    if cache_dir is not None and store is None:
+        store = ArtifactStore(cache_dir)
+    pipeline = Pipeline(config, store=store, workload=scenario.workload,
+                        input_shape=scenario.input_shape, scenario=scenario.name)
+    model = scenario.build_model()
+    return pipeline.run(model, stages=stages)
+
+
+# ---------------------------------------------------------------------------
+# built-in scenarios
+# ---------------------------------------------------------------------------
+
+#: tiny-but-complete settings shared by the smoke scenarios: small codebooks
+#: and few k-means iterations keep an end-to-end run in the seconds range
+_TINY = {"k": 24, "max_kmeans_iterations": 10}
+
+register_scenario(Scenario(
+    name="quickstart-resnet18",
+    description="Tiny ResNet-18 through the full MVQ flow: compress, export, "
+                "compressed-domain serving and accelerator evaluation.",
+    model="resnet18",
+    model_kwargs={"num_classes": 5, "seed": 1},
+    pipeline={
+        "preset": "mvq",
+        "base": dict(_TINY),
+        "stages": list(DEFAULT_STAGES),
+        "serve": {"batch_size": 4, "num_samples": 8},
+        "accelerator": {"setting": "EWS-CMS", "array_size": 64},
+    },
+    workload="resnet18",
+))
+
+register_scenario(Scenario(
+    name="resnet18-firstlast-overrides",
+    description="Per-layer overrides: the stem keeps a larger codebook and "
+                "milder pruning than the deeper stages (Table 3 style).",
+    model="resnet18",
+    model_kwargs={"num_classes": 5, "seed": 1},
+    pipeline={
+        "preset": "mvq",
+        "base": dict(_TINY),
+        "overrides": [
+            {"pattern": "stem.*", "fields": {"k": 48, "n_keep": 4}},
+            {"pattern": "stages.layers.3.*", "fields": {"k": 32}},
+        ],
+        "stages": list(DEFAULT_STAGES),
+        "serve": {"batch_size": 4, "num_samples": 8},
+    },
+    workload="resnet18",
+))
+
+register_scenario(Scenario(
+    name="mobilenet_v1-crosslayer",
+    description="MobileNet-V1 with one codebook shared across all pointwise "
+                "layers (the paper's crosslayer clustering).",
+    model="mobilenet_v1",
+    model_kwargs={"num_classes": 5, "seed": 1},
+    pipeline={
+        "preset": "mvq",
+        "base": dict(_TINY),
+        "crosslayer": True,
+        "stages": list(DEFAULT_STAGES),
+        "serve": {"batch_size": 4, "num_samples": 8},
+    },
+    workload="mobilenet_v1",
+))
+
+register_scenario(Scenario(
+    name="vgg16-finetuned",
+    description="VGG-16 mini with a short codebook fine-tuning pass between "
+                "quantization and export.",
+    model="vgg16",
+    model_kwargs={"num_classes": 5, "seed": 1},
+    pipeline={
+        "preset": "mvq",
+        "base": dict(_TINY),
+        "data": {"num_samples": 96, "image_size": 16, "num_classes": 5},
+        "finetune": {"epochs": 1, "lr": 0.02, "codebook_lr": 3e-3},
+        "stages": list(DEFAULT_STAGES),
+        "serve": {"batch_size": 4, "num_samples": 8},
+    },
+    workload="vgg16",
+))
+
+for _case in "abcd":
+    register_scenario(Scenario(
+        name=f"table3-case-{_case}-resnet18",
+        description=f"Table 3 ablation case {_case.upper()} on the tiny "
+                    "ResNet-18 (compression + serving + accelerator).",
+        model="resnet18",
+        model_kwargs={"num_classes": 5, "seed": 1},
+        pipeline={
+            "preset": f"table3_case_{_case}",
+            "base": dict(_TINY),
+            "stages": list(DEFAULT_STAGES),
+            "serve": {"batch_size": 4, "num_samples": 8},
+        },
+        workload="resnet18",
+    ))

@@ -1,0 +1,90 @@
+"""Serialization <-> serving round trip: a model reloaded from an ``.npz``
+archive swaps to compressed-domain modules and serves identically to a live
+``export_compressed_model`` run (the serialization/serving gap fix)."""
+
+import numpy as np
+import pytest
+
+from repro.core import LayerCompressionConfig, MVQCompressor
+from repro.core.serialization import load_compressed_model, save_compressed_model
+from repro.nn import Conv2d, Sequential
+from repro.nn.compressed import CompressedConv2d, compressed_serving
+from repro.nn.serve import predict_batched
+
+
+def make_model(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        Conv2d(6, 16, 3, padding=1, rng=rng),
+        Conv2d(16, 16, 3, padding=1, rng=rng),
+    )
+
+
+CFG = LayerCompressionConfig(k=10, max_kmeans_iterations=6)
+
+
+@pytest.fixture()
+def archive(tmp_path):
+    model = make_model()
+    compressed = MVQCompressor(CFG).compress(model)
+    path = tmp_path / "model.npz"
+    save_compressed_model(compressed, path)
+    return path
+
+
+class TestLoadedModelSwapsToCompressedDomain:
+    def test_round_trip_serving_equivalence(self, archive, rng):
+        """live export vs save -> load -> swap: identical serving outputs."""
+        x = rng.normal(size=(4, 6, 7, 7))
+
+        live = make_model()
+        MVQCompressor(CFG).export_compressed_model(live)
+        live_out = predict_batched(live, x, batch_size=2)
+
+        reloaded = make_model()
+        compressed = load_compressed_model(reloaded, archive)
+        swapped = compressed.swap_into_model()
+        assert all(isinstance(m, CompressedConv2d) for m in swapped.values())
+        reload_out = predict_batched(reloaded, x, batch_size=2)
+
+        np.testing.assert_allclose(reload_out, live_out, atol=1e-12)
+
+    def test_swap_into_model_matches_dense_reconstruction(self, archive, rng):
+        model = make_model()
+        compressed = load_compressed_model(model, archive)
+        reference = make_model()
+        ref_compressed = load_compressed_model(reference, archive)
+        ref_compressed.apply_to_model()
+
+        compressed.swap_into_model()
+        x = rng.normal(size=(3, 6, 5, 5))
+        np.testing.assert_allclose(model.forward(x), reference.forward(x),
+                                   atol=1e-9)
+
+    def test_compressed_serving_context_restores_model(self, rng):
+        model = make_model()
+        compressed = MVQCompressor(CFG).compress(model)
+        originals = {name: mod for name, mod in model.named_modules()
+                     if name in compressed.layers}
+        with compressed_serving(model, compressed) as swapped:
+            assert all(isinstance(m, CompressedConv2d)
+                       for m in swapped.values())
+        after = dict(model.named_modules())
+        for name, module in originals.items():
+            assert after[name] is module
+
+    def test_compressed_serving_restores_after_failed_swap(self):
+        """A swap that fails partway through must not leave the model
+        half-compressed."""
+        model = make_model()
+        compressed = MVQCompressor(CFG).compress(model)
+        originals = dict(model.named_modules())
+        # entering the context twice fails on the second swap (the modules
+        # are already compressed), exercising the mid-swap failure path
+        with compressed_serving(model, compressed):
+            with pytest.raises(TypeError):
+                with compressed_serving(model, compressed):
+                    pass  # pragma: no cover
+        after = dict(model.named_modules())
+        for name in compressed.layers:
+            assert after[name] is originals[name]
