@@ -60,9 +60,12 @@ def test_table5_sse_vs_pqf(benchmark):
         assert r["mvq_sse"] < r["pqf_sse"]
         # and broadly comparable accuracy after a short fine-tuning pass (MVQ
         # is additionally 75% sparse, which is what buys the FLOPs
-        # reduction).  NOTE: the two-epoch fine-tune on the tiny synthetic
-        # task is seed-sensitive (flaky around tighter thresholds since the
-        # seed revision), so these bounds are deliberately loose — they
-        # catch collapses, not small run-to-run wobble.
+        # reduction).  The historical flakiness here came from the cached
+        # splits' stateful shuffle RNGs: batch order — hence the fine-tuned
+        # accuracy — depended on which benchmarks ran earlier in the
+        # process.  _common's training helpers now reseed the shuffle
+        # stream per call (see reseed_splits), so these asserts are
+        # deterministic for a given codebase; the bounds stay loose on
+        # purpose, catching collapses rather than small numeric drift.
         assert r["mvq_acc"] >= r["pqf_acc"] - 0.35
         assert r["mvq_acc"] > 0.25

@@ -53,10 +53,10 @@ STAGES = ((64, 128), (128, 256), (256, 512), (512, 512))
 #: stages — the regime where per-call weight decode dominates the conv work
 FULL = dict(k=256, d=8, iterations=12, batch=1, hw=7, serve_calls=8,
             stream_subvectors=384, stream_acts=96, stream_d=16, stream_q=4,
-            repeats=5)
+            repeats=5, scalar_repeats=1)
 QUICK = dict(k=32, d=8, iterations=4, batch=1, hw=7, serve_calls=3,
              stream_subvectors=48, stream_acts=24, stream_d=16, stream_q=4,
-             repeats=2)
+             repeats=2, scalar_repeats=3)
 
 
 def _conv_stack(stages=STAGES) -> Sequential:
@@ -147,11 +147,16 @@ def _stream_workload(p: Dict[str, object]) -> Dict[str, object]:
         sparse.compute_stream_array(masked, mask, acts)
         return dense, sparse
 
-    # the scalar loop is pure-Python PE calls: one timed run provides both
-    # the wall time and the populated gating counters (no warm-up effects)
-    start = time.perf_counter()
-    dense_a, sparse_a = scalar_loop()
-    scalar_s = time.perf_counter() - start
+    # the scalar loop is pure-Python PE calls with deterministic counters,
+    # so any run's tiles serve for the equivalence check; the *timing*
+    # takes the best of scalar_repeats runs — at smoke scale a single
+    # sample is all scheduler noise and the regression gate tracks the
+    # ratio (full mode keeps one run: the big workload is stable)
+    scalar_s = float("inf")
+    for _ in range(max(1, p["scalar_repeats"])):
+        start = time.perf_counter()
+        dense_a, sparse_a = scalar_loop()
+        scalar_s = min(scalar_s, time.perf_counter() - start)
     stream_s = best_of(stream_pass, p["repeats"])
     dense_b, sparse_b = stream_pass()
     counts_match = (

@@ -31,7 +31,29 @@ from benchmarks.perf import (
     bench_end_to_end,
     bench_inference,
     bench_pipeline,
+    bench_serving,
+    compare_perf,
 )
+
+
+def tracked_smoke_floor(paths) -> dict:
+    """Elementwise minimum of the tracked metrics over smoke reports.
+
+    The minimum — not the mean — is what gets committed as the gate's
+    floor: smoke workloads are tiny and their ratios noisy, so a
+    conservative floor over several runs is what keeps the 20% tolerance
+    meaningful instead of flaky.  Raises ``ValueError`` for a non-smoke
+    report so a mixed-up path fails before any benchmark runs.
+    """
+    floor: dict = {}
+    for path in paths:
+        smoke = json.loads(Path(path).read_text())
+        if smoke.get("mode") != "smoke":
+            raise ValueError(f"{path} is not a smoke-mode report "
+                             f"(mode={smoke.get('mode')!r})")
+        for key, value in compare_perf.tracked_metrics(smoke).items():
+            floor[key] = min(value, floor.get(key, value))
+    return floor
 
 
 def main(argv=None) -> int:
@@ -40,7 +62,26 @@ def main(argv=None) -> int:
                         help="where to write the JSON report")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny workloads for CI smoke coverage")
+    parser.add_argument("--smoke-report", nargs="+", default=None,
+                        metavar="PATH",
+                        help="smoke-mode report(s) whose tracked metrics get "
+                             "embedded as tracked_smoke (lets compare_perf "
+                             "gate CI smoke runs against a committed "
+                             "full-mode baseline).  With several reports the "
+                             "elementwise MINIMUM is embedded — a "
+                             "conservative floor that absorbs the "
+                             "run-to-run noise of tiny smoke workloads")
     args = parser.parse_args(argv)
+
+    # validate the smoke reports up front: a typo'd path or wrong-mode file
+    # must fail in milliseconds, not after the whole suite has run
+    tracked_smoke = None
+    if args.smoke_report:
+        try:
+            tracked_smoke = tracked_smoke_floor(args.smoke_report)
+        except (OSError, ValueError) as error:
+            print(f"[perf] ERROR: --smoke-report: {error}", file=sys.stderr)
+            return 1
 
     suites = (
         ("clustering", bench_clustering.run),
@@ -48,6 +89,7 @@ def main(argv=None) -> int:
         ("end_to_end", bench_end_to_end.run),
         ("inference", bench_inference.run),
         ("pipeline", bench_pipeline.run),
+        ("serving", bench_serving.run),
     )
     report = {
         "schema": 1,
@@ -61,6 +103,13 @@ def main(argv=None) -> int:
         report[name] = runner(smoke=args.smoke)
         print(f"[perf] {name}: done in {time.perf_counter() - start:.2f}s",
               flush=True)
+
+    # the regression gate's scale-free ratios, flattened for easy diffing;
+    # --smoke-report additionally embeds the same metrics from smoke runs
+    # so CI smoke jobs can gate against this (full-mode) baseline
+    report["tracked"] = compare_perf.tracked_metrics(report)
+    if tracked_smoke is not None:
+        report["tracked_smoke"] = tracked_smoke
 
     out = Path(args.output)
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
@@ -87,9 +136,16 @@ def main(argv=None) -> int:
           f"{pipeline['warm_seconds']:.2f}s "
           f"({pipeline['warm_speedup']:.1f}x, cluster "
           f"{pipeline['warm_cluster_status']})")
+    serving = report["serving"]
+    print(f"[perf] serving: dynamic batching "
+          f"{serving['speedup_batched_vs_sequential']:.2f}x vs sequential "
+          f"({serving['batched_sps']:.0f} req/s, "
+          f"mean batch {serving['mean_batch_size']:.1f}, "
+          f"p95 {serving['latency_ms_p95']:.1f} ms)")
 
     errors = bench_inference.check_report(inference)
     errors += bench_pipeline.check_report(pipeline)
+    errors += bench_serving.check_report(serving)
     for error in errors:
         print(f"[perf] ERROR: {error}", file=sys.stderr)
     return 1 if errors else 0

@@ -216,6 +216,32 @@ class CentroidEngine:
         return self.cost_model.select(batch, self.n_in, self.c_out, self.d,
                                       self.table_size, self.gather_forward, dtype)
 
+    def pin_mode(self, batch: int, dtype: np.dtype) -> str:
+        """Resolve ``auto`` at one batch shape and pin the result.
+
+        Steady-state serving runs every batch at one canonical shape; after
+        pinning, the engine stays on the exact code path the cost model
+        chose for that shape — no per-call re-selection, and no surprise
+        mode flips if a caller later probes with a different batch size.
+        Returns the pinned mode.
+        """
+        self.mode = self.choose_mode(batch, dtype)
+        return self.mode
+
+    def serving_stats(self) -> Dict[str, object]:
+        """Introspection for serving reports: mode, table reuse, shapes."""
+        return {
+            "mode": self.mode,
+            "strategy": self.strategy.value,
+            "table_size": self.table_size,
+            "subvectors": int(self.assignments.shape[0]),
+            "table_reuse": float(self.assignments.shape[0]
+                                 / max(self.table_size, 1)),
+            "n_in": self.n_in,
+            "n_out": self.c_out,
+            "gather_forward": self.gather_forward,
+        }
+
     # -- block layout helpers (gather-form strategies) ------------------------
     def _to_blocks(self, cols: np.ndarray) -> np.ndarray:
         """``(batch, n_in)`` im2col rows -> ``(batch, NB, d)`` subvector blocks."""

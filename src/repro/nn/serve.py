@@ -6,15 +6,82 @@ eval mode.  Keeping the batch shape constant is what lets every
 :class:`~repro.nn.compressed.CompressedConv2d` reuse its persistent im2col
 buffer call after call — the last partial batch is zero-padded up to the
 batch size (and the padding outputs dropped) for exactly that reason.
+
+The same canonical-shape trick is what makes dynamic batching (the
+``repro.serve`` model server) *bit-exact*: a batch padded to a fixed shape
+runs the identical kernel schedule regardless of how many rows are real or
+where a request landed in the batch, so a request served alone produces the
+same bits as the same request coalesced with seven strangers.
+:func:`forward_padded` is that one-batch primitive, shared by this module's
+loop and the server's workers; :func:`prepare_for_serving` warms a model's
+caches at the canonical shape and pins ``auto`` engine modes so steady-state
+serving never re-runs the cost model (or changes its mind) mid-traffic.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.nn.module import Module
+
+
+def pad_batch(batch: np.ndarray, batch_size: int) -> Tuple[np.ndarray, int]:
+    """Zero-pad ``batch`` up to ``batch_size`` rows; returns ``(padded, valid)``.
+
+    ``valid`` is the original row count; rows past it are zeros.  A batch
+    already at (or above) ``batch_size`` is returned as-is.
+    """
+    valid = batch.shape[0]
+    if valid >= batch_size:
+        return batch, valid
+    padded = np.zeros((batch_size, *batch.shape[1:]), dtype=batch.dtype)
+    padded[:valid] = batch
+    return padded, valid
+
+
+def forward_padded(model: Module, batch: np.ndarray, batch_size: int) -> np.ndarray:
+    """Forward one batch at the canonical ``batch_size`` shape.
+
+    Pads with zero rows, forwards, and drops the padding outputs — the
+    fixed-shape primitive that keeps im2col buffers warm and batched
+    outputs bit-identical to individually-served ones.
+    """
+    padded, valid = pad_batch(np.asarray(batch), batch_size)
+    return np.asarray(model.forward(padded))[:valid]
+
+
+def prepare_for_serving(model: Module, input_shape: Tuple[int, ...],
+                        batch_size: int, dtype=np.float64) -> Module:
+    """Warm ``model`` for steady-state serving at one canonical batch shape.
+
+    Puts the model in eval mode and forwards one zero batch of shape
+    ``(batch_size, *input_shape)`` so every compressed module builds its
+    effective-codeword table / cached dense weight / im2col buffer *before*
+    the first real request.  Compressed engines left in ``"auto"`` mode are
+    then pinned to whatever the cost model chose at this shape: mode
+    selection depends on the batch row count, and pinning it keeps every
+    subsequent forward on the identical code path (a prerequisite for
+    bit-stable serving).  Returns the model for chaining.
+    """
+    model.eval()
+    warm = np.zeros((batch_size, *input_shape), dtype=dtype)
+    model.forward(warm)
+    for _, module in model.named_modules():
+        engine = getattr(module, "engine", None)
+        if engine is None or engine.mode != "auto":
+            continue
+        cache = getattr(module, "_cache", None)
+        if (isinstance(cache, tuple) and len(cache) == 2
+                and isinstance(cache[0], np.ndarray)):        # Conv2d: (cols, x.shape)
+            rows = cache[0].shape[0]
+        elif isinstance(cache, tuple):                        # Linear: x.shape
+            rows = int(np.prod(cache[:-1])) if len(cache) > 1 else 1
+        else:
+            rows = batch_size
+        engine.pin_mode(rows, np.dtype(dtype))
+    return model
 
 
 def predict_batched(model: Module, inputs: np.ndarray, batch_size: int = 32,
@@ -44,11 +111,10 @@ def predict_batched(model: Module, inputs: np.ndarray, batch_size: int = 32,
         for lo in range(0, n, batch_size):
             batch = inputs[lo:lo + batch_size]
             valid = batch.shape[0]
-            if valid < batch_size and pad_partial:
-                padded = np.zeros((batch_size, *inputs.shape[1:]), dtype=inputs.dtype)
-                padded[:valid] = batch
-                batch = padded
-            out = np.asarray(model.forward(batch))[:valid]
+            if pad_partial:
+                out = forward_padded(model, batch, batch_size)
+            else:
+                out = np.asarray(model.forward(batch))[:valid]
             if outputs is None:
                 outputs = np.empty((n, *out.shape[1:]), dtype=out.dtype)
             outputs[lo:lo + valid] = out

@@ -131,6 +131,9 @@ class PipelineConfig:
     serve: Dict[str, Any] = field(default_factory=dict)
     #: ``accel_eval`` stage spec (workload, hardware setting, array size)
     accelerator: Dict[str, Any] = field(default_factory=dict)
+    #: online-serving defaults read by ``repro.serve`` (batching policy
+    #: knobs: max_batch_size, max_wait_ms, max_queue_size, overload, ...)
+    serving: Dict[str, Any] = field(default_factory=dict)
 
     # -- per-layer resolution --------------------------------------------------
     def resolve_layer_config(self, layer_name: str) -> LayerCompressionConfig:
@@ -187,6 +190,7 @@ class PipelineConfig:
             "finetune": dict(self.finetune) if self.finetune else None,
             "serve": dict(self.serve),
             "accelerator": dict(self.accelerator),
+            "serving": dict(self.serving),
         }
 
     @classmethod
@@ -222,7 +226,7 @@ class PipelineConfig:
         for key in ("skip_layers", "stages"):
             if key in data:
                 kwargs[key] = tuple(data[key])
-        for key in ("data", "serve", "accelerator"):
+        for key in ("data", "serve", "accelerator", "serving"):
             if key in data and data[key] is not None:
                 kwargs[key] = dict(data[key])
         if "finetune" in data:

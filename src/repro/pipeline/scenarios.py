@@ -119,6 +119,25 @@ register_scenario(Scenario(
         "stages": list(DEFAULT_STAGES),
         "serve": {"batch_size": 4, "num_samples": 8},
         "accelerator": {"setting": "EWS-CMS", "array_size": 64},
+        "serving": {"max_batch_size": 8, "max_wait_ms": 2.0,
+                    "max_queue_size": 256, "overload": "shed"},
+    },
+    workload="resnet18",
+))
+
+register_scenario(Scenario(
+    name="serving-resnet18",
+    description="The quickstart ResNet-18 tuned for the online model server: "
+                "larger coalesced batches, a deeper admission queue and "
+                "blocking backpressure instead of load shedding.",
+    model="resnet18",
+    model_kwargs={"num_classes": 5, "seed": 1},
+    pipeline={
+        "preset": "mvq",
+        "base": dict(_TINY),
+        "stages": ["group", "prune", "cluster", "quantize"],
+        "serving": {"max_batch_size": 16, "max_wait_ms": 5.0,
+                    "max_queue_size": 1024, "overload": "block"},
     },
     workload="resnet18",
 ))

@@ -1,0 +1,41 @@
+"""``repro.serve`` — dynamic-batching model serving for compressed inference.
+
+The serving layer over the decode-free compressed-domain engine:
+
+* :class:`~repro.serve.batcher.DynamicBatcher` — thread-safe bounded
+  request queue with max-batch-size / max-wait coalescing and an explicit
+  shed-or-block overload policy.
+* :class:`~repro.serve.server.ModelServer` — multi-model registry with
+  per-model worker pools, canonical-shape (bit-stable) batch execution and
+  p50/p95 latency + throughput + batch-histogram stats.
+* :mod:`~repro.serve.loader` — builds serving replicas from the pipeline
+  scenario registry or serialized ``.npz`` manifests.
+* ``python -m repro.serve`` — JSONL serving over stdin/stdout or TCP.
+"""
+
+from repro.serve.batcher import (
+    BatchPolicy,
+    DynamicBatcher,
+    Request,
+    ServerClosed,
+    ServerOverloaded,
+)
+from repro.serve.loader import LoadedModel, load_npz, load_scenario, policy_from_spec
+from repro.serve.metrics import ServingMetrics, StatsRegistry, percentile
+from repro.serve.server import ModelServer
+
+__all__ = [
+    "BatchPolicy",
+    "DynamicBatcher",
+    "LoadedModel",
+    "ModelServer",
+    "Request",
+    "ServerClosed",
+    "ServerOverloaded",
+    "ServingMetrics",
+    "StatsRegistry",
+    "load_npz",
+    "load_scenario",
+    "percentile",
+    "policy_from_spec",
+]

@@ -1,0 +1,6 @@
+"""Entry point: ``python -m repro.serve``."""
+
+from repro.serve.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

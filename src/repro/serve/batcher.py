@@ -1,0 +1,217 @@
+"""Dynamic request batching: a thread-safe queue that coalesces requests.
+
+:class:`DynamicBatcher` is the server's admission + coalescing core.
+Clients :meth:`~DynamicBatcher.submit` single requests and get a
+:class:`Request` handle back; a worker thread repeatedly calls
+:meth:`~DynamicBatcher.next_batch`, which blocks until work exists and then
+coalesces up to ``max_batch_size`` requests — flushing earlier once the
+*oldest* queued request has waited ``max_wait_ms`` (bounded staleness: the
+wait clock starts at enqueue, not at coalesce start).
+
+Overload is explicit: the queue is bounded by ``max_queue_size`` and the
+``overload`` policy picks what an over-limit ``submit`` does — ``"shed"``
+raises :class:`ServerOverloaded` immediately (load-shedding; the caller
+sees the rejection instead of unbounded latency), ``"block"`` applies
+backpressure by making the producer wait for queue space.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, List, Optional
+
+OVERLOAD_POLICIES = ("shed", "block")
+
+
+class ServerOverloaded(RuntimeError):
+    """Raised by ``submit`` when the queue is full under the shed policy."""
+
+
+class ServerClosed(RuntimeError):
+    """Raised when submitting to (or waiting on) a closed batcher/server."""
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Knobs of the dynamic batcher.
+
+    ``max_batch_size``
+        Upper bound on coalesced batch size (and, with
+        ``pad_to_full_batch``, the canonical forward shape).
+    ``max_wait_ms``
+        How long the oldest queued request may wait for co-travellers
+        before the batch is flushed partially filled.
+    ``max_queue_size``
+        Admission bound; queue depth beyond the in-flight batch.
+    ``overload``
+        ``"shed"`` rejects over-limit submissions with
+        :class:`ServerOverloaded`; ``"block"`` makes submitters wait.
+    ``pad_to_full_batch``
+        Zero-pad every executed batch up to ``max_batch_size`` so all
+        forwards share one shape — compressed convolutions keep their
+        persistent im2col buffers *and* outputs are bit-identical no matter
+        how requests were coalesced (see ``repro.nn.serve``).
+    """
+
+    max_batch_size: int = 8
+    max_wait_ms: float = 2.0
+    max_queue_size: int = 256
+    overload: str = "shed"
+    pad_to_full_batch: bool = True
+
+    def __post_init__(self):
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if self.max_queue_size < 1:
+            raise ValueError("max_queue_size must be >= 1")
+        if self.overload not in OVERLOAD_POLICIES:
+            raise ValueError(
+                f"overload must be one of {OVERLOAD_POLICIES}, got {self.overload!r}")
+
+
+_request_ids = itertools.count()
+
+
+class Request:
+    """One in-flight request: payload in, future-style result out."""
+
+    __slots__ = ("id", "payload", "enqueued_at", "completed_at", "_event",
+                 "_result", "_error")
+
+    def __init__(self, payload: Any, request_id: Optional[Any] = None):
+        self.id = next(_request_ids) if request_id is None else request_id
+        self.payload = payload
+        self.enqueued_at = time.perf_counter()
+        self.completed_at: Optional[float] = None
+        self._event = threading.Event()
+        self._result: Any = None
+        self._error: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def set_result(self, value: Any) -> None:
+        self._result = value
+        self.completed_at = time.perf_counter()
+        self._event.set()
+
+    def set_exception(self, error: BaseException) -> None:
+        self._error = error
+        self.completed_at = time.perf_counter()
+        self._event.set()
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """Block until the batch containing this request has executed."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"request {self.id} not completed within {timeout}s")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.enqueued_at
+
+
+class DynamicBatcher:
+    """Bounded FIFO request queue with max-batch / max-wait coalescing."""
+
+    def __init__(self, policy: Optional[BatchPolicy] = None):
+        self.policy = policy or BatchPolicy()
+        self._queue: Deque[Request] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    # -- producer side --------------------------------------------------------
+    def submit(self, payload: Any, request_id: Optional[Any] = None,
+               timeout: Optional[float] = None) -> Request:
+        """Enqueue one request; returns its :class:`Request` handle.
+
+        Under the ``"shed"`` policy a full queue raises
+        :class:`ServerOverloaded`; under ``"block"`` the call waits for
+        space (``timeout`` bounds that wait).
+        """
+        request = Request(payload, request_id)
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        with self._cond:
+            if self._closed:
+                raise ServerClosed("batcher is closed")
+            while len(self._queue) >= self.policy.max_queue_size:
+                if self.policy.overload == "shed":
+                    raise ServerOverloaded(
+                        f"queue full ({self.policy.max_queue_size} requests)")
+                remaining = (None if deadline is None
+                             else deadline - time.perf_counter())
+                if remaining is not None and remaining <= 0:
+                    raise ServerOverloaded(
+                        f"queue still full after blocking {timeout}s")
+                if not self._cond.wait(remaining):
+                    raise ServerOverloaded(
+                        f"queue still full after blocking {timeout}s")
+                if self._closed:
+                    raise ServerClosed("batcher closed while waiting for space")
+            # stamp enqueue time *inside* the lock so queue-wait metrics do
+            # not count time spent blocked on admission
+            request.enqueued_at = time.perf_counter()
+            self._queue.append(request)
+            self._cond.notify_all()
+        return request
+
+    # -- consumer side --------------------------------------------------------
+    def next_batch(self) -> Optional[List[Request]]:
+        """Block until requests exist, coalesce, and pop one FIFO batch.
+
+        Returns ``None`` once the batcher is closed *and* drained — the
+        worker's signal to exit.  A batch is released as soon as either
+        ``max_batch_size`` requests are queued or the oldest one has waited
+        ``max_wait_ms``.
+        """
+        policy = self.policy
+        max_wait_s = policy.max_wait_ms / 1e3
+        with self._cond:
+            while True:
+                while not self._queue:
+                    if self._closed:
+                        return None
+                    self._cond.wait()
+                while len(self._queue) and not self._closed:
+                    if len(self._queue) >= policy.max_batch_size:
+                        break
+                    # anchor the flush deadline to the current oldest request
+                    # (another worker of the same pool may pop the head while
+                    # we wait, so re-read it every wake-up)
+                    deadline = self._queue[0].enqueued_at + max_wait_s
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(remaining)
+                if not self._queue:
+                    continue  # drained by another worker; wait again
+                batch = [self._queue.popleft()
+                         for _ in range(min(policy.max_batch_size,
+                                            len(self._queue)))]
+                self._cond.notify_all()  # wake producers blocked on admission
+                return batch
+
+    # -- lifecycle ------------------------------------------------------------
+    def close(self) -> None:
+        """Stop admitting requests; queued work may still be drained."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def qsize(self) -> int:
+        with self._cond:
+            return len(self._queue)

@@ -1,0 +1,241 @@
+"""Command-line front end: ``python -m repro.serve``.
+
+Loads one or more compressed models (scenario registry or ``.npz``
+manifest), starts the dynamic-batching :class:`~repro.serve.server.ModelServer`
+and speaks newline-delimited JSON over stdin/stdout (``--stdin-jsonl``,
+the default) or a threaded TCP socket (``--port``).
+
+Protocol (one JSON object per line)::
+
+    {"id": 1, "model": "quickstart-resnet18", "input": [[...]]}
+    {"id": 2, "synthetic": true, "seed": 7}        # random input, load-gen
+    {"cmd": "stats"}                               # JSON stats report
+
+Responses preserve input order::
+
+    {"id": 1, "output": [...], "latency_ms": 3.1}
+    {"id": 2, "error": "server overloaded", "shed": true}
+
+Requests are submitted as soon as their line is read and only *awaited*
+once a lookahead window fills, so a fast client (or the bundled load
+generator) keeps the batcher's queue populated and gets coalesced batches
+— piping one request at a time still works, it just serves at batch size 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socketserver
+import sys
+from collections import deque
+from typing import Any, Dict, Optional, TextIO, Tuple
+
+import numpy as np
+
+from repro.serve.batcher import ServerOverloaded
+from repro.serve.loader import load_npz, load_scenario
+from repro.serve.server import ModelServer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Dynamic-batching model server for compressed inference.")
+    source = parser.add_argument_group("model sources")
+    source.add_argument("--scenario", action="append", default=[],
+                        metavar="NAME",
+                        help="serve a pipeline scenario (repeatable for a "
+                             "multi-model server)")
+    source.add_argument("--npz", metavar="PATH",
+                        help="serve a serialized compressed-model archive")
+    source.add_argument("--model", metavar="ZOO_NAME",
+                        help="model-zoo architecture of the --npz archive")
+    source.add_argument("--cache-dir", default=None,
+                        help="pipeline artifact cache (warm cluster cache "
+                             "makes scenario loading near-instant)")
+    batching = parser.add_argument_group("batching policy")
+    batching.add_argument("--max-batch-size", type=int, default=None)
+    batching.add_argument("--max-wait-ms", type=float, default=None)
+    batching.add_argument("--max-queue-size", type=int, default=None)
+    batching.add_argument("--overload", choices=("shed", "block"), default=None)
+    batching.add_argument("--workers", type=int, default=1,
+                          help="worker threads (= model replicas) per model")
+    batching.add_argument("--engine-mode", choices=("auto", "centroid", "dense"),
+                          default="auto", help="compressed-engine execution mode")
+    transport = parser.add_argument_group("transport")
+    transport.add_argument("--stdin-jsonl", action="store_true",
+                           help="serve JSONL over stdin/stdout (default)")
+    transport.add_argument("--port", type=int, default=None,
+                           help="serve JSONL over TCP on this port instead")
+    transport.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--lookahead", type=int, default=None,
+                        help="max in-flight requests per connection before "
+                             "responses are awaited (default 4x batch size)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print the final stats report to stderr")
+    return parser
+
+
+def _response(request_id: Any, handle, timeout: float = 60.0) -> Dict[str, Any]:
+    try:
+        output = handle.result(timeout)
+    except Exception as error:  # noqa: BLE001 - report per-request, keep serving
+        return {"id": request_id, "error": str(error)}
+    return {"id": request_id,
+            "output": np.asarray(output).tolist(),
+            "latency_ms": round(handle.latency_s * 1e3, 3)}
+
+
+class JsonlSession:
+    """One JSONL request stream served with submit-ahead/await-later."""
+
+    def __init__(self, server: ModelServer, default_model: Optional[str],
+                 shapes: Dict[str, Tuple[int, ...]], lookahead: int = 32):
+        self.server = server
+        self.default_model = default_model
+        self.shapes = shapes
+        self.lookahead = max(1, lookahead)
+
+    def _input_for(self, request: Dict[str, Any], model: Optional[str]) -> np.ndarray:
+        if request.get("synthetic"):
+            key = model if model is not None else self.default_model
+            shape = self.shapes[key]
+            rng = np.random.default_rng(int(request.get("seed", 0)))
+            return rng.standard_normal(shape)
+        return np.asarray(request["input"], dtype=np.float64)
+
+    def run(self, lines, out: TextIO) -> None:
+        pending: deque = deque()        # (request_id, handle) in arrival order
+
+        def flush(everything: bool) -> None:
+            while pending and (everything or pending[0][1].done()
+                               or len(pending) >= self.lookahead):
+                request_id, handle = pending.popleft()
+                out.write(json.dumps(_response(request_id, handle)) + "\n")
+            out.flush()
+
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as error:
+                flush(True)
+                out.write(json.dumps({"error": f"bad json: {error}"}) + "\n")
+                out.flush()
+                continue
+            if request.get("cmd") == "stats":
+                flush(True)  # stats reflect every request seen so far
+                out.write(json.dumps(self.server.stats_report()) + "\n")
+                out.flush()
+                continue
+            request_id = request.get("id")
+            model = request.get("model", self.default_model)
+            try:
+                handle = self.server.submit(model, self._input_for(request, model))
+            except ServerOverloaded as error:
+                flush(True)
+                out.write(json.dumps({"id": request_id, "error": str(error),
+                                      "shed": True}) + "\n")
+                out.flush()
+                continue
+            except (KeyError, ValueError, TypeError) as error:
+                flush(True)
+                out.write(json.dumps({"id": request_id,
+                                      "error": str(error)}) + "\n")
+                out.flush()
+                continue
+            pending.append((request_id, handle))
+            flush(False)
+        flush(True)
+
+
+def _tcp_server(session: JsonlSession, host: str, port: int):
+    class Handler(socketserver.StreamRequestHandler):
+        def handle(self):
+            reader = (raw.decode("utf-8") for raw in self.rfile)
+
+            class _Out:
+                def write(inner, text: str) -> None:
+                    self.wfile.write(text.encode("utf-8"))
+
+                def flush(inner) -> None:
+                    self.wfile.flush()
+
+            session.run(reader, _Out())
+
+    class Server(socketserver.ThreadingTCPServer):
+        allow_reuse_address = True
+        daemon_threads = True
+
+    return Server((host, port), Handler)
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not args.scenario and not args.npz:
+        parser.error("need at least one model: --scenario NAME or --npz PATH")
+    if args.npz and not args.model:
+        parser.error("--npz requires --model (the zoo architecture)")
+    if args.stdin_jsonl and args.port is not None:
+        parser.error("--stdin-jsonl and --port are mutually exclusive")
+
+    loaded = []
+    for scenario_name in args.scenario:
+        print(f"[serve] loading scenario {scenario_name!r} ...",
+              file=sys.stderr, flush=True)
+        loaded.append(load_scenario(scenario_name, mode=args.engine_mode,
+                                    replicas=args.workers,
+                                    cache_dir=args.cache_dir))
+    if args.npz:
+        print(f"[serve] loading archive {args.npz!r} ({args.model}) ...",
+              file=sys.stderr, flush=True)
+        loaded.append(load_npz(args.npz, args.model, mode=args.engine_mode,
+                               replicas=args.workers))
+
+    server = ModelServer()
+    for model in loaded:
+        model.register_with(
+            server,
+            max_batch_size=args.max_batch_size,
+            max_wait_ms=args.max_wait_ms,
+            max_queue_size=args.max_queue_size,
+            overload=args.overload,
+        )
+        print(f"[serve] registered {model.name!r} "
+              f"(CR {model.meta['compression_ratio']:.1f}x, "
+              f"{model.meta['layers']} compressed layers, "
+              f"{args.workers} worker(s))", file=sys.stderr, flush=True)
+
+    session = JsonlSession(
+        server, default_model=loaded[0].name,
+        shapes={m.name: m.input_shape for m in loaded},
+        lookahead=args.lookahead or 4 * next(
+            iter(server.stats_report()["policies"].values()))["max_batch_size"])
+
+    with server:
+        if args.port is not None:
+            tcp = _tcp_server(session, args.host, args.port)
+            print(f"[serve] listening on {args.host}:{args.port}",
+                  file=sys.stderr, flush=True)
+            try:
+                tcp.serve_forever()
+            except KeyboardInterrupt:
+                pass
+            finally:
+                tcp.server_close()
+        else:
+            try:
+                session.run(sys.stdin, sys.stdout)
+            except BrokenPipeError:
+                pass  # client closed the stream; shut down quietly
+    if args.stats:
+        print(json.dumps(server.stats_report(), indent=2), file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

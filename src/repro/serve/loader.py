@@ -1,0 +1,163 @@
+"""Build ready-to-serve models from scenarios and ``.npz`` artifacts.
+
+Two sources, one output shape: a :class:`LoadedModel` — N independent model
+replicas with the decode-free compressed-domain modules already swapped in
+(one replica per worker thread; engines and im2col buffers are not
+thread-safe) plus the metadata the server and CLI report.
+
+* :func:`load_scenario` runs a PR-3 scenario's compression stages
+  (``group → prune → cluster → quantize``, warm-cacheable through the
+  pipeline's :class:`~repro.pipeline.artifacts.ArtifactStore`) and serves
+  the result.
+* :func:`load_npz` rebuilds a :class:`~repro.core.compressor.CompressedModel`
+  from a serialized ``.npz`` manifest against a model-zoo architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.nn.module import Module
+from repro.serve.batcher import BatchPolicy
+
+#: keys of a scenario's ``serving`` section mapped onto BatchPolicy fields
+_POLICY_KEYS = ("max_batch_size", "max_wait_ms", "max_queue_size", "overload",
+                "pad_to_full_batch")
+
+
+def policy_from_spec(spec: Optional[Dict[str, Any]] = None,
+                     **overrides: Any) -> BatchPolicy:
+    """A :class:`BatchPolicy` from a scenario's ``serving`` section.
+
+    ``overrides`` (e.g. CLI flags) win over the spec; unknown spec keys
+    (``workers``, ``mode``) are ignored here — they configure the loader,
+    not the batcher.
+    """
+    merged: Dict[str, Any] = {}
+    for key in _POLICY_KEYS:
+        if spec and key in spec:
+            merged[key] = spec[key]
+        if key in overrides and overrides[key] is not None:
+            merged[key] = overrides[key]
+    return BatchPolicy(**merged)
+
+
+@dataclass
+class LoadedModel:
+    """Everything the server needs to register one model."""
+
+    name: str
+    replicas: List[Module]
+    compressed: Any                      # repro.core.compressor.CompressedModel
+    input_shape: Tuple[int, ...]
+    serving_spec: Dict[str, Any] = field(default_factory=dict)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def policy(self, **overrides: Any) -> BatchPolicy:
+        return policy_from_spec(self.serving_spec, **overrides)
+
+    def register_with(self, server, policy: Optional[BatchPolicy] = None,
+                      **policy_overrides: Any) -> None:
+        server.register(self.name, self.replicas,
+                        policy=policy or self.policy(**policy_overrides),
+                        input_shape=self.input_shape)
+
+
+def _replicate(model: Module, build_fresh, count: int, compressed,
+               mode: str) -> List[Module]:
+    """``count`` independent serving replicas of one compressed model.
+
+    The first replica is the live model itself; extra replicas are fresh
+    architecture builds that copy its state dict (so trained/fine-tuned
+    non-compressed parameters — biases, batch-norm — survive) and then get
+    their own compressed-module swap.
+    """
+    from repro.nn.compressed import swap_to_compressed
+
+    replicas = [model]
+    for _ in range(max(0, count - 1)):
+        fresh = build_fresh()
+        fresh.load_state_dict(model.state_dict())
+        replicas.append(fresh)
+    for replica in replicas:
+        swap_to_compressed(replica, compressed, mode=mode)
+        replica.eval()
+    return replicas
+
+
+def load_scenario(name: str, mode: str = "auto", replicas: int = 1,
+                  cache_dir: Optional[str] = None) -> LoadedModel:
+    """Compress a registered scenario's model and prepare it for serving.
+
+    Runs the four core compression stages (cluster results come from the
+    artifact cache when ``cache_dir`` is warm), then swaps the decode-free
+    modules into ``replicas`` independent copies.
+    """
+    from repro.pipeline.config import CORE_STAGES
+    from repro.pipeline.scenarios import get_scenario, run_scenario
+
+    scenario = get_scenario(name)
+    result = run_scenario(scenario, stages=CORE_STAGES, cache_dir=cache_dir)
+    compressed = result.compressed
+    models = _replicate(compressed.model, scenario.build_model, replicas,
+                        compressed, mode)
+    serving_spec = dict(scenario.pipeline.get("serving", {}) or {})
+    return LoadedModel(
+        name=scenario.name,
+        replicas=models,
+        compressed=compressed,
+        input_shape=tuple(scenario.input_shape),
+        serving_spec=serving_spec,
+        meta={
+            "source": "scenario",
+            "model": scenario.model,
+            "mode": mode,
+            "compression_ratio": float(compressed.compression_ratio()),
+            "sparsity": float(compressed.sparsity()),
+            "layers": len(compressed),
+            "cluster_status": next(
+                (e["status"] for e in result.events if e["stage"] == "cluster"),
+                None),
+        },
+    )
+
+
+def load_npz(path: str, model: str, mode: str = "auto", replicas: int = 1,
+             model_kwargs: Optional[Dict[str, Any]] = None,
+             input_shape: Tuple[int, ...] = (3, 16, 16),
+             name: Optional[str] = None) -> LoadedModel:
+    """Serve a serialized ``.npz`` compressed-model manifest.
+
+    ``model`` names a :data:`repro.nn.models.MODEL_ZOO` architecture the
+    archive was produced from (the archive carries assignments, masks and
+    codebooks; the architecture — and its non-compressed parameters — come
+    from the zoo build).
+    """
+    from repro.core.serialization import load_compressed_model
+    from repro.nn.models import get_model_factory
+
+    kwargs = dict(model_kwargs or {})
+    factory = get_model_factory(model)
+
+    def build_fresh() -> Module:
+        return factory(**kwargs)
+
+    live = build_fresh()
+    compressed = load_compressed_model(live, path)
+    models = _replicate(live, build_fresh, replicas, compressed, mode)
+    return LoadedModel(
+        name=name or f"{model}@{path}",
+        replicas=models,
+        compressed=compressed,
+        input_shape=tuple(input_shape),
+        meta={
+            "source": "npz",
+            "path": str(path),
+            "model": model,
+            "mode": mode,
+            "compression_ratio": float(compressed.compression_ratio()),
+            "sparsity": float(compressed.sparsity()),
+            "layers": len(compressed),
+        },
+    )

@@ -1,0 +1,140 @@
+"""Serving metrics: latency percentiles, throughput, batch-size histogram.
+
+Every :class:`~repro.serve.server.ModelServer` worker records into one
+:class:`ServingMetrics` per model.  The recorder is deliberately dumb and
+lock-protected — it appends raw per-request latencies and per-batch sizes —
+and all statistics (p50/p95, samples/s, the batch histogram) are derived at
+report time, so recording stays cheap on the hot path and the report is
+always consistent with itself.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+
+def percentile(values: List[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) by linear interpolation.
+
+    A tiny re-implementation (rather than ``np.percentile``) so stats
+    snapshots never pay an array conversion for a handful of floats and the
+    serve package keeps no hard numpy dependency on the metrics path.
+    """
+    if not values:
+        return 0.0
+    data = sorted(values)
+    if len(data) == 1:
+        return float(data[0])
+    pos = (len(data) - 1) * (q / 100.0)
+    lo = int(pos)
+    hi = min(lo + 1, len(data) - 1)
+    frac = pos - lo
+    return float(data[lo] * (1.0 - frac) + data[hi] * frac)
+
+
+class ServingMetrics:
+    """Thread-safe accumulator for one served model.
+
+    Records three request outcomes (``completed`` / ``shed`` / ``failed``)
+    plus, for completed requests, the queue-wait and total latency, and for
+    every executed batch its size.  ``snapshot()`` turns the raw samples
+    into the JSON stats report the server exposes.
+    """
+
+    def __init__(self, window: int = 4096):
+        # keep at most `window` latency samples (newest wins) so a
+        # long-running server's stats report stays O(window), not O(traffic)
+        self.window = int(window)
+        self._lock = threading.Lock()
+        self._started = time.perf_counter()
+        self._latencies: List[float] = []
+        self._queue_waits: List[float] = []
+        self._batch_sizes: Dict[int, int] = {}
+        self.completed = 0
+        self.shed = 0
+        self.failed = 0
+        self.batches = 0
+
+    # -- recording (hot path) -------------------------------------------------
+    def record_batch(self, size: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self._batch_sizes[size] = self._batch_sizes.get(size, 0) + 1
+
+    def record_request(self, latency_s: float, queue_wait_s: float) -> None:
+        with self._lock:
+            self.completed += 1
+            self._latencies.append(float(latency_s))
+            self._queue_waits.append(float(queue_wait_s))
+            if len(self._latencies) > self.window:
+                del self._latencies[: -self.window]
+                del self._queue_waits[: -self.window]
+
+    def record_shed(self) -> None:
+        with self._lock:
+            self.shed += 1
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.failed += 1
+
+    # -- reporting ------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-able stats: counts, latency percentiles, throughput, histogram."""
+        with self._lock:
+            latencies = list(self._latencies)
+            waits = list(self._queue_waits)
+            sizes = dict(self._batch_sizes)
+            completed, shed, failed = self.completed, self.shed, self.failed
+            batches = self.batches
+        elapsed = max(time.perf_counter() - self._started, 1e-9)
+        mean_batch = (sum(size * count for size, count in sizes.items())
+                      / max(batches, 1))
+        return {
+            "requests_completed": completed,
+            "requests_shed": shed,
+            "requests_failed": failed,
+            "batches_executed": batches,
+            "throughput_rps": completed / elapsed,
+            "latency_ms": {
+                "p50": percentile(latencies, 50) * 1e3,
+                "p95": percentile(latencies, 95) * 1e3,
+                "max": max(latencies) * 1e3 if latencies else 0.0,
+                "mean": (sum(latencies) / len(latencies) * 1e3
+                         if latencies else 0.0),
+            },
+            "queue_wait_ms": {
+                "p50": percentile(waits, 50) * 1e3,
+                "p95": percentile(waits, 95) * 1e3,
+            },
+            "batch_size_histogram": {str(k): v for k, v in sorted(sizes.items())},
+            "mean_batch_size": mean_batch,
+            "window_seconds": elapsed,
+        }
+
+
+class StatsRegistry:
+    """Per-model metrics plus a merged server-level report."""
+
+    def __init__(self):
+        self._metrics: Dict[str, ServingMetrics] = {}
+        self._lock = threading.Lock()
+
+    def for_model(self, name: str, window: Optional[int] = None) -> ServingMetrics:
+        with self._lock:
+            if name not in self._metrics:
+                self._metrics[name] = (ServingMetrics(window)
+                                       if window is not None else ServingMetrics())
+            return self._metrics[name]
+
+    def report(self) -> Dict[str, Any]:
+        with self._lock:
+            items = list(self._metrics.items())
+        models = {name: metrics.snapshot() for name, metrics in items}
+        return {
+            "models": models,
+            "total_completed": sum(m["requests_completed"] for m in models.values()),
+            "total_shed": sum(m["requests_shed"] for m in models.values()),
+        }

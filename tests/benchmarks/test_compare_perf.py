@@ -1,0 +1,114 @@
+"""The perf-regression gate's comparison logic (pure functions, no timing)."""
+
+import pytest
+
+from benchmarks.perf.compare_perf import TRACKED, compare, tracked_metrics
+
+
+def _report(mode: str, serving_speedup: float = 1.8,
+            fp64: float = 4.0) -> dict:
+    return {
+        "mode": mode,
+        "clustering": {"speedup_fp64_vs_legacy": fp64,
+                       "speedup_fp32_vs_legacy": 10.0},
+        "inference": {"speedup_compressed_vs_reconstruct": 2.5,
+                      "systolic_stream": {"stream_speedup_vs_scalar": 80.0}},
+        "serving": {"speedup_batched_vs_sequential": serving_speedup},
+    }
+
+
+class TestTrackedMetrics:
+    def test_flattens_dotted_paths(self):
+        flat = tracked_metrics(_report("full"))
+        assert flat["inference.systolic_stream.stream_speedup_vs_scalar"] == 80.0
+        assert flat["serving.speedup_batched_vs_sequential"] == 1.8
+
+    def test_missing_sections_are_skipped(self):
+        assert tracked_metrics({"mode": "full"}) == {}
+
+    def test_every_tracked_path_resolves_in_the_committed_baseline(self):
+        import json
+        from pathlib import Path
+
+        baseline = json.loads(
+            (Path(__file__).resolve().parents[2] / "BENCH_perf.json").read_text())
+        flat = tracked_metrics(baseline)
+        expected = {f"{s}.{p}" for s, paths in TRACKED.items() for p in paths}
+        assert set(flat) == expected
+        # CI smoke runs gate against the embedded conservative floor
+        assert set(baseline["tracked_smoke"]) == expected
+        assert baseline["tracked"] == flat
+
+
+class TestCompare:
+    def test_same_mode_within_tolerance_passes(self, capsys):
+        assert compare(_report("full"), _report("full")) == []
+        assert "ok" in capsys.readouterr().out
+
+    def test_regression_beyond_tolerance_fails(self):
+        errors = compare(_report("full", serving_speedup=2.0),
+                         _report("full", serving_speedup=1.5))
+        assert len(errors) == 1
+        assert "serving.speedup_batched_vs_sequential" in errors[0]
+
+    def test_tolerance_is_configurable(self):
+        baseline = _report("full", serving_speedup=2.0)
+        current = _report("full", serving_speedup=1.5)
+        assert compare(baseline, current, tolerance=0.3) == []
+
+    def test_mode_mismatch_uses_embedded_smoke_floor(self):
+        baseline = _report("full", serving_speedup=5.0)
+        baseline["tracked_smoke"] = tracked_metrics(_report("smoke"))
+        current = _report("smoke", serving_speedup=1.7)
+        # vs the full-mode 5.0 this would fail; vs the smoke floor it passes
+        assert compare(baseline, current) == []
+
+    def test_mode_mismatch_without_smoke_floor_fails_closed(self):
+        errors = compare(_report("full"), _report("smoke"))
+        assert len(errors) == 1
+        assert "tracked_smoke" in errors[0]
+
+    def test_metric_missing_from_current_is_an_error(self):
+        current = _report("full")
+        del current["serving"]
+        errors = compare(_report("full"), current)
+        assert any("missing from the current report" in e for e in errors)
+
+    def test_new_metric_without_baseline_is_informational(self, capsys):
+        baseline = _report("full")
+        del baseline["serving"]
+        assert compare(baseline, _report("full")) == []
+        assert "no baseline" in capsys.readouterr().out
+
+
+class TestTrackedSmokeFloor:
+    def test_min_floor_over_multiple_smoke_reports(self, tmp_path):
+        import json
+
+        from benchmarks.perf.run_perf import tracked_smoke_floor
+
+        paths = []
+        for i, speedup in enumerate((1.9, 1.6, 1.8)):
+            path = tmp_path / f"s{i}.json"
+            path.write_text(json.dumps(_report("smoke", serving_speedup=speedup,
+                                               fp64=4.0 + i)))
+            paths.append(str(path))
+        floor = tracked_smoke_floor(paths)
+        assert floor["serving.speedup_batched_vs_sequential"] == 1.6
+        assert floor["clustering.speedup_fp64_vs_legacy"] == 4.0
+
+    def test_non_smoke_report_rejected_up_front(self, tmp_path):
+        import json
+
+        from benchmarks.perf.run_perf import tracked_smoke_floor
+
+        path = tmp_path / "full.json"
+        path.write_text(json.dumps(_report("full")))
+        with pytest.raises(ValueError, match="not a smoke-mode report"):
+            tracked_smoke_floor([str(path)])
+
+    def test_missing_file_raises_before_any_benchmark(self, tmp_path):
+        from benchmarks.perf.run_perf import tracked_smoke_floor
+
+        with pytest.raises(OSError):
+            tracked_smoke_floor([str(tmp_path / "nope.json")])
