@@ -43,6 +43,11 @@ TRACKED: Dict[str, List[str]] = {
     "inference": ["speedup_compressed_vs_reconstruct",
                   "systolic_stream.stream_speedup_vs_scalar"],
     "serving": ["speedup_batched_vs_sequential"],
+    # explore.cache_speedup is deliberately untracked: like
+    # pipeline.warm_speedup it is a ratio of two sub-second smoke wall
+    # times, and cache-hit correctness is already hard-gated by
+    # bench_explore.check_report and the explore-smoke CI job
+    "explore": ["speedup_parallel_vs_sequential"],
 }
 
 

@@ -29,6 +29,7 @@ from benchmarks.perf import (
     bench_clustering,
     bench_conv,
     bench_end_to_end,
+    bench_explore,
     bench_inference,
     bench_pipeline,
     bench_serving,
@@ -60,8 +61,10 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default="BENCH_perf.json",
                         help="where to write the JSON report")
-    parser.add_argument("--smoke", action="store_true",
-                        help="tiny workloads for CI smoke coverage")
+    parser.add_argument("--smoke", "--quick", dest="smoke",
+                        action="store_true",
+                        help="tiny workloads for CI smoke coverage "
+                             "(--quick is an alias)")
     parser.add_argument("--smoke-report", nargs="+", default=None,
                         metavar="PATH",
                         help="smoke-mode report(s) whose tracked metrics get "
@@ -90,6 +93,7 @@ def main(argv=None) -> int:
         ("inference", bench_inference.run),
         ("pipeline", bench_pipeline.run),
         ("serving", bench_serving.run),
+        ("explore", bench_explore.run),
     )
     report = {
         "schema": 1,
@@ -142,10 +146,18 @@ def main(argv=None) -> int:
           f"({serving['batched_sps']:.0f} req/s, "
           f"mean batch {serving['mean_batch_size']:.1f}, "
           f"p95 {serving['latency_ms_p95']:.1f} ms)")
+    explore = report["explore"]
+    print(f"[perf] explore: {explore['candidates']}-candidate sweep, frontier "
+          f"{explore['frontier_size']} points, parallel "
+          f"{explore['speedup_parallel_vs_sequential']:.2f}x "
+          f"({explore['workers_parallel']} workers), warm cache "
+          f"{explore['cache_speedup']:.2f}x, "
+          f"{explore['cold_cluster_layers_cached']} cluster results reused")
 
     errors = bench_inference.check_report(inference)
     errors += bench_pipeline.check_report(pipeline)
     errors += bench_serving.check_report(serving)
+    errors += bench_explore.check_report(explore)
     for error in errors:
         print(f"[perf] ERROR: {error}", file=sys.stderr)
     return 1 if errors else 0

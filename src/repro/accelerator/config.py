@@ -63,12 +63,52 @@ class AcceleratorConfig:
     wrf_entries: int = 16
 
     def __post_init__(self):
+        # Validate eagerly and with named fields: design-space sweeps build
+        # many variants programmatically, and a bad combination must fail at
+        # construction time with a clear message, not deep inside
+        # ``analyze_layer`` as a ZeroDivisionError three stages later.
         if self.array_size <= 0:
             raise ValueError("array size must be positive")
         if self.subvector_length % self.m_block != 0:
-            raise ValueError("d must be a multiple of M")
+            raise ValueError(
+                f"d must be a multiple of M (d={self.subvector_length}, "
+                f"M={self.m_block})")
         if self.array_size % self.subvector_length != 0 and self.uses_vq:
-            raise ValueError("array width must be a multiple of the subvector length d")
+            raise ValueError(
+                f"array width must be a multiple of the subvector length d "
+                f"(array_size={self.array_size}, d={self.subvector_length})")
+        if not 1 <= self.n_keep <= self.m_block:
+            raise ValueError(
+                f"n_keep must be in [1, M] (n_keep={self.n_keep}, "
+                f"M={self.m_block})")
+        if self.codebook_size < 2:
+            raise ValueError(f"codebook_size must be >= 2, got {self.codebook_size}")
+        for name in ("codebook_bits", "weight_bits", "activation_bits",
+                     "psum_bits", "wrf_entries"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive, got {getattr(self, name)}")
+        for name in ("l1_kib", "l2_kib", "dma_width_bits", "l1_width_bits"):
+            if getattr(self, name) <= 0:
+                raise ValueError(
+                    f"{name} must be positive, got {getattr(self, name)} — "
+                    "the dataflow model divides by the buffer widths, so a "
+                    "non-positive size would fail deep inside analyze_layer")
+        if self.l2_kib < self.l1_kib:
+            raise ValueError(
+                f"L2 must be at least as large as L1 "
+                f"(l1_kib={self.l1_kib}, l2_kib={self.l2_kib})")
+        if self.frequency_ghz <= 0:
+            raise ValueError(
+                f"frequency_ghz must be positive, got {self.frequency_ghz}")
+        # one weight tile (array_size x array_size at on-chip precision) must
+        # fit in L1 next to at least as much activation staging space
+        tile_kib = self.array_size * self.array_size * self.weight_bits / 8 / 1024
+        if tile_kib > self.l1_kib:
+            raise ValueError(
+                f"L1 ({self.l1_kib} KiB) cannot hold one "
+                f"{self.array_size}x{self.array_size} weight tile "
+                f"({tile_kib:.0f} KiB at {self.weight_bits}-bit weights); "
+                "increase l1_kib or shrink array_size")
 
     # -- derived quantities -------------------------------------------------------
     @property
@@ -186,3 +226,27 @@ ALL_SETTINGS = [
     HardwareSetting.EWS_CM,
     HardwareSetting.EWS_CMS,
 ]
+
+#: ``accelerator`` spec keys that map straight onto AcceleratorConfig fields
+#: (``dataflow`` additionally accepts its string value, e.g. ``"ews"``)
+HARDWARE_OVERRIDE_KEYS = (
+    "l1_kib", "l2_kib", "dma_width_bits", "l1_width_bits", "frequency_ghz",
+    "wrf_entries", "dataflow",
+)
+
+
+def config_from_spec(spec: Dict) -> AcceleratorConfig:
+    """An :class:`AcceleratorConfig` from a pipeline ``accelerator`` section.
+
+    Reads ``setting`` (a :class:`HardwareSetting` value, default EWS-CMS),
+    ``array_size`` and any of :data:`HARDWARE_OVERRIDE_KEYS`; everything else
+    in the section (``workload``, ``derive_vq``, ...) is ignored here.
+    Raises ``ValueError`` with the offending field named when the combination
+    is invalid, so sweeps can reject a candidate before any compute.
+    """
+    setting = HardwareSetting(spec.get("setting", "EWS-CMS"))
+    overrides = {key: spec[key] for key in HARDWARE_OVERRIDE_KEYS if key in spec}
+    if isinstance(overrides.get("dataflow"), str):
+        overrides["dataflow"] = Dataflow(overrides["dataflow"])
+    return standard_setting(setting, array_size=int(spec.get("array_size", 64)),
+                            **overrides)

@@ -1,0 +1,68 @@
+"""repro.explore — design-space exploration and auto-tuning.
+
+Enumerates candidate designs — per-layer compression overrides crossed with
+accelerator configurations — evaluates each through the :mod:`repro.pipeline`
+stages (compress → serve_eval → accel_eval) on a shared content-hash
+artifact cache, and returns the Pareto frontier over (accuracy, compression
+ratio, latency, energy).  See ``python -m repro.explore --help``.
+"""
+
+from repro.explore.evaluator import CandidateResult, Evaluator, clustering_signature
+from repro.explore.pareto import (
+    DEFAULT_OBJECTIVES,
+    OBJECTIVES,
+    Objective,
+    ParetoFrontier,
+    dominates,
+    nondominated_rank,
+    render_csv,
+    render_markdown,
+    scalarize,
+)
+from repro.explore.runner import ExplorationResult, explore, render_report
+from repro.explore.space import Axis, Candidate, SearchSpace
+from repro.explore.spaces import (
+    SPACES,
+    FrontierScenario,
+    get_space,
+    list_spaces,
+    register_space,
+)
+from repro.explore.strategies import (
+    STRATEGIES,
+    StrategyOutcome,
+    get_strategy,
+    list_strategies,
+    register_strategy,
+)
+
+__all__ = [
+    "Axis",
+    "Candidate",
+    "CandidateResult",
+    "DEFAULT_OBJECTIVES",
+    "Evaluator",
+    "ExplorationResult",
+    "FrontierScenario",
+    "OBJECTIVES",
+    "Objective",
+    "ParetoFrontier",
+    "SPACES",
+    "STRATEGIES",
+    "SearchSpace",
+    "StrategyOutcome",
+    "clustering_signature",
+    "dominates",
+    "explore",
+    "get_space",
+    "get_strategy",
+    "list_spaces",
+    "list_strategies",
+    "nondominated_rank",
+    "register_space",
+    "register_strategy",
+    "render_csv",
+    "render_markdown",
+    "render_report",
+    "scalarize",
+]

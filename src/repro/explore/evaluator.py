@@ -1,0 +1,326 @@
+"""Parallel candidate evaluation through the repro.pipeline stages.
+
+One :class:`Evaluator` owns a shared
+:class:`~repro.pipeline.artifacts.ArtifactStore` and fans candidates across
+a thread pool; every candidate runs the standard pipeline composition
+(compress → serve_eval for accuracy/CR → accel_eval for latency/energy) and
+comes back as a :class:`CandidateResult` holding its objective vector plus
+the full run report.
+
+Two things make a sweep cheap rather than embarrassingly expensive:
+
+* **cluster-cache reuse** — the pipeline's content-hash store already keys
+  per-layer clustering by (layer bytes, clustering config, precision), so
+  candidates that share layer settings (e.g. accelerator-only variants, or
+  per-layer overrides touching one stage) skip re-clustering the rest.
+* **signature waves** — candidates with an *identical* clustering signature
+  are scheduled in two waves: one representative computes, then the rest
+  run against the warm cache.  Without this, identical candidates racing
+  in parallel would each miss and recompute; with it the cache hits are
+  deterministic (and asserted in tests/CI).
+
+Infeasible accelerator combinations are rejected up front
+(:meth:`Evaluator.validate`) with the :class:`ValueError` the
+:class:`~repro.accelerator.config.AcceleratorConfig` constructor raises —
+no compression work is spent on a candidate that cannot be priced.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.compressor import _available_cpus, layer_config_to_dict
+from repro.explore.pareto import Objective, resolve_objectives
+from repro.explore.space import Candidate, EXPLORE_STAGES, SearchSpace
+from repro.pipeline.artifacts import ArtifactStore
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.runner import Pipeline, PipelineResult
+from repro.pipeline.scenarios import Scenario
+
+#: LayerCompressionConfig fields the cluster stage never reads — candidates
+#: differing only here share every cluster-cache entry
+_NON_CLUSTER_FIELDS = ("codebook_bits", "weight_bits")
+
+
+@dataclass
+class CandidateResult:
+    """Outcome of evaluating one candidate (possibly at reduced fidelity)."""
+
+    candidate: Candidate
+    objectives: Dict[str, float] = field(default_factory=dict)
+    report: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+    fidelity: float = 1.0
+    seconds: float = 0.0
+    cluster_layers_cached: int = 0
+    cluster_layers_fresh: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def record(self) -> Dict[str, Any]:
+        """JSON-able record; frontier points embed their full scenario spec
+        so ``python -m repro.pipeline run point.json`` reproduces them."""
+        return {
+            "index": self.candidate.index,
+            "values": self.candidate.values_dict,
+            "objectives": dict(self.objectives),
+            "error": self.error,
+            "fidelity": self.fidelity,
+            "seconds": self.seconds,
+            "cluster_layers_cached": self.cluster_layers_cached,
+            "cluster_layers_fresh": self.cluster_layers_fresh,
+            "report": copy.deepcopy(self.report),
+            "scenario": self.candidate.scenario_spec(),
+        }
+
+
+def extract_objectives(result: PipelineResult,
+                       objectives: Sequence[Objective]) -> Dict[str, float]:
+    """Pull the requested objective values out of a pipeline run."""
+    serve = result.artifacts.get("serve_report") or {}
+    accel = result.artifacts.get("accel_report") or {}
+    available: Dict[str, Any] = {}
+    if result.compressed is not None:
+        available["compression_ratio"] = result.compressed.compression_ratio()
+    if "val_accuracy" in serve:
+        available["accuracy"] = serve["val_accuracy"]
+    if "rel_err_vs_uncompressed" in serve:
+        available["fidelity"] = -serve["rel_err_vs_uncompressed"]
+    if "runtime_ms" in accel:
+        available["latency_ms"] = accel["runtime_ms"]
+    if "energy_mj_per_frame" in accel:
+        available["energy_mj"] = accel["energy_mj_per_frame"]
+    if "throughput_tops" in accel:
+        available["throughput_tops"] = accel["throughput_tops"]
+    if "efficiency_tops_w" in accel:
+        available["efficiency_tops_w"] = accel["efficiency_tops_w"]
+
+    extracted: Dict[str, float] = {}
+    for objective in objectives:
+        if objective.name not in available:
+            raise KeyError(
+                f"objective {objective.name!r} is unavailable for this "
+                f"candidate — stages run: {list(result.stages_run)}; did the "
+                "space's pipeline include serve_eval/accel_eval, a workload "
+                "and (for accuracy) a data section?")
+        extracted[objective.name] = float(available[objective.name])
+    return extracted
+
+
+def clustering_signature(spec: Mapping[str, Any]) -> str:
+    """A stable key of everything that determines a candidate's clustering.
+
+    Two candidates with equal signatures produce byte-identical cluster
+    inputs for *every* layer, so the second one is guaranteed all cache
+    hits.  (Candidates with different signatures may still share individual
+    layers — the content-hash store handles that finer granularity.)
+    """
+    config = PipelineConfig.from_dict(dict(spec.get("pipeline", {})))
+    base = layer_config_to_dict(config.base)
+    for name in _NON_CLUSTER_FIELDS:
+        base.pop(name, None)
+    overrides = []
+    for override in config.overrides:
+        fields = {k: v for k, v in dict(override.fields).items()
+                  if k not in _NON_CLUSTER_FIELDS}
+        if fields:
+            overrides.append((override.pattern, sorted(fields.items())))
+    payload = {
+        "model": spec.get("model"),
+        "model_kwargs": dict(spec.get("model_kwargs") or {}),
+        "base": base,
+        "overrides": overrides,
+        "crosslayer": config.crosslayer,
+        "include_linear": config.include_linear,
+        "skip_layers": list(config.skip_layers),
+    }
+    return json.dumps(payload, sort_keys=True, default=str)
+
+
+def _scaled_spec(spec: Dict[str, Any], fidelity: float) -> Dict[str, Any]:
+    """The cheap-proxy variant of a candidate spec.
+
+    Reduced fidelity scales the k-means iteration budget, drops the
+    fine-tuning stage and caps the serve_eval sample count — enough signal
+    to rank candidates, a fraction of the cost.
+    """
+    if fidelity >= 1.0:
+        return spec
+    spec = copy.deepcopy(spec)
+    pipeline = spec.setdefault("pipeline", {})
+
+    def scale(section: Dict[str, Any]) -> None:
+        iterations = int(section.get("max_kmeans_iterations", 60))
+        section["max_kmeans_iterations"] = max(2, round(iterations * fidelity))
+
+    scale(pipeline.setdefault("base", {}))
+    for override in pipeline.get("overrides", []):
+        if "max_kmeans_iterations" in override.get("fields", {}):
+            scale(override["fields"])
+    pipeline["finetune"] = None
+    if "stages" in pipeline:
+        pipeline["stages"] = [s for s in pipeline["stages"] if s != "finetune"]
+    serve = pipeline.setdefault("serve", {})
+    serve["num_samples"] = min(int(serve.get("num_samples", 8)), 8)
+    return spec
+
+
+class Evaluator:
+    """Fans candidates of one :class:`SearchSpace` across worker threads."""
+
+    def __init__(self, space: SearchSpace,
+                 store: Optional[ArtifactStore] = None,
+                 cache_dir: Optional[str] = None,
+                 workers: Optional[int] = None,
+                 stages: Optional[Sequence[str]] = None):
+        self.space = space
+        self.store = store if store is not None else ArtifactStore(cache_dir)
+        requested = workers if workers is not None else _available_cpus()
+        self.workers = max(1, min(int(requested), _available_cpus()))
+        self.stages = tuple(stages) if stages is not None else None
+        self.objectives = resolve_objectives(space.objectives)
+        # counters are bumped from worker threads; += is not atomic
+        self._counter_lock = threading.Lock()
+        self.evaluated = 0
+        self.infeasible = 0
+        self.failed = 0
+
+    def _count(self, counter: str) -> None:
+        with self._counter_lock:
+            setattr(self, counter, getattr(self, counter) + 1)
+
+    # -- validation -------------------------------------------------------------
+    def validate(self, candidate: Candidate) -> Optional[str]:
+        """The up-front feasibility check; an error string or ``None``.
+
+        Builds the candidate's :class:`AcceleratorConfig` and pipeline
+        config eagerly so an invalid combination (array/buffer mismatch,
+        bad layer fields) is rejected with a clear message before any
+        clustering work is spent on it.
+        """
+        from repro.accelerator.config import config_from_spec
+
+        spec = candidate.scenario_spec()
+        try:
+            config = PipelineConfig.from_dict(dict(spec.get("pipeline", {})))
+            config_from_spec(dict(config.accelerator))
+        except (ValueError, KeyError) as error:
+            return f"infeasible candidate: {error}"
+        return None
+
+    # -- evaluation -------------------------------------------------------------
+    def _stage_list(self, config: PipelineConfig) -> Tuple[str, ...]:
+        if self.stages is not None:
+            return self.stages
+        if "stages" in (self.space.pipeline or {}):
+            return tuple(config.stages)
+        return EXPLORE_STAGES
+
+    def evaluate_one(self, candidate: Candidate,
+                     fidelity: float = 1.0) -> CandidateResult:
+        start = time.perf_counter()
+        error = self.validate(candidate)
+        if error is not None:
+            self._count("infeasible")
+            return CandidateResult(candidate=candidate, error=error,
+                                   fidelity=fidelity,
+                                   seconds=time.perf_counter() - start)
+        spec = _scaled_spec(candidate.scenario_spec(), fidelity)
+        scenario = Scenario.from_dict({
+            **spec,
+            "name": f"{self.space.name}#{candidate.index}",
+            "description": f"candidate {candidate.index} of search space "
+                           f"{self.space.name}",
+        })
+        try:
+            config = scenario.pipeline_config()
+            pipeline = Pipeline(config, store=self.store,
+                                workload=scenario.workload,
+                                input_shape=scenario.input_shape,
+                                scenario=scenario.name)
+            run = pipeline.run(scenario.build_model(),
+                               stages=self._stage_list(config))
+            objectives = extract_objectives(run, self.objectives)
+        except Exception as exc:  # a failed candidate must not kill the sweep
+            self._count("failed")
+            return CandidateResult(candidate=candidate,
+                                   error=f"{type(exc).__name__}: {exc}",
+                                   fidelity=fidelity,
+                                   seconds=time.perf_counter() - start)
+
+        cluster = run.event_for("cluster") or {}
+        serve = run.artifacts.get("serve_report") or {}
+        accel = run.artifacts.get("accel_report") or {}
+        report = {
+            "compression_ratio": float(run.compressed.compression_ratio()),
+            "sparsity": float(run.compressed.sparsity()),
+            "stages_run": list(run.stages_run),
+            "cluster_status": cluster.get("status"),
+            "serve": {k: serve[k] for k in
+                      ("val_accuracy", "rel_err_vs_uncompressed",
+                       "outputs_match", "throughput_sps") if k in serve},
+            "accel": {k: accel[k] for k in
+                      ("workload", "setting", "array_size", "runtime_ms",
+                       "energy_mj_per_frame", "efficiency_tops_w",
+                       "throughput_tops", "utilization") if k in accel},
+        }
+        self._count("evaluated")
+        return CandidateResult(
+            candidate=candidate,
+            objectives=objectives,
+            report=report,
+            fidelity=fidelity,
+            seconds=time.perf_counter() - start,
+            cluster_layers_cached=len(cluster.get("layers_cached", [])),
+            cluster_layers_fresh=len(cluster.get("layers_clustered", [])),
+        )
+
+    def evaluate(self, candidates: Sequence[Candidate],
+                 fidelity: float = 1.0) -> List[CandidateResult]:
+        """Evaluate all candidates, in signature waves (see module docs).
+
+        Results come back in candidate order and are identical to a
+        sequential evaluation — parallelism changes wall time, not output.
+        """
+        leaders: List[Candidate] = []
+        followers: List[Candidate] = []
+        seen: Dict[str, bool] = {}
+        for candidate in candidates:
+            signature = clustering_signature(candidate.spec)
+            if signature in seen:
+                followers.append(candidate)
+            else:
+                seen[signature] = True
+                leaders.append(candidate)
+
+        results: Dict[int, CandidateResult] = {}
+        for wave in (leaders, followers):
+            if not wave:
+                continue
+            if self.workers <= 1 or len(wave) == 1:
+                for candidate in wave:
+                    results[candidate.index] = self.evaluate_one(candidate,
+                                                                 fidelity)
+            else:
+                with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                    for candidate, outcome in zip(wave, pool.map(
+                            lambda c: self.evaluate_one(c, fidelity), wave)):
+                        results[candidate.index] = outcome
+        return [results[c.index] for c in candidates]
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "workers": self.workers,
+            "evaluated": self.evaluated,
+            "infeasible": self.infeasible,
+            "failed": self.failed,
+            "store": self.store.stats(),
+        }

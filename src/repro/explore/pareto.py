@@ -1,0 +1,286 @@
+"""Pareto-dominance bookkeeping for design-space exploration.
+
+Every evaluated candidate is a point in objective space — by default
+(accuracy, compression ratio, latency, energy), the axes of the paper's
+Table 3 / Table 9 trade-off studies.  :class:`ParetoFrontier` maintains the
+non-dominated set incrementally and exports it as JSON records, a CSV file
+or a Table-3-style markdown table.
+
+Dominance is direction-aware: each :class:`Objective` says whether larger
+or smaller is better, and point ``a`` dominates point ``b`` iff ``a`` is at
+least as good in every objective and strictly better in at least one.
+Points with identical objective vectors do not dominate each other — ties
+stay on the frontier side by side.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One optimisation axis: its report key and which direction is better."""
+
+    name: str
+    direction: str = "max"              # "max" or "min"
+
+    def __post_init__(self):
+        if self.direction not in ("max", "min"):
+            raise ValueError(
+                f"objective {self.name!r}: direction must be 'max' or 'min', "
+                f"got {self.direction!r}")
+
+    @property
+    def sign(self) -> float:
+        return 1.0 if self.direction == "max" else -1.0
+
+
+#: the built-in objectives of the MVQ design space.  ``accuracy`` is the
+#: compressed model's validation accuracy (``serve_eval``), ``fidelity`` the
+#: negative output distortion vs the uncompressed network — a smoother proxy
+#: when every candidate sits at chance accuracy.
+OBJECTIVES: Dict[str, Objective] = {
+    "accuracy": Objective("accuracy", "max"),
+    "fidelity": Objective("fidelity", "max"),
+    "compression_ratio": Objective("compression_ratio", "max"),
+    "latency_ms": Objective("latency_ms", "min"),
+    "energy_mj": Objective("energy_mj", "min"),
+    "throughput_tops": Objective("throughput_tops", "max"),
+    "efficiency_tops_w": Objective("efficiency_tops_w", "max"),
+}
+
+#: the default four-objective frontier of the ISSUE's Table-3/Table-9 sweep
+DEFAULT_OBJECTIVES: Tuple[str, ...] = (
+    "accuracy", "compression_ratio", "latency_ms", "energy_mj")
+
+
+def get_objective(name: str) -> Objective:
+    try:
+        return OBJECTIVES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown objective {name!r}; available: {sorted(OBJECTIVES)}"
+        ) from None
+
+
+def resolve_objectives(names: Iterable[str]) -> Tuple[Objective, ...]:
+    return tuple(get_objective(name) for name in names)
+
+
+def _objective_map(point: Any) -> Mapping[str, float]:
+    """The objective dict of a point (attribute or mapping form)."""
+    if isinstance(point, Mapping):
+        values = point.get("objectives", point)
+    else:
+        values = getattr(point, "objectives", None)
+    if not isinstance(values, Mapping):
+        raise TypeError(
+            f"point {point!r} has no 'objectives' mapping to rank by")
+    return values
+
+
+def dominates(a: Any, b: Any, objectives: Sequence[Objective]) -> bool:
+    """True iff ``a`` dominates ``b``: no worse everywhere, better somewhere."""
+    va, vb = _objective_map(a), _objective_map(b)
+    strictly_better = False
+    for obj in objectives:
+        da = obj.sign * float(va[obj.name])
+        db = obj.sign * float(vb[obj.name])
+        if da < db:
+            return False
+        if da > db:
+            strictly_better = True
+    return strictly_better
+
+
+def nondominated_rank(points: Sequence[Any],
+                      objectives: Sequence[Objective]) -> List[int]:
+    """Pareto rank per point: 0 = non-dominated, 1 = dominated only by rank
+    0, ...  (the peeling used by the successive-halving pruner)."""
+    remaining = list(range(len(points)))
+    ranks = [0] * len(points)
+    rank = 0
+    while remaining:
+        front = [i for i in remaining
+                 if not any(dominates(points[j], points[i], objectives)
+                            for j in remaining if j != i)]
+        if not front:                       # safety net; cannot happen
+            front = list(remaining)
+        for i in front:
+            ranks[i] = rank
+        remaining = [i for i in remaining if i not in set(front)]
+        rank += 1
+    return ranks
+
+
+def scalarize(points: Sequence[Any], objectives: Sequence[Objective],
+              weights: Optional[Mapping[str, float]] = None) -> List[float]:
+    """One scalar score per point: each objective min-max normalised to
+    [0, 1] over ``points`` (direction-corrected; a degenerate span counts
+    as 1.0) and combined as a weighted sum (equal weights by default).
+    Shared by :meth:`ParetoFrontier.best` and the halving pruner so their
+    rankings cannot drift apart."""
+    weights = dict(weights or {})
+    spans = {}
+    for obj in objectives:
+        values = [obj.sign * float(_objective_map(p)[obj.name])
+                  for p in points]
+        spans[obj.name] = (min(values), max(values))
+
+    scores = []
+    for point in points:
+        total = 0.0
+        for obj in objectives:
+            lo, hi = spans[obj.name]
+            value = obj.sign * float(_objective_map(point)[obj.name])
+            unit = (value - lo) / (hi - lo) if hi > lo else 1.0
+            total += weights.get(obj.name, 1.0) * unit
+        scores.append(total)
+    return scores
+
+
+class ParetoFrontier:
+    """Incrementally maintained non-dominated set over named objectives."""
+
+    def __init__(self, objectives: Sequence[Any] = DEFAULT_OBJECTIVES):
+        self.objectives: Tuple[Objective, ...] = tuple(
+            obj if isinstance(obj, Objective) else get_objective(obj)
+            for obj in objectives)
+        if not self.objectives:
+            raise ValueError("a frontier needs at least one objective")
+        self._points: List[Any] = []
+        self.dominated_count = 0
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self):
+        return iter(self._points)
+
+    @property
+    def points(self) -> List[Any]:
+        return list(self._points)
+
+    def add(self, point: Any) -> bool:
+        """Insert ``point``; returns True iff it joined the frontier (and
+        evicts any existing points it dominates)."""
+        _objective_map(point)               # validate eagerly
+        for existing in self._points:
+            if dominates(existing, point, self.objectives):
+                self.dominated_count += 1
+                return False
+        survivors = [p for p in self._points
+                     if not dominates(point, p, self.objectives)]
+        self.dominated_count += len(self._points) - len(survivors)
+        survivors.append(point)
+        self._points = survivors
+        return True
+
+    def update(self, points: Iterable[Any]) -> int:
+        """Add many points; returns how many ended up on the frontier."""
+        for point in points:
+            self.add(point)
+        return len(self._points)
+
+    # -- picking one point ------------------------------------------------------
+    def best(self, weights: Optional[Mapping[str, float]] = None) -> Any:
+        """The scalarized pick for "serve the frontier's best point".
+
+        Each objective is min-max normalised to [0, 1] over the frontier
+        (direction-corrected) and combined as a weighted sum (equal weights
+        by default).  Deterministic: ties break toward the earliest-added
+        point.
+        """
+        if not self._points:
+            raise ValueError("empty frontier has no best point")
+        scores = scalarize(self._points, self.objectives, weights)
+        best_index = max(range(len(scores)),
+                         key=lambda i: (scores[i], -i))   # earliest tie wins
+        return self._points[best_index]
+
+    # -- export -----------------------------------------------------------------
+    def to_records(self) -> List[Dict[str, Any]]:
+        """JSON-able dicts, sorted by the first objective (best first)."""
+        lead = self.objectives[0]
+        records = []
+        for point in self._points:
+            if isinstance(point, Mapping):
+                records.append(dict(point))
+            else:
+                records.append(point.record())
+        records.sort(key=lambda r: -lead.sign * float(r["objectives"][lead.name]))
+        return records
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps({
+            "objectives": [{"name": o.name, "direction": o.direction}
+                           for o in self.objectives],
+            "points": self.to_records(),
+        }, indent=indent, sort_keys=True)
+
+    def to_csv(self) -> str:
+        return render_csv(self.to_records(), [o.name for o in self.objectives])
+
+    def to_markdown(self) -> str:
+        return render_markdown(self.to_records(),
+                               [o.name for o in self.objectives])
+
+
+# ---------------------------------------------------------------------------
+# table rendering — module-level so saved reports re-render without a live
+# frontier object (`python -m repro.explore report frontier.json`)
+# ---------------------------------------------------------------------------
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if isinstance(value, (dict, list)):
+        return json.dumps(value, sort_keys=True)
+    return str(value)
+
+
+def _table_columns(records: Sequence[Mapping[str, Any]],
+                   objective_names: Sequence[str]):
+    axis_names: List[str] = []
+    for record in records:
+        for key in record.get("values", {}):
+            if key not in axis_names:
+                axis_names.append(key)
+    header = ["candidate", *axis_names, *objective_names]
+    rows = []
+    for record in records:
+        values = record.get("values", {})
+        objectives = record.get("objectives", {})
+        rows.append([
+            str(record.get("index", "-")),
+            *[_format_value(values[k]) if k in values else "-"
+              for k in axis_names],
+            *[_format_value(objectives[k]) if k in objectives else "-"
+              for k in objective_names],
+        ])
+    return header, rows
+
+
+def render_markdown(records: Sequence[Mapping[str, Any]],
+                    objective_names: Sequence[str]) -> str:
+    """A GitHub-markdown frontier table (the Table-3-style ablation view)."""
+    header, rows = _table_columns(records, objective_names)
+    lines = ["| " + " | ".join(header) + " |",
+             "| " + " | ".join("---" for _ in header) + " |"]
+    lines += ["| " + " | ".join(row) + " |" for row in rows]
+    return "\n".join(lines) + "\n"
+
+
+def render_csv(records: Sequence[Mapping[str, Any]],
+               objective_names: Sequence[str]) -> str:
+    header, rows = _table_columns(records, objective_names)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(header)
+    writer.writerows(rows)
+    return buffer.getvalue()

@@ -1,0 +1,328 @@
+"""Declarative search spaces over compression × accelerator configurations.
+
+A :class:`SearchSpace` is a base scenario (model, workload, pipeline config)
+plus a list of :class:`Axis` objects, each naming one knob and the values it
+sweeps.  Three axis forms cover the MVQ design space:
+
+* **path axes** — a dotted path into the candidate's scenario spec.  Paths
+  rooted at ``model`` / ``model_kwargs`` / ``workload`` / ``input_shape``
+  address the scenario itself; anything else addresses the pipeline config
+  (``base.k``, ``accelerator.array_size``, ``preset``, ...).
+* **per-layer override axes** — ``pattern`` + ``field`` address one
+  :class:`~repro.pipeline.config.LayerOverride` entry (``fnmatch`` pattern
+  over dotted layer names), e.g. codebook size for the stem only.
+* **coupled axes** — ``path: ""`` with mapping values applies several keys
+  at once (e.g. switching ``model`` and ``workload`` together).
+
+The JSON form is either a standalone space dict or a
+:class:`~repro.pipeline.config.PipelineConfig` dict carrying an ``explore``
+section — the rest of the config is then the sweep's base pipeline.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.explore.pareto import DEFAULT_OBJECTIVES, resolve_objectives
+from repro.pipeline.config import LayerOverride, PipelineConfig
+
+#: top-level scenario keys a path axis may address directly; all other paths
+#: are rooted in the candidate's pipeline config
+SCENARIO_KEYS = ("model", "model_kwargs", "workload", "input_shape")
+
+#: stage list explored candidates run by default: the full flow minus
+#: ``export`` (nobody needs one .npz per candidate; the winner is exported
+#: by re-running its spec through repro.pipeline)
+EXPLORE_STAGES: Tuple[str, ...] = (
+    "group", "prune", "cluster", "quantize", "finetune", "serve_eval",
+    "accel_eval")
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One swept knob and its candidate values."""
+
+    values: Tuple[Any, ...]
+    path: Optional[str] = None           # dotted path form
+    pattern: Optional[str] = None        # per-layer override form ...
+    layer_field: Optional[str] = None    # ... with the field it sets
+    name: Optional[str] = None           # display label override
+
+    def __post_init__(self):
+        if not self.values:
+            raise ValueError(f"axis {self.label!r} has no values")
+        if (self.pattern is None) != (self.layer_field is None):
+            raise ValueError(
+                f"axis {self.label!r}: 'pattern' and 'field' come together")
+        if self.pattern is None and self.path is None:
+            raise ValueError("an axis needs either 'path' or 'pattern'+'field'")
+        if self.pattern is not None:
+            # validates the field name against LayerCompressionConfig
+            LayerOverride(self.pattern, {self.layer_field: self.values[0]})
+        if self.path == "":
+            for value in self.values:
+                if not isinstance(value, Mapping):
+                    raise ValueError(
+                        f"coupled axis {self.label!r} (empty path) needs "
+                        f"mapping values, got {value!r}")
+
+    @property
+    def label(self) -> str:
+        if self.name:
+            return self.name
+        if self.pattern is not None:
+            return f"overrides[{self.pattern}].{self.layer_field}"
+        return self.path if self.path else "coupled"
+
+    def apply(self, spec: Dict[str, Any], value: Any) -> None:
+        """Write ``value`` into a candidate scenario spec (in place)."""
+        if self.pattern is not None:
+            overrides = spec["pipeline"].setdefault("overrides", [])
+            for entry in overrides:
+                if entry.get("pattern") == self.pattern:
+                    entry.setdefault("fields", {})[self.layer_field] = value
+                    return
+            overrides.append({"pattern": self.pattern,
+                              "fields": {self.layer_field: value}})
+            return
+        if self.path == "":
+            for path, sub_value in value.items():
+                _deep_set(spec, path, sub_value)
+            return
+        _deep_set(spec, self.path, value)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"values": list(self.values)}
+        if self.pattern is not None:
+            data["pattern"] = self.pattern
+            data["field"] = self.layer_field
+        else:
+            data["path"] = self.path
+        if self.name:
+            data["name"] = self.name
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Axis":
+        known = {"values", "path", "pattern", "field", "name"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown axis keys {sorted(unknown)}; expected a subset of "
+                f"{sorted(known)}")
+        if "values" not in data:
+            raise ValueError(f"axis {data!r} is missing 'values'")
+        return cls(values=tuple(data["values"]), path=data.get("path"),
+                   pattern=data.get("pattern"), layer_field=data.get("field"),
+                   name=data.get("name"))
+
+
+def _deep_set(spec: Dict[str, Any], path: str, value: Any) -> None:
+    segments = path.split(".")
+    target: Dict[str, Any] = spec
+    if segments[0] not in SCENARIO_KEYS:
+        target = spec["pipeline"]
+    for segment in segments[:-1]:
+        target = target.setdefault(segment, {})
+        if not isinstance(target, dict):
+            raise ValueError(f"axis path {path!r}: {segment!r} is not a dict")
+    target[segments[-1]] = value
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One fully specified design point of a search space."""
+
+    index: int
+    values: Tuple[Tuple[str, Any], ...]      # (axis label, value) pairs
+    spec: Mapping[str, Any]                  # full scenario spec (run as-is)
+
+    @property
+    def values_dict(self) -> Dict[str, Any]:
+        return dict(self.values)
+
+    def scenario_spec(self) -> Dict[str, Any]:
+        return copy.deepcopy(dict(self.spec))
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """Everything one exploration run needs, loadable from JSON."""
+
+    name: str
+    axes: Tuple[Axis, ...]
+    description: str = ""
+    model: str = "resnet18"
+    model_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    workload: Optional[str] = None
+    input_shape: Tuple[int, ...] = (3, 16, 16)
+    pipeline: Mapping[str, Any] = field(default_factory=dict)
+    strategy: str = "grid"
+    budget: Optional[int] = None
+    seed: int = 0
+    objectives: Tuple[str, ...] = DEFAULT_OBJECTIVES
+    #: successive halving: keep ceil(n/eta) per rung
+    eta: int = 2
+    #: successive halving: first-rung fidelity (fraction of k-means budget)
+    min_fidelity: float = 0.25
+
+    def __post_init__(self):
+        if not self.axes:
+            raise ValueError(f"search space {self.name!r} has no axes")
+        labels = [axis.label for axis in self.axes]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"duplicate axis labels in {self.name!r}: {labels}")
+        resolve_objectives(self.objectives)       # fail on typos eagerly
+        if self.eta < 2:
+            raise ValueError("eta must be >= 2")
+        if not 0.0 < self.min_fidelity <= 1.0:
+            raise ValueError("min_fidelity must be in (0, 1]")
+        # the base pipeline must itself be a valid PipelineConfig
+        PipelineConfig.from_dict(dict(self.pipeline))
+
+    # -- enumeration ------------------------------------------------------------
+    @property
+    def grid_size(self) -> int:
+        size = 1
+        for axis in self.axes:
+            size *= len(axis.values)
+        return size
+
+    def base_spec(self) -> Dict[str, Any]:
+        return {
+            "model": self.model,
+            "model_kwargs": dict(self.model_kwargs),
+            "workload": self.workload,
+            "input_shape": list(self.input_shape),
+            "pipeline": copy.deepcopy(dict(self.pipeline)),
+        }
+
+    def candidate(self, index: int,
+                  assignment: Sequence[Any]) -> Candidate:
+        spec = self.base_spec()
+        values = []
+        for axis, value in zip(self.axes, assignment):
+            axis.apply(spec, value)
+            values.append((axis.label, value))
+        return Candidate(index=index, values=tuple(values), spec=spec)
+
+    def grid(self) -> List[Candidate]:
+        """Every point of the full cartesian grid, in deterministic order."""
+        return [self.candidate(i, assignment) for i, assignment in
+                enumerate(itertools.product(*(a.values for a in self.axes)))]
+
+    def sample(self, n: int, seed: Optional[int] = None) -> List[Candidate]:
+        """``n`` distinct grid points, uniformly sampled (the full grid when
+        ``n`` covers it)."""
+        total = self.grid_size
+        if n >= total:
+            return self.grid()
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        if total <= 10**7:
+            chosen = sorted(int(i) for i in
+                            rng.choice(total, size=n, replace=False))
+        else:  # huge grids: rejection-sample distinct indices instead of
+            picked: set = set()  # materialising a permutation of the grid
+            while len(picked) < n:
+                picked.update(int(i) for i in
+                              rng.integers(0, total, size=n - len(picked)))
+            chosen = sorted(picked)
+        sizes = [len(a.values) for a in self.axes]
+        candidates = []
+        for index in chosen:
+            assignment, remainder = [], index
+            for size in reversed(sizes):
+                assignment.append(remainder % size)
+                remainder //= size
+            assignment = [axis.values[i] for axis, i in
+                          zip(self.axes, reversed(assignment))]
+            candidates.append(self.candidate(index, assignment))
+        return candidates
+
+    # -- (de)serialization ------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "model": self.model,
+            "model_kwargs": dict(self.model_kwargs),
+            "workload": self.workload,
+            "input_shape": list(self.input_shape),
+            "pipeline": copy.deepcopy(dict(self.pipeline)),
+            "axes": [axis.to_dict() for axis in self.axes],
+            "strategy": self.strategy,
+            "budget": self.budget,
+            "seed": self.seed,
+            "objectives": list(self.objectives),
+            "eta": self.eta,
+            "min_fidelity": self.min_fidelity,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SearchSpace":
+        data = dict(data)
+        if "explore" in data and "axes" not in data:
+            return cls._from_pipeline_dict(data)
+        known = {"name", "description", "model", "model_kwargs", "workload",
+                 "input_shape", "pipeline", "axes", "strategy", "budget",
+                 "seed", "objectives", "eta", "min_fidelity"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown SearchSpace keys {sorted(unknown)}; expected a "
+                f"subset of {sorted(known)}")
+        axes = tuple(a if isinstance(a, Axis) else Axis.from_dict(a)
+                     for a in _axes_entries(data.get("axes")))
+        kwargs: Dict[str, Any] = {"axes": axes}
+        kwargs["name"] = data.get("name", "adhoc")
+        for key in ("description", "model", "workload", "strategy", "budget",
+                    "seed", "eta", "min_fidelity"):
+            if key in data:
+                kwargs[key] = data[key]
+        if "model_kwargs" in data:
+            kwargs["model_kwargs"] = dict(data["model_kwargs"])
+        if "input_shape" in data:
+            kwargs["input_shape"] = tuple(data["input_shape"])
+        if "pipeline" in data:
+            kwargs["pipeline"] = dict(data["pipeline"])
+        if "objectives" in data:
+            kwargs["objectives"] = tuple(data["objectives"])
+        return cls(**kwargs)
+
+    @classmethod
+    def _from_pipeline_dict(cls, data: Mapping[str, Any]) -> "SearchSpace":
+        """A PipelineConfig dict with an ``explore`` section: the section
+        carries the search keys, the remainder is the base pipeline."""
+        pipeline = dict(data)
+        explore = dict(pipeline.pop("explore"))
+        PipelineConfig.from_dict(pipeline)        # validate the base up front
+        explore.setdefault("pipeline", pipeline)
+        return cls.from_dict(explore)
+
+    @classmethod
+    def from_config(cls, config: PipelineConfig, **scenario: Any) -> "SearchSpace":
+        """The space a :class:`PipelineConfig`'s ``explore`` section describes
+        (``scenario`` supplies model/workload keys the config cannot carry)."""
+        if not config.explore:
+            raise ValueError("PipelineConfig has no explore section")
+        base = config.to_dict()
+        base.pop("explore")
+        explore = dict(config.explore)
+        explore.setdefault("pipeline", base)
+        explore.update(scenario)
+        return cls.from_dict(explore)
+
+
+def _axes_entries(axes: Any) -> Iterable[Mapping[str, Any]]:
+    """Accept both the list form and the ``{"base.k": [16, 32]}`` shorthand."""
+    if axes is None:
+        raise ValueError("search space is missing 'axes'")
+    if isinstance(axes, Mapping):
+        return [{"path": path, "values": list(values)}
+                for path, values in axes.items()]
+    return list(axes)

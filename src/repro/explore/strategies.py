@@ -1,0 +1,131 @@
+"""Search strategies: how a space's candidates get chosen and budgeted.
+
+Every strategy is a function ``(space, evaluator) -> StrategyOutcome``
+registered under a name (``python -m repro.explore list-strategies``):
+
+* **grid** — exhaustively evaluates the full cartesian grid (optionally
+  capped by ``budget``, taking a deterministic uniform sample).
+* **random** — ``budget`` distinct points sampled uniformly from the grid
+  with the space's seed.
+* **halving** — budgeted successive halving: a random pool is evaluated at
+  a cheap proxy fidelity (scaled-down k-means budget, no fine-tuning),
+  dominated candidates are pruned rung by rung (non-dominated sorting,
+  keep ``ceil(n / eta)``), and only the survivors pay for the full-fidelity
+  evaluation including fine-tuning.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.explore.evaluator import CandidateResult, Evaluator
+from repro.explore.pareto import nondominated_rank, resolve_objectives, scalarize
+from repro.explore.space import SearchSpace
+
+
+@dataclass
+class StrategyOutcome:
+    """What a strategy hands the runner: the full-fidelity results that feed
+    the frontier, plus the proxy-rung history (for halving)."""
+
+    results: List[CandidateResult]
+    history: List[Dict[str, Any]]
+
+
+@dataclass(frozen=True)
+class StrategyInfo:
+    name: str
+    func: Callable[[SearchSpace, Evaluator], StrategyOutcome]
+    description: str
+
+
+STRATEGIES: Dict[str, StrategyInfo] = {}
+
+
+def register_strategy(name: str, description: str):
+    def decorator(func):
+        STRATEGIES[name] = StrategyInfo(name, func, description)
+        return func
+    return decorator
+
+
+def get_strategy(name: str) -> StrategyInfo:
+    try:
+        return STRATEGIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown strategy {name!r}; available: {sorted(STRATEGIES)}"
+        ) from None
+
+
+def list_strategies() -> List[StrategyInfo]:
+    return [STRATEGIES[name] for name in sorted(STRATEGIES)]
+
+
+@register_strategy("grid", "exhaustive cartesian sweep (budget caps it to a "
+                           "deterministic uniform sample)")
+def run_grid(space: SearchSpace, evaluator: Evaluator) -> StrategyOutcome:
+    if space.budget is not None and space.budget < space.grid_size:
+        candidates = space.sample(space.budget)
+    else:
+        candidates = space.grid()
+    return StrategyOutcome(results=evaluator.evaluate(candidates), history=[])
+
+
+@register_strategy("random", "uniform random sample of `budget` distinct "
+                             "grid points (seeded)")
+def run_random(space: SearchSpace, evaluator: Evaluator) -> StrategyOutcome:
+    budget = space.budget if space.budget is not None else min(8, space.grid_size)
+    candidates = space.sample(budget)
+    return StrategyOutcome(results=evaluator.evaluate(candidates), history=[])
+
+
+def _rank_survivors(results: List[CandidateResult], keep: int,
+                    space: SearchSpace) -> List[CandidateResult]:
+    """Non-dominated sorting on proxy objectives, then scalarized tie-break.
+
+    Candidates dominated on the cheap proxy are pruned first (rank peeling);
+    within the last admitted rank, a direction-normalised sum breaks ties
+    deterministically (candidate index as the final tie-break).
+    """
+    objectives = resolve_objectives(space.objectives)
+    ranks = nondominated_rank(results, objectives)
+    scores = scalarize(results, objectives)
+    order = sorted(range(len(results)),
+                   key=lambda i: (ranks[i], -scores[i],
+                                  results[i].candidate.index))
+    return [results[i] for i in order[:keep]]
+
+
+@register_strategy("halving", "budgeted successive halving: prune dominated "
+                              "candidates on cheap proxy evals (reduced "
+                              "k-means budget, no fine-tune), then evaluate "
+                              "survivors at full fidelity")
+def run_halving(space: SearchSpace, evaluator: Evaluator) -> StrategyOutcome:
+    budget = space.budget if space.budget is not None else min(8, space.grid_size)
+    survivors = space.sample(budget)
+    fidelity = space.min_fidelity
+    history: List[Dict[str, Any]] = []
+
+    while fidelity < 1.0 and len(survivors) > 1:
+        results = [r for r in evaluator.evaluate(survivors, fidelity=fidelity)
+                   if r.ok]
+        if not results:
+            break
+        keep = max(1, math.ceil(len(results) / space.eta))
+        kept = _rank_survivors(results, keep, space)
+        kept_indices = {r.candidate.index for r in kept}
+        history.append({
+            "fidelity": fidelity,
+            "evaluated": [r.candidate.index for r in results],
+            "kept": sorted(kept_indices),
+            "pruned": [r.candidate.index for r in results
+                       if r.candidate.index not in kept_indices],
+        })
+        survivors = [r.candidate for r in kept]
+        fidelity = min(1.0, fidelity * space.eta)
+
+    return StrategyOutcome(results=evaluator.evaluate(survivors, fidelity=1.0),
+                           history=history)

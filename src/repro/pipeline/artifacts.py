@@ -14,7 +14,9 @@ from __future__ import annotations
 
 import enum
 import hashlib
+import os
 import pickle
+import threading
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
@@ -80,10 +82,17 @@ class ArtifactStore:
     Keys are the content hashes of :func:`stable_hash`; values are arbitrary
     picklable objects.  A corrupt or unreadable disk entry counts as a miss
     — the pipeline recomputes and overwrites it.
+
+    One store may be shared by concurrent pipeline runs (the parallel
+    evaluator of :mod:`repro.explore` fans candidates across threads against
+    a single store): the hit/miss counters are lock-protected and disk
+    writes go through per-writer temp files followed by an atomic rename,
+    so two threads producing the same key cannot corrupt each other.
     """
 
     def __init__(self, cache_dir: Optional[Union[str, Path]] = None):
         self._memory: Dict[str, Any] = {}
+        self._lock = threading.Lock()
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
@@ -93,9 +102,16 @@ class ArtifactStore:
     def _path(self, key: str) -> Path:
         return self.cache_dir / f"{key}.pkl"
 
+    def _count(self, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self.hits += 1
+            else:
+                self.misses += 1
+
     def get(self, key: str) -> Any:
         if key in self._memory:
-            self.hits += 1
+            self._count(hit=True)
             return self._memory[key]
         if self.cache_dir is not None:
             path = self._path(key)
@@ -104,21 +120,26 @@ class ArtifactStore:
                     with path.open("rb") as fh:
                         value = pickle.load(fh)
                 except Exception:
-                    self.misses += 1
+                    self._count(hit=False)
                     return MISS
                 self._memory[key] = value
-                self.hits += 1
+                self._count(hit=True)
                 return value
-        self.misses += 1
+        self._count(hit=False)
         return MISS
 
     def put(self, key: str, value: Any) -> None:
         self._memory[key] = value
         if self.cache_dir is not None:
-            tmp = self._path(key).with_suffix(".tmp")
+            tmp = self._path(key).with_suffix(f".{os.getpid()}.{threading.get_ident()}.tmp")
             with tmp.open("wb") as fh:
                 pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
             tmp.replace(self._path(key))
+
+    def stats(self) -> Dict[str, int]:
+        """Snapshot of the hit/miss counters (e.g. for sweep reports)."""
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses}
 
     def __contains__(self, key: str) -> bool:
         if key in self._memory:

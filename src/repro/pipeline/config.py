@@ -134,6 +134,10 @@ class PipelineConfig:
     #: online-serving defaults read by ``repro.serve`` (batching policy
     #: knobs: max_batch_size, max_wait_ms, max_queue_size, overload, ...)
     serving: Dict[str, Any] = field(default_factory=dict)
+    #: design-space-exploration spec read by ``repro.explore`` (axes,
+    #: strategy, budget, objectives); the rest of this config is the sweep's
+    #: base pipeline.  Inert for plain pipeline runs.
+    explore: Dict[str, Any] = field(default_factory=dict)
 
     # -- per-layer resolution --------------------------------------------------
     def resolve_layer_config(self, layer_name: str) -> LayerCompressionConfig:
@@ -191,6 +195,7 @@ class PipelineConfig:
             "serve": dict(self.serve),
             "accelerator": dict(self.accelerator),
             "serving": dict(self.serving),
+            "explore": dict(self.explore),
         }
 
     @classmethod
@@ -226,7 +231,7 @@ class PipelineConfig:
         for key in ("skip_layers", "stages"):
             if key in data:
                 kwargs[key] = tuple(data[key])
-        for key in ("data", "serve", "accelerator", "serving"):
+        for key in ("data", "serve", "accelerator", "serving", "explore"):
             if key in data and data[key] is not None:
                 kwargs[key] = dict(data[key])
         if "finetune" in data:

@@ -13,11 +13,12 @@ imperative glue.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.pipeline.artifacts import ArtifactStore
-from repro.pipeline.config import DEFAULT_STAGES, PipelineConfig
+from repro.pipeline.config import DEFAULT_STAGES, PipelineConfig, _merge
 from repro.pipeline.runner import Pipeline, PipelineResult
 
 
@@ -61,6 +62,24 @@ class Scenario:
         data.setdefault("description", "ad-hoc scenario")
         return cls(**data)
 
+    def with_overrides(self, *, pipeline: Optional[Mapping[str, Any]] = None,
+                       **fields: Any) -> "Scenario":
+        """A copy with dataclass fields replaced and ``pipeline`` deep-merged.
+
+        ``pipeline`` merges *into* the existing pipeline dict (nested dicts
+        recursively, the override winning), so sweep-generated variants — or
+        tests pinning an ``export_path`` — change only the keys they name
+        instead of hand-copying the whole scenario::
+
+            scenario.with_overrides(name="quickstart-k64",
+                                    pipeline={"base": {"k": 64}})
+        """
+        if pipeline is not None:
+            fields["pipeline"] = _merge(self.pipeline, pipeline)
+        if "input_shape" in fields:
+            fields["input_shape"] = tuple(fields["input_shape"])
+        return dataclasses.replace(self, **fields)
+
 
 SCENARIOS: Dict[str, Scenario] = {}
 
@@ -73,6 +92,20 @@ def register_scenario(scenario: Scenario, overwrite: bool = False) -> Scenario:
 
 
 def get_scenario(name: str) -> Scenario:
+    if name not in SCENARIOS and name.startswith("explore-"):
+        # ``explore-*`` scenarios (the frontier best points of registered
+        # search spaces) are registered lazily when repro.explore loads, so
+        # e.g. the serve loader can name them without importing the
+        # subsystem up front
+        try:
+            import repro.explore.spaces  # noqa: F401  (registers explore-*)
+        except ModuleNotFoundError as error:
+            # only tolerate the subsystem itself being absent; a real import
+            # bug inside repro.explore must surface, not masquerade as
+            # "unknown scenario"
+            absent = ("repro", "repro.explore", "repro.explore.spaces")
+            if error.name not in absent:
+                raise
     try:
         return SCENARIOS[name]
     except KeyError:

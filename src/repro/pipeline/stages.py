@@ -343,6 +343,9 @@ def stage_serve_eval(ctx: StageContext) -> None:
     inputs = rng.standard_normal((num_samples, *input_shape))
 
     compressed = ctx["compressed"]
+    # outputs of the model's current dense weights — the uncompressed network
+    # (post-finetune when that stage ran) the compression distorts away from
+    original = predict_batched(ctx.model, inputs, batch_size=batch_size)
     # build the dense-reconstructed reference without mutating the model:
     # apply_to_model() overwrites the live weights, which would invalidate
     # the content-hash cluster cache on the next run of the same model
@@ -358,9 +361,21 @@ def stage_serve_eval(ctx: StageContext) -> None:
         start = time.perf_counter()
         outputs = predict_batched(ctx.model, inputs, batch_size=batch_size)
         seconds = time.perf_counter() - start
+        # top-1 accuracy of the compressed model on the config's synthetic
+        # validation split — the accuracy objective of repro.explore.  Only
+        # measured when a ``data`` section is configured: its shape must
+        # match the model, which the serve inputs alone cannot guarantee.
+        val_accuracy = None
+        if ctx.section("data"):
+            from repro.nn import evaluate_accuracy
+            _, val_set = _dataset_splits(ctx)
+            val_accuracy = float(evaluate_accuracy(ctx.model, val_set,
+                                                   batch_size=batch_size))
 
     max_abs_diff = float(np.max(np.abs(outputs - reference)))
     scale = float(np.max(np.abs(reference))) or 1.0
+    rel_err = (float(np.linalg.norm(outputs - original))
+               / max(float(np.linalg.norm(original)), 1e-12))
     ctx["serve_report"] = {
         "batch_size": batch_size,
         "num_samples": num_samples,
@@ -369,7 +384,10 @@ def stage_serve_eval(ctx: StageContext) -> None:
         "throughput_sps": float(num_samples / max(seconds, 1e-12)),
         "max_abs_diff": max_abs_diff,
         "outputs_match": bool(max_abs_diff <= 1e-6 * scale + 1e-9),
+        "rel_err_vs_uncompressed": rel_err,
     }
+    if val_accuracy is not None:
+        ctx["serve_report"]["val_accuracy"] = val_accuracy
     ctx.log("serve_eval", "run", max_abs_diff=max_abs_diff,
             outputs_match=ctx["serve_report"]["outputs_match"])
 
@@ -379,7 +397,7 @@ def stage_serve_eval(ctx: StageContext) -> None:
                              "models for the scenario's workload")
 def stage_accel_eval(ctx: StageContext) -> None:
     from repro.accelerator.comparison import mvq_rows
-    from repro.accelerator.config import HardwareSetting, standard_setting
+    from repro.accelerator.config import HardwareSetting, config_from_spec
     from repro.accelerator.performance import PerformanceModel
     from repro.accelerator.workloads import get_workload
 
@@ -392,7 +410,7 @@ def stage_accel_eval(ctx: StageContext) -> None:
 
     setting = HardwareSetting(spec.get("setting", "EWS-CMS"))
     array_size = int(spec.get("array_size", 64))
-    hw = standard_setting(setting, array_size=array_size)
+    hw = config_from_spec(spec)
     derived_vq = False
     if spec.get("derive_vq", True) and ctx.compressor is not None:
         # project the compression config onto the hardware parameters when
@@ -405,7 +423,7 @@ def stage_accel_eval(ctx: StageContext) -> None:
                          codebook_bits=base.codebook_bits)
             derived_vq = True
         except ValueError:
-            hw = standard_setting(setting, array_size=array_size)
+            pass       # replace() raised before rebinding: hw is unchanged
 
     layers = get_workload(workload_name)()
     model = PerformanceModel()
@@ -416,6 +434,8 @@ def stage_accel_eval(ctx: StageContext) -> None:
     compression_ratio = float(ctx["compressed"].compression_ratio())
     table9 = mvq_rows(array_sizes=(array_size,), workload=workload_name,
                       compression_ratio=compression_ratio)[0]
+    # TOPS/W is ops-per-joule / 1e12, so per-frame energy follows directly
+    energy_mj = float(perf.analysis.total_ops / (efficiency * 1e12) * 1e3)
     ctx["accel_report"] = {
         "workload": workload_name,
         "setting": setting.value,
@@ -426,6 +446,7 @@ def stage_accel_eval(ctx: StageContext) -> None:
         "throughput_tops": float(perf.throughput_tops),
         "utilization": float(perf.utilization),
         "efficiency_tops_w": float(efficiency),
+        "energy_mj_per_frame": energy_mj,
         "energy_breakdown": {k: float(v) for k, v in breakdown.as_dict().items()},
         "compression_ratio": compression_ratio,
         "table9_row": table9,

@@ -125,6 +125,45 @@ class TestAcceleratorConfig:
             AcceleratorConfig(array_size=20, subvector_length=16,
                               compression=CompressionMode.CMS)
 
+    def test_sweep_combinations_validated_up_front(self):
+        """Bad buffer/array combinations fail at construction with the field
+        named — not as arithmetic errors deep inside analyze_layer."""
+        with pytest.raises(ValueError, match="l1_kib must be positive"):
+            AcceleratorConfig(l1_kib=0)
+        with pytest.raises(ValueError, match="dma_width_bits must be positive"):
+            AcceleratorConfig(dma_width_bits=0)
+        with pytest.raises(ValueError, match="l1_width_bits must be positive"):
+            AcceleratorConfig(l1_width_bits=-8)
+        with pytest.raises(ValueError, match="L2 must be at least as large"):
+            AcceleratorConfig(l1_kib=256, l2_kib=128)
+        with pytest.raises(ValueError, match="frequency_ghz must be positive"):
+            AcceleratorConfig(frequency_ghz=0.0)
+        with pytest.raises(ValueError, match="n_keep must be in"):
+            AcceleratorConfig(n_keep=17, m_block=16, subvector_length=16)
+        with pytest.raises(ValueError, match="codebook_size must be >= 2"):
+            AcceleratorConfig(codebook_size=1)
+        with pytest.raises(ValueError, match="cannot hold one"):
+            AcceleratorConfig(array_size=512, l1_kib=128, l2_kib=2048,
+                              compression=CompressionMode.NONE)
+
+    def test_config_from_spec(self):
+        from repro.accelerator.config import config_from_spec
+
+        cfg = config_from_spec({"setting": "EWS-CM", "array_size": 32,
+                                "l1_kib": 512, "frequency_ghz": 0.5,
+                                "workload": "resnet18"})   # extras ignored
+        assert cfg.compression is CompressionMode.CM
+        assert cfg.array_size == 32
+        assert cfg.l1_kib == 512
+        assert cfg.frequency_ghz == 0.5
+        assert config_from_spec({}).array_size == 64       # EWS-CMS default
+        with pytest.raises(ValueError):                    # invalid combo
+            config_from_spec({"array_size": 24})
+        with pytest.raises(ValueError):                    # unknown setting
+            config_from_spec({"setting": "NOPE"})
+        dataflow = config_from_spec({"setting": "EWS-CMS", "dataflow": "ws"})
+        assert dataflow.dataflow is Dataflow.WS
+
     def test_overrides(self):
         cfg = standard_setting(HardwareSetting.EWS_BASE, 32, frequency_ghz=0.5)
         assert cfg.frequency_ghz == 0.5

@@ -1,0 +1,54 @@
+"""Shared fixtures for the repro.explore tests: a smoke-sized search space."""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.explore.space import SearchSpace
+
+#: a minimal end-to-end pipeline: tiny codebooks, few iterations, small
+#: serve_eval — one candidate evaluates in well under a second
+TINY_PIPELINE = {
+    "preset": "mvq",
+    "base": {"k": 8, "max_kmeans_iterations": 4},
+    "stages": ["group", "prune", "cluster", "quantize", "serve_eval",
+               "accel_eval"],
+    "serve": {"batch_size": 2, "num_samples": 4},
+    "data": {"num_samples": 32, "image_size": 16, "num_classes": 4},
+    "accelerator": {"setting": "EWS-CMS", "array_size": 64},
+}
+
+
+def _tiny_space(**overrides) -> SearchSpace:
+    data = {
+        "name": "test-tiny",
+        "model": "resnet18",
+        "model_kwargs": {"num_classes": 4, "seed": 2},
+        "workload": "resnet18",
+        "pipeline": copy.deepcopy(TINY_PIPELINE),
+        "strategy": "grid",
+        "axes": [
+            {"path": "base.k", "values": [6, 8]},
+            {"path": "accelerator.array_size", "values": [32, 64]},
+        ],
+    }
+    data.update(overrides)
+    return SearchSpace.from_dict(data)
+
+
+@pytest.fixture()
+def tiny_space():
+    """Factory building the smoke space with optional key overrides."""
+    return _tiny_space
+
+
+@pytest.fixture()
+def tiny_pipeline():
+    return copy.deepcopy(TINY_PIPELINE)
+
+
+@pytest.fixture()
+def space() -> SearchSpace:
+    return _tiny_space()

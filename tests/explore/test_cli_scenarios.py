@@ -1,0 +1,167 @@
+"""The explore CLI, the search-space registry and the lazy ``explore-*``
+scenario entries (frontier-best serving)."""
+
+import json
+
+import pytest
+
+from repro.explore.cli import main
+from repro.explore.runner import explore, render_report
+from repro.explore.spaces import SPACES, get_space, list_spaces
+from repro.pipeline.scenarios import get_scenario, run_scenario
+
+
+class TestSpaceRegistry:
+    def test_built_in_spaces_present(self):
+        names = {s.name for s in list_spaces()}
+        assert {"quickstart-grid", "accel-sweep", "table3-ablation",
+                "models-grid", "halving-demo"} <= names
+
+    def test_get_space_unknown(self):
+        with pytest.raises(KeyError, match="unknown search space"):
+            get_space("nope")
+
+    def test_every_space_enumerates(self):
+        for space in list_spaces():
+            grid = space.grid()
+            assert len(grid) == space.grid_size
+            for candidate in grid[:1]:
+                assert "pipeline" in candidate.spec
+
+
+class TestExploreScenarioEntries:
+    def test_best_scenarios_registered_for_fixed_model_spaces(self):
+        scenario = get_scenario("explore-accel-sweep-best")
+        assert scenario.model == "resnet18"
+        assert scenario.space == "accel-sweep"
+        # models-grid sweeps the model itself -> no static entry possible
+        with pytest.raises(KeyError):
+            get_scenario("explore-models-grid-best")
+
+    def test_no_best_entry_for_scenario_varying_axes(self, tiny_space):
+        """Axes touching the scenario itself (model_kwargs, input_shape, ...)
+        would let the static entry serve a different architecture than the
+        searched winner — such spaces must not get a lazy entry."""
+        from repro.explore.spaces import _register_best_scenario
+
+        for axes in ([{"path": "model_kwargs.num_classes", "values": [4, 5]}],
+                     [{"path": "model", "values": ["resnet18", "vgg16"]}],
+                     [{"path": "input_shape", "values": [[3, 8, 8]]}]):
+            assert _register_best_scenario(tiny_space(axes=axes)) is None
+        assert _register_best_scenario(
+            tiny_space(name="test-tiny-fixed",
+                       axes=[{"path": "base.k", "values": [6, 8]}]))
+        from repro.pipeline.scenarios import SCENARIOS
+        SCENARIOS.pop("explore-test-tiny-fixed-best", None)  # keep registry clean
+
+    def test_frontier_scenario_resolves_and_runs(self):
+        """The lazy entry runs the tiny search once, then serves its best
+        point through the ordinary pipeline path (the serve loader's route)."""
+        scenario = get_scenario("explore-accel-sweep-best")
+        config = scenario.pipeline_config()
+        result = run_scenario(scenario,
+                              stages=["group", "prune", "cluster", "quantize"])
+        assert result.compressed is not None
+        assert result.compressed.compression_ratio() > 1
+        # memoized: the second resolution does not re-search
+        assert scenario.pipeline_config().to_dict() == config.to_dict()
+
+
+class TestCli:
+    def test_list_subcommands(self, capsys):
+        assert main(["list-strategies"]) == 0
+        out = capsys.readouterr().out
+        assert "halving" in out and "grid" in out
+        assert main(["list-spaces"]) == 0
+        assert "accel-sweep" in capsys.readouterr().out
+
+    def test_run_requires_exactly_one_source(self, capsys):
+        assert main(["run"]) == 2
+        assert main(["run", "space.json", "--scenario", "x"]) == 2
+
+    def test_run_space_file_with_reports(self, tmp_path, capsys, space):
+        space_path = tmp_path / "space.json"
+        space_path.write_text(json.dumps(space.to_dict()))
+        out_json = tmp_path / "frontier.json"
+        out_csv = tmp_path / "frontier.csv"
+        out_md = tmp_path / "frontier.md"
+
+        assert main(["run", str(space_path), "--cache-dir",
+                     str(tmp_path / "cache"), "--output", str(out_json),
+                     "--csv", str(out_csv), "--markdown", str(out_md)]) == 0
+        report = json.loads(out_json.read_text())
+        assert report["frontier"], "frontier must be non-empty"
+        assert report["stats"]["candidates"] == space.grid_size
+        assert out_csv.read_text().startswith("candidate,")
+        assert out_md.read_text().startswith("| candidate |")
+        # frontier points embed runnable scenario specs
+        assert all("pipeline" in p["scenario"] for p in report["frontier"])
+
+        # warm re-run from the on-disk cache: zero fresh clustering
+        assert main(["run", str(space_path), "--cache-dir",
+                     str(tmp_path / "cache"), "--output", str(out_json)]) == 0
+        warm = json.loads(out_json.read_text())
+        assert warm["stats"]["cluster_layers_fresh"] == 0
+        assert warm["stats"]["cluster_layers_cached"] > 0
+        # ... and bit-identical objectives
+        assert warm["frontier"][0]["objectives"] == \
+            report["frontier"][0]["objectives"]
+
+    def test_run_strategy_and_budget_overrides(self, tmp_path, capsys, space):
+        space_path = tmp_path / "space.json"
+        space_path.write_text(json.dumps(space.to_dict()))
+        assert main(["run", str(space_path), "--strategy", "random",
+                     "--budget", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "strategy random, 2 candidates" in out
+
+    def test_run_registered_space_and_register_best(self, capsys):
+        from repro.pipeline.scenarios import SCENARIOS, register_scenario
+
+        original = get_scenario("explore-accel-sweep-best")
+        try:
+            assert main(["run", "--scenario", "accel-sweep",
+                         "--register"]) == 0
+            out = capsys.readouterr().out
+            assert "registered scenario 'explore-accel-sweep-best'" in out
+            # the registered entry is now a concrete scenario (search ran)
+            scenario = SCENARIOS["explore-accel-sweep-best"]
+            assert scenario.pipeline   # resolved best point, not lazy
+            assert SPACES["accel-sweep"].grid_size == 4
+        finally:
+            register_scenario(original, overwrite=True)
+
+    def test_report_rendering(self, tmp_path, capsys, space):
+        result = explore(space)
+        out_json = tmp_path / "frontier.json"
+        result.save(out_json)
+        assert main(["report", str(out_json)]) == 0
+        assert capsys.readouterr().out.startswith("| candidate |")
+        assert main(["report", str(out_json), "--format", "csv"]) == 0
+        assert capsys.readouterr().out.startswith("candidate,")
+        assert main(["report", str(out_json), "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out)
+        report = json.loads(out_json.read_text())
+        with pytest.raises(ValueError, match="unknown report format"):
+            render_report(report, fmt="nope")
+
+
+class TestEmbeddedSpaceFile:
+    def test_pipeline_config_with_explore_section(self, tmp_path, capsys,
+                                                  tiny_pipeline):
+        """A PipelineConfig JSON carrying an `explore` section is a valid
+        space file: the rest of the config is the sweep's base pipeline."""
+        data = dict(tiny_pipeline)
+        data["explore"] = {
+            "name": "embedded-cli",
+            "model": "resnet18",
+            "model_kwargs": {"num_classes": 4, "seed": 2},
+            "workload": "resnet18",
+            "axes": {"base.k": [6, 8]},
+        }
+        path = tmp_path / "cfg.json"
+        path.write_text(json.dumps(data))
+        assert main(["run", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "space 'embedded-cli'" in out
+        assert "2 candidates" in out

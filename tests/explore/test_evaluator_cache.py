@@ -1,0 +1,149 @@
+"""Evaluator behaviour: artifact-cache reuse across neighboring candidates,
+parallel-vs-sequential equivalence, up-front infeasibility rejection and the
+halving strategy's proxy pruning."""
+
+import pytest
+
+from repro.explore.evaluator import Evaluator, clustering_signature
+from repro.explore.runner import explore
+from repro.pipeline.artifacts import ArtifactStore
+
+
+class TestClusteringSignature:
+    def test_accelerator_and_quantize_fields_are_ignored(self, space):
+        a, b, c, d = space.grid()
+        # a/b and c/d differ only in array size -> same clustering
+        assert clustering_signature(a.spec) == clustering_signature(b.spec)
+        assert clustering_signature(c.spec) == clustering_signature(d.spec)
+        # a/c differ in k -> different clustering
+        assert clustering_signature(a.spec) != clustering_signature(c.spec)
+
+    def test_codebook_bits_share_signature(self, tiny_space):
+        bits = tiny_space(axes={"base.codebook_bits": [6, 8]})
+        a, b = bits.grid()
+        assert clustering_signature(a.spec) == clustering_signature(b.spec)
+
+    def test_model_changes_signature(self, tiny_space):
+        base = tiny_space().grid()[0]
+        other = tiny_space(model="mobilenet_v1").grid()[0]
+        assert clustering_signature(base.spec) != clustering_signature(other.spec)
+
+
+class TestCacheReuse:
+    def test_accel_only_neighbors_fully_reuse_clustering(self, space):
+        """Candidates sharing all layer settings cluster exactly once."""
+        evaluator = Evaluator(space, workers=1)
+        results = evaluator.evaluate(space.grid())
+        assert all(r.ok for r in results), [r.error for r in results]
+        by_index = {r.candidate.index: r for r in results}
+        # grid order: (k=6,32), (k=6,64), (k=8,32), (k=8,64); the two array
+        # sizes of each k share every cluster entry
+        for leader, follower in ((0, 1), (2, 3)):
+            assert by_index[leader].cluster_layers_fresh > 0
+            assert by_index[follower].cluster_layers_fresh == 0
+            assert by_index[follower].cluster_layers_cached == \
+                by_index[leader].cluster_layers_fresh
+
+    def test_per_layer_override_reclusters_only_affected_layers(self, tiny_space):
+        """A stem-only k override re-clusters the stem, reusing the rest."""
+        stem = tiny_space(axes=[
+            {"pattern": "stem.*", "field": "k", "values": [6, 8]}])
+        evaluator = Evaluator(stem, workers=1)
+        first, second = evaluator.evaluate(stem.grid())
+        assert first.cluster_layers_fresh > 1
+        assert second.cluster_layers_fresh == 1          # just the stem conv
+        assert second.cluster_layers_cached == first.cluster_layers_fresh - 1
+
+    def test_warm_rerun_is_all_hits(self, space, tmp_path):
+        """Re-exploring against a warm disk cache re-clusters nothing."""
+        store = ArtifactStore(tmp_path / "cache")
+        cold = explore(space, store=store)
+        warm = explore(space, store=ArtifactStore(tmp_path / "cache"))
+        assert warm.stats["cluster_layers_fresh"] == 0
+        assert cold.stats["cluster_layers_fresh"] > 0
+        for c, w in zip(cold.results, warm.results):
+            assert c.objectives == w.objectives
+
+    def test_parallel_matches_sequential(self, space):
+        sequential = Evaluator(space, workers=1).evaluate(space.grid())
+        parallel = Evaluator(space, workers=4).evaluate(space.grid())
+        assert [r.candidate.index for r in parallel] == \
+            [r.candidate.index for r in sequential]
+        for s, p in zip(sequential, parallel):
+            assert s.objectives == p.objectives
+        # the signature waves keep the cache deterministic even in parallel
+        assert sum(r.cluster_layers_cached for r in parallel) == \
+            sum(r.cluster_layers_cached for r in sequential)
+
+
+class TestFeasibility:
+    def test_infeasible_accelerator_rejected_up_front(self, tiny_space):
+        """An invalid array/buffer combination fails fast with a clear error
+        and never reaches the compression stages."""
+        bad = tiny_space(axes=[
+            {"path": "accelerator.array_size", "values": [64, 24]}])
+        evaluator = Evaluator(bad, workers=1)
+        good, infeasible = evaluator.evaluate(bad.grid())
+        assert good.ok
+        assert not infeasible.ok
+        assert "infeasible" in infeasible.error
+        assert "multiple of the subvector length" in infeasible.error
+        assert evaluator.infeasible == 1
+        assert infeasible.seconds < good.seconds     # no compression was run
+
+    def test_sweep_survives_infeasible_points(self, tiny_space):
+        bad = tiny_space(axes=[
+            {"path": "accelerator.array_size", "values": [64, 24]}])
+        result = explore(bad)
+        assert len(result.frontier) >= 1
+        assert [e["index"] for e in result.stats["errors"]] == [1]
+
+
+class TestObjectives:
+    def test_objective_vector_contents(self, space):
+        result = explore(space)
+        for r in result.ok_results:
+            assert set(r.objectives) == {"accuracy", "compression_ratio",
+                                         "latency_ms", "energy_mj"}
+            assert r.objectives["compression_ratio"] > 1
+            assert r.objectives["latency_ms"] > 0
+            assert r.objectives["energy_mj"] > 0
+            assert 0 <= r.objectives["accuracy"] <= 1
+
+    def test_missing_accel_stage_fails_loudly(self, tiny_space):
+        pipeline = dict(tiny_space().pipeline)
+        pipeline["stages"] = ["group", "prune", "cluster", "quantize",
+                              "serve_eval"]
+        crippled = tiny_space(pipeline=pipeline, workload=None)
+        results = Evaluator(crippled, workers=1).evaluate(
+            crippled.grid()[:1])
+        assert not results[0].ok
+        assert "latency_ms" in results[0].error
+
+
+class TestHalving:
+    def test_prunes_on_proxy_then_full_fidelity_survivors(self, tiny_space):
+        halving = tiny_space(strategy="halving", budget=4, min_fidelity=0.5)
+        result = explore(halving)
+        assert result.history, "halving must record proxy rungs"
+        rung = result.history[0]
+        assert rung["fidelity"] == 0.5
+        assert len(rung["evaluated"]) == 4
+        assert len(rung["kept"]) == 2
+        assert set(rung["kept"]) | set(rung["pruned"]) == set(rung["evaluated"])
+        # final results are full-fidelity evaluations of the survivors
+        assert {r.candidate.index for r in result.results} <= \
+            set(rung["kept"])
+        assert all(r.fidelity == 1.0 for r in result.results)
+        assert len(result.results) == 2
+        assert len(result.frontier) >= 1
+
+    def test_best_scenario_is_runnable(self, space):
+        result = explore(space)
+        scenario = result.best_scenario(name="test-explore-best")
+        assert scenario.name == "test-explore-best"
+        from repro.pipeline.scenarios import run_scenario
+        rerun = run_scenario(scenario)
+        best = result.best()
+        assert rerun.compressed.compression_ratio() == pytest.approx(
+            best.objectives["compression_ratio"], abs=0)

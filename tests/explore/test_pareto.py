@@ -1,0 +1,156 @@
+"""Pareto dominance and frontier edge cases (the ISSUE's satellite tests)."""
+
+import json
+
+import pytest
+
+from repro.explore.pareto import (
+    DEFAULT_OBJECTIVES,
+    Objective,
+    ParetoFrontier,
+    dominates,
+    get_objective,
+    nondominated_rank,
+    render_csv,
+    render_markdown,
+    resolve_objectives,
+)
+
+MAXMIN = (Objective("score", "max"), Objective("cost", "min"))
+
+
+def point(score, cost, index=0):
+    return {"index": index, "objectives": {"score": score, "cost": cost},
+            "values": {"x": index}}
+
+
+class TestObjective:
+    def test_direction_validation(self):
+        with pytest.raises(ValueError, match="direction"):
+            Objective("x", "sideways")
+
+    def test_registry(self):
+        assert get_objective("latency_ms").direction == "min"
+        assert get_objective("compression_ratio").direction == "max"
+        with pytest.raises(KeyError, match="unknown objective"):
+            get_objective("nope")
+        assert [o.name for o in resolve_objectives(DEFAULT_OBJECTIVES)] == \
+            list(DEFAULT_OBJECTIVES)
+
+
+class TestDominance:
+    def test_strictly_better_everywhere(self):
+        assert dominates(point(2, 1), point(1, 2), MAXMIN)
+        assert not dominates(point(1, 2), point(2, 1), MAXMIN)
+
+    def test_equal_in_one_better_in_other(self):
+        assert dominates(point(2, 1), point(2, 2), MAXMIN)
+        assert dominates(point(2, 1), point(1, 1), MAXMIN)
+
+    def test_exact_ties_dominate_neither_way(self):
+        a, b = point(1, 1, 0), point(1, 1, 1)
+        assert not dominates(a, b, MAXMIN)
+        assert not dominates(b, a, MAXMIN)
+
+    def test_trade_off_is_incomparable(self):
+        a, b = point(2, 2), point(1, 1)          # better score, worse cost
+        assert not dominates(a, b, MAXMIN)
+        assert not dominates(b, a, MAXMIN)
+
+    def test_direction_respected(self):
+        minmin = (Objective("score", "min"), Objective("cost", "min"))
+        assert dominates(point(1, 1), point(2, 2), minmin)
+        assert not dominates(point(2, 1), point(1, 2), minmin)
+
+
+class TestFrontier:
+    def test_keeps_trade_off_points_and_drops_dominated(self):
+        frontier = ParetoFrontier(MAXMIN)
+        assert frontier.add(point(1, 1, 0))
+        assert frontier.add(point(2, 2, 1))      # incomparable: both stay
+        assert not frontier.add(point(0.5, 1.5, 2))   # dominated by both
+        assert {p["index"] for p in frontier.points} == {0, 1}
+        assert frontier.dominated_count == 1
+
+    def test_new_point_evicts_dominated_incumbents(self):
+        frontier = ParetoFrontier(MAXMIN)
+        frontier.update([point(1, 3, 0), point(2, 2, 1)])
+        assert frontier.add(point(3, 1, 2))      # dominates both
+        assert [p["index"] for p in frontier.points] == [2]
+        assert frontier.dominated_count == 2
+
+    def test_ties_coexist_on_frontier(self):
+        frontier = ParetoFrontier(MAXMIN)
+        frontier.update([point(1, 1, 0), point(1, 1, 1)])
+        assert len(frontier) == 2
+
+    def test_single_objective_degenerates_to_argmax(self):
+        frontier = ParetoFrontier([Objective("score", "max")])
+        for i, score in enumerate([3, 1, 7, 7, 2]):
+            frontier.add({"index": i, "objectives": {"score": score},
+                          "values": {}})
+        assert sorted(p["index"] for p in frontier.points) == [2, 3]  # tied max
+
+    def test_all_dominated_chain_leaves_one(self):
+        frontier = ParetoFrontier(MAXMIN)
+        frontier.update([point(i, 10 - i, i) for i in range(5)])
+        assert [p["index"] for p in frontier.points] == [4]
+
+    def test_requires_objectives_and_objective_map(self):
+        with pytest.raises(ValueError, match="at least one objective"):
+            ParetoFrontier([])
+        with pytest.raises(TypeError, match="objectives"):
+            ParetoFrontier(MAXMIN).add(42)
+
+    def test_best_is_deterministic_and_scalarized(self):
+        frontier = ParetoFrontier(MAXMIN)
+        frontier.update([point(1, 1, 0), point(2, 2, 1), point(3, 3, 2)])
+        # equal weights: all normalise to the same scalar; earliest wins
+        assert frontier.best()["index"] == 0
+        # weighting score only: the high-score point wins
+        assert frontier.best({"score": 10, "cost": 0})["index"] == 2
+        with pytest.raises(ValueError, match="empty frontier"):
+            ParetoFrontier(MAXMIN).best()
+
+    def test_best_single_point(self):
+        frontier = ParetoFrontier(MAXMIN)
+        frontier.add(point(1, 1, 7))
+        assert frontier.best()["index"] == 7
+
+
+class TestRank:
+    def test_nondominated_rank_peels_fronts(self):
+        points = [point(3, 3, 0), point(1, 1, 1),     # front 0 (trade-off)
+                  point(2, 4, 2),                      # dominated by (3,3)
+                  point(0.5, 2, 3),                    # dominated by (1,1)
+                  point(0.4, 5, 4)]                    # dominated by both above
+        ranks = nondominated_rank(points, MAXMIN)
+        assert ranks == [0, 0, 1, 1, 2]
+
+
+class TestRendering:
+    def test_markdown_and_csv_round_trip(self):
+        frontier = ParetoFrontier(MAXMIN)
+        frontier.update([point(1, 1, 0), point(2, 2, 1)])   # incomparable
+        md = frontier.to_markdown()
+        assert md.splitlines()[0] == "| candidate | x | score | cost |"
+        assert "| 1 |" in md
+        csv_text = frontier.to_csv()
+        assert csv_text.splitlines()[0] == "candidate,x,score,cost"
+        assert len(csv_text.splitlines()) == 3
+        loaded = json.loads(frontier.to_json())
+        assert [o["name"] for o in loaded["objectives"]] == ["score", "cost"]
+        assert len(loaded["points"]) == 2
+
+    def test_records_sorted_by_first_objective(self):
+        frontier = ParetoFrontier(MAXMIN)
+        frontier.update([point(1, 1, 0), point(2, 2, 1)])
+        assert [r["index"] for r in frontier.to_records()] == [1, 0]
+
+    def test_render_handles_missing_columns(self):
+        records = [{"index": 0, "values": {"a": 1}, "objectives": {"s": 1.0}},
+                   {"index": 1, "values": {"b": 2}, "objectives": {}}]
+        md = render_markdown(records, ["s"])
+        assert "| - |" in md.splitlines()[3]
+        csv_text = render_csv(records, ["s"])
+        assert csv_text.splitlines()[0] == "candidate,a,b,s"

@@ -1,0 +1,129 @@
+"""SearchSpace parsing/enumeration and the strategy registry."""
+
+import pytest
+
+from repro.explore.space import Axis, SearchSpace
+from repro.explore.strategies import get_strategy, list_strategies
+from repro.pipeline.config import PipelineConfig
+
+
+class TestAxis:
+    def test_path_axis_applies_into_pipeline(self):
+        spec = {"model": "resnet18", "pipeline": {}}
+        Axis(values=(32,), path="base.k").apply(spec, 32)
+        assert spec["pipeline"]["base"]["k"] == 32
+
+    def test_scenario_rooted_path(self):
+        spec = {"model": "resnet18", "pipeline": {}}
+        Axis(values=("vgg16",), path="model").apply(spec, "vgg16")
+        assert spec["model"] == "vgg16"
+
+    def test_override_axis_merges_per_pattern(self):
+        axis_k = Axis(values=(16,), pattern="stem.*", layer_field="k")
+        axis_n = Axis(values=(2,), pattern="stem.*", layer_field="n_keep")
+        spec = {"pipeline": {}}
+        axis_k.apply(spec, 16)
+        axis_n.apply(spec, 2)
+        assert spec["pipeline"]["overrides"] == [
+            {"pattern": "stem.*", "fields": {"k": 16, "n_keep": 2}}]
+        assert axis_k.label == "overrides[stem.*].k"
+
+    def test_coupled_axis_sets_many_keys(self):
+        axis = Axis(values=({"model": "vgg16", "workload": "vgg16"},),
+                    path="", name="model")
+        spec = {"model": "resnet18", "workload": "resnet18", "pipeline": {}}
+        axis.apply(spec, axis.values[0])
+        assert spec["model"] == spec["workload"] == "vgg16"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="no values"):
+            Axis(values=(), path="base.k")
+        with pytest.raises(ValueError, match="come together"):
+            Axis(values=(1,), pattern="stem.*")
+        with pytest.raises(ValueError, match="'path' or 'pattern'"):
+            Axis(values=(1,))
+        with pytest.raises(ValueError, match="unknown fields"):
+            Axis(values=(1,), pattern="stem.*", layer_field="nope")
+        with pytest.raises(ValueError, match="mapping values"):
+            Axis(values=(1,), path="")
+        with pytest.raises(ValueError, match="unknown axis keys"):
+            Axis.from_dict({"path": "base.k", "values": [1], "oops": 2})
+
+
+class TestSearchSpace:
+    def test_grid_enumeration_order_and_size(self, space):
+        grid = space.grid()
+        assert space.grid_size == len(grid) == 4
+        assert [c.index for c in grid] == [0, 1, 2, 3]
+        assert grid[0].values_dict == {"base.k": 6,
+                                       "accelerator.array_size": 32}
+        assert grid[3].values_dict == {"base.k": 8,
+                                       "accelerator.array_size": 64}
+        # candidate specs are deep-copied: mutating one never leaks
+        grid[0].scenario_spec()["pipeline"]["base"]["k"] = 999
+        assert grid[0].spec["pipeline"]["base"]["k"] == 6
+
+    def test_sample_is_seeded_and_distinct(self, space):
+        a = space.sample(3)
+        b = space.sample(3)
+        assert [c.index for c in a] == [c.index for c in b]
+        assert len({c.index for c in a}) == 3
+        assert [c.index for c in space.sample(3, seed=99)] != \
+            [c.index for c in a] or True  # different seed may differ
+        # covering budget returns the full grid
+        assert len(space.sample(10)) == space.grid_size
+
+    def test_round_trip(self, space):
+        again = SearchSpace.from_dict(space.to_dict())
+        assert again == space
+
+    def test_axes_shorthand_mapping(self, tiny_space):
+        shorthand = tiny_space(axes={"base.k": [6, 8]})
+        assert shorthand.axes[0].path == "base.k"
+        assert shorthand.grid_size == 2
+
+    def test_pipeline_embedded_form(self, tiny_pipeline):
+        data = dict(tiny_pipeline)
+        data["explore"] = {
+            "name": "embedded",
+            "model": "resnet18",
+            "model_kwargs": {"num_classes": 4, "seed": 2},
+            "workload": "resnet18",
+            "axes": [{"path": "base.k", "values": [6, 8]}],
+        }
+        space = SearchSpace.from_dict(data)
+        assert space.name == "embedded"
+        assert space.pipeline["base"]["k"] == 8          # base from the config
+        assert "explore" not in space.pipeline
+        # and through a parsed PipelineConfig object
+        config = PipelineConfig.from_dict(data)
+        space2 = SearchSpace.from_config(
+            config, model="resnet18", workload="resnet18")
+        assert space2.grid_size == 2
+
+    def test_from_config_requires_explore_section(self):
+        with pytest.raises(ValueError, match="no explore section"):
+            SearchSpace.from_config(PipelineConfig())
+
+    def test_validation_errors(self, tiny_space):
+        with pytest.raises(ValueError, match="no axes"):
+            tiny_space(axes=[])
+        with pytest.raises(ValueError, match="duplicate axis"):
+            tiny_space(axes=[{"path": "base.k", "values": [1]},
+                             {"path": "base.k", "values": [2]}])
+        with pytest.raises(KeyError, match="unknown objective"):
+            tiny_space(objectives=["nope"])
+        with pytest.raises(ValueError, match="unknown SearchSpace keys"):
+            SearchSpace.from_dict({"name": "x", "axes": {"base.k": [1]},
+                                   "oops": 1})
+        # a broken base pipeline fails at space-build time, not mid-sweep
+        with pytest.raises(ValueError, match="unknown LayerCompressionConfig"):
+            tiny_space(pipeline={"base": {"nope": 1}})
+
+
+class TestStrategies:
+    def test_registry(self):
+        names = [s.name for s in list_strategies()]
+        assert names == ["grid", "halving", "random"]
+        with pytest.raises(KeyError, match="unknown strategy"):
+            get_strategy("nope")

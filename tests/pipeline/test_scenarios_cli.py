@@ -43,6 +43,31 @@ class TestRegistry:
         again = Scenario.from_dict(scenario.to_dict())
         assert again == scenario
 
+    def test_with_overrides_replaces_fields_and_merges_pipeline(self):
+        scenario = get_scenario("quickstart-resnet18")
+        variant = scenario.with_overrides(
+            name="quickstart-k64",
+            pipeline={"base": {"k": 64}, "export_path": "/tmp/m.npz"})
+        assert variant.name == "quickstart-k64"
+        assert variant.model == scenario.model
+        # named keys changed, the rest of the nested pipeline kept
+        assert variant.pipeline["base"]["k"] == 64
+        assert variant.pipeline["base"]["max_kmeans_iterations"] == \
+            scenario.pipeline["base"]["max_kmeans_iterations"]
+        assert variant.pipeline["export_path"] == "/tmp/m.npz"
+        assert variant.pipeline["serve"] == scenario.pipeline["serve"]
+        # the original is untouched
+        assert "export_path" not in scenario.pipeline
+        assert scenario.pipeline["base"]["k"] != 64
+
+    def test_with_overrides_without_pipeline(self):
+        scenario = get_scenario("quickstart-resnet18")
+        variant = scenario.with_overrides(workload="vgg16",
+                                          input_shape=[3, 8, 8])
+        assert variant.workload == "vgg16"
+        assert variant.input_shape == (3, 8, 8)
+        assert variant.pipeline == scenario.pipeline
+
 
 #: a scenario small enough for the test suite: one tiny model, 3 stages of
 #: serving/accelerator evaluation, few k-means iterations
@@ -64,11 +89,8 @@ _TINY_SCENARIO = Scenario(
 
 class TestRunScenario:
     def test_end_to_end_through_serving_and_accelerator(self, tmp_path):
-        scenario = Scenario.from_dict(dict(
-            _TINY_SCENARIO.to_dict(),
-            pipeline=dict(_TINY_SCENARIO.pipeline,
-                          export_path=str(tmp_path / "artifact.npz")),
-        ))
+        scenario = _TINY_SCENARIO.with_overrides(
+            pipeline={"export_path": str(tmp_path / "artifact.npz")})
         result = run_scenario(scenario, cache_dir=str(tmp_path / "cache"))
 
         export = result.artifacts["export"]
@@ -105,9 +127,8 @@ class TestCli:
         assert main(["run", "cfg.json", "--scenario", "x"]) == 2
 
     def test_run_scenario_spec_file_with_cache_and_report(self, tmp_path, capsys):
-        spec = dict(_TINY_SCENARIO.to_dict(),
-                    pipeline=dict(_TINY_SCENARIO.pipeline,
-                                  export_path=str(tmp_path / "m.npz")))
+        spec = _TINY_SCENARIO.with_overrides(
+            pipeline={"export_path": str(tmp_path / "m.npz")}).to_dict()
         cfg_path = tmp_path / "scenario.json"
         cfg_path.write_text(json.dumps(spec))
         cache = tmp_path / "cache"
