@@ -48,7 +48,13 @@ from repro.core import LayerCompressionConfig, MVQCompressor
 from repro.nn import predict_batched, prepare_for_serving
 from repro.nn.compressed import swap_to_compressed
 from repro.nn.models import resnet18_mini
-from repro.serve import BatchPolicy, ModelServer
+from repro.serve import (
+    BatchPolicy,
+    FaultPolicy,
+    ModelServer,
+    ServingError,
+    serving_chaos_plan,
+)
 
 INPUT_SHAPE = (3, 16, 16)
 
@@ -56,6 +62,12 @@ FULL = dict(num_requests=256, max_batch=16, max_wait_ms=5.0,
             k=24, iterations=8, repeats=3)
 QUICK = dict(num_requests=64, max_batch=8, max_wait_ms=5.0,
              k=16, iterations=4, repeats=2)
+
+#: chaos-mode knobs (``--chaos``): ~10% of replica forwards fault (split
+#: across crashes / engine faults / delays, see serving_chaos_plan); the
+#: seed makes every run inject the identical fault sequence
+FAULT_RATE = 0.10
+FAULT_SEED = 7
 
 
 def _compressed_replicas(p: Dict[str, object], count: int = 2):
@@ -145,6 +157,84 @@ def run(smoke: bool = False) -> Dict[str, object]:
     }
 
 
+def run_fault_mode(smoke: bool = False) -> Dict[str, object]:
+    """The same request stream under ~10% injected replica faults.
+
+    Two replicas with the full failure-handling stack (retries, quarantine
+    + re-warm, engine-fault degradation) serve the stream while the seeded
+    chaos plan fires crashes, engine faults and delays.  Records throughput
+    and p95 under fault along with the resolution census the chaos gate
+    checks: every request resolves, every success is bit-identical to the
+    clean reference.
+    """
+    p = QUICK if smoke else FULL
+    n, max_batch = p["num_requests"], p["max_batch"]
+    replicas = _compressed_replicas(p, count=3)
+    ref_model, serve_replicas = replicas[0], replicas[1:]
+
+    rng = np.random.default_rng(0)
+    requests = rng.standard_normal((n, *INPUT_SHAPE))
+    reference = predict_batched(ref_model, requests, batch_size=max_batch)
+
+    policy = BatchPolicy(max_batch_size=max_batch, max_wait_ms=p["max_wait_ms"],
+                         max_queue_size=max(2 * n, 64), overload="shed")
+    fault_policy = FaultPolicy(max_retries=4, backoff_initial_ms=1.0,
+                               quarantine_after=3, rewarm_after_ms=20.0)
+    server = ModelServer()
+    server.register("resnet18", serve_replicas, policy=policy,
+                    fault_policy=fault_policy, input_shape=INPUT_SHAPE)
+    plan = serving_chaos_plan(FAULT_RATE, seed=FAULT_SEED)
+    ok = mismatched = typed_errors = unresolved = 0
+    with plan.active(), server:
+        start = time.perf_counter()
+        handles = [server.submit("resnet18", row) for row in requests]
+        for i, handle in enumerate(handles):
+            try:
+                out = handle.result(timeout=120.0)
+            except ServingError:
+                typed_errors += 1       # resolved: a typed error, not a hang
+            except TimeoutError:
+                unresolved += 1         # the wait itself timed out: a hang
+            else:
+                ok += 1
+                if not np.array_equal(out, reference[i]):
+                    mismatched += 1
+        elapsed = time.perf_counter() - start
+        stats = server.stats_report()["models"]["resnet18"]
+
+    return {
+        "fault_rate": FAULT_RATE,
+        "fault_seed": FAULT_SEED,
+        "num_requests": n,
+        "throughput_rps": n / elapsed,
+        "latency_ms_p50": stats["latency_ms"]["p50"],
+        "latency_ms_p95": stats["latency_ms"]["p95"],
+        "requests_ok": ok,
+        "requests_typed_error": typed_errors,
+        "requests_unresolved": unresolved,
+        "successes_bit_identical": mismatched == 0,
+        "injections": sum(plan.summary()["injections"].values()),
+        "faults": stats["faults"],
+    }
+
+
+def check_fault_report(report: Dict[str, object]) -> list:
+    """The chaos gate: no hangs, bit-exact successes, faults actually fired."""
+    errors = []
+    if report["requests_unresolved"]:
+        errors.append(f"{report['requests_unresolved']} requests never "
+                      "resolved under fault injection (hang)")
+    if not report["successes_bit_identical"]:
+        errors.append("successful responses under fault injection diverge "
+                      "from the clean reference bits")
+    if not report["requests_ok"]:
+        errors.append("no request succeeded under fault injection")
+    if not report["injections"]:
+        errors.append("the chaos plan injected nothing — the chaos gate "
+                      "tested a fault-free run")
+    return errors
+
+
 #: CI gate: dynamic batching must beat sequential single-image serving
 MIN_SPEEDUP = 1.5
 
@@ -168,20 +258,35 @@ def check_report(report: Dict[str, object]) -> list:
 def main(argv=None) -> int:
     args = list(argv if argv is not None else sys.argv[1:])
     quick = "--quick" in args
+    chaos = "--chaos" in args
     output = None
     if "--output" in args:
         output = args[args.index("--output") + 1]
     report = run(smoke=quick)
-    if output:
-        Path(output).write_text(
-            json.dumps({"mode": "smoke" if quick else "full",
-                        "serving": report}, indent=2, sort_keys=True) + "\n")
     print(f"[perf] serving: dynamic batching {report['batched_sps']:.0f} req/s "
           f"vs sequential {report['sequential_sps']:.0f} req/s "
           f"({report['speedup_batched_vs_sequential']:.2f}x), "
           f"p95 {report['latency_ms_p95']:.1f} ms, "
           f"mean batch {report['mean_batch_size']:.1f}")
     errors = check_report(report)
+    if chaos:
+        fault_report = run_fault_mode(smoke=quick)
+        # nested under the serving section; compare_perf deliberately does
+        # NOT track fault-mode ratios (retry/backoff sleeps dominate the
+        # wall time, making them far too noisy to gate on)
+        report["fault_mode"] = fault_report
+        print(f"[perf] serving under {FAULT_RATE:.0%} faults: "
+              f"{fault_report['throughput_rps']:.0f} req/s, "
+              f"p95 {fault_report['latency_ms_p95']:.1f} ms, "
+              f"{fault_report['requests_ok']} ok / "
+              f"{fault_report['requests_typed_error']} typed errors / "
+              f"{fault_report['requests_unresolved']} unresolved "
+              f"({fault_report['injections']} injections)")
+        errors += check_fault_report(fault_report)
+    if output:
+        Path(output).write_text(
+            json.dumps({"mode": "smoke" if quick else "full",
+                        "serving": report}, indent=2, sort_keys=True) + "\n")
     for error in errors:
         print(f"[perf] ERROR: {error}", file=sys.stderr)
     return 1 if errors else 0

@@ -42,6 +42,11 @@ TRACKED: Dict[str, List[str]] = {
     "clustering": ["speedup_fp64_vs_legacy", "speedup_fp32_vs_legacy"],
     "inference": ["speedup_compressed_vs_reconstruct",
                   "systolic_stream.stream_speedup_vs_scalar"],
+    # serving.fault_mode.* is deliberately untracked: under injected faults
+    # the wall time is dominated by retry backoffs and re-warm sleeps, so
+    # its throughput/p95 are noise; resolution correctness (no hangs,
+    # bit-exact successes) is hard-gated by bench_serving.check_fault_report
+    # in the chaos-smoke CI job instead
     "serving": ["speedup_batched_vs_sequential"],
     # explore.cache_speedup is deliberately untracked: like
     # pipeline.warm_speedup it is a ratio of two sub-second smoke wall

@@ -50,6 +50,15 @@ from repro.core.compressor import (
     layer_config_from_dict,
     layer_config_to_dict,
 )
+from repro.core.faults import (
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    fault_point,
+    install_plan,
+    register_error_type,
+    register_fault_point,
+)
 from repro.core.finetune import CodebookFinetuner
 from repro.core.mixed_sparsity import MixedSparsitySearch, LayerSparsityChoice
 from repro.core.serialization import save_compressed_model, load_compressed_model
@@ -100,4 +109,11 @@ __all__ = [
     "LayerSparsityChoice",
     "save_compressed_model",
     "load_compressed_model",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "fault_point",
+    "install_plan",
+    "register_error_type",
+    "register_fault_point",
 ]

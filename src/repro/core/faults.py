@@ -1,0 +1,307 @@
+"""Deterministic, seeded fault injection for robustness testing.
+
+Production code is instrumented with *named fault points* — one-line
+:func:`fault_point` calls at the places where real systems fail (a replica
+forward pass, an artifact-store disk commit, a candidate evaluation).  With
+no plan installed a fault point is a single ``is None`` check, so shipping
+the instrumentation costs nothing; tests, benchmarks and chaos CI jobs
+install a :class:`FaultPlan` that injects exceptions, delays or payload
+corruption at those points with configured probability.
+
+Determinism is the whole design: every injection decision is a pure
+function of ``(plan seed, fault-point name, visit index, rule index)`` via
+SHA-256, never of wall-clock time or a shared RNG stream.  Re-running the
+same workload under the same plan reproduces the same fault decisions
+bit-for-bit — which is what lets CI *assert* on chaos outcomes instead of
+merely hoping.  (Across threads the assignment of visit indices to
+individual requests follows scheduling order, but the decision *sequence*
+per point is fixed, so aggregate behaviour — how many faults fire, and on
+which visit numbers — is reproducible.)
+
+Typical use::
+
+    plan = FaultPlan([
+        FaultRule("serve.replica.forward", probability=0.1),           # crash
+        FaultRule("serve.replica.forward", probability=0.05,
+                  error="engine"),                                     # engine fault
+        FaultRule("artifacts.store.write", probability=0.2,
+                  kind="corrupt"),                                     # bad bytes
+    ], seed=7)
+    with plan.active():
+        run_workload()
+    plan.summary()        # {"visits": {...}, "injections": {...}, ...}
+
+Error *tags* decouple the framework from the layers it tests: a rule names
+a tag (``"fault"``, ``"engine"``, ...) and the owning layer registers the
+exception type for it via :func:`register_error_type` — core never imports
+serve.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import hashlib
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence
+
+FAULT_KINDS = ("error", "delay", "corrupt")
+
+
+class InjectedFault(RuntimeError):
+    """The generic exception an armed ``error`` fault point raises."""
+
+    def __init__(self, point: str, tag: str = "fault",
+                 message: Optional[str] = None):
+        super().__init__(message or f"injected fault at {point!r} (tag={tag})")
+        self.point = point
+        self.tag = tag
+
+
+#: error tag -> factory(point) -> exception.  Layers register their own typed
+#: faults here (e.g. repro.serve registers "engine" -> EngineFault) so a plan
+#: can trigger layer-specific failure handling without core importing them.
+_ERROR_TYPES: Dict[str, Callable[[str], BaseException]] = {}
+
+
+def register_error_type(tag: str,
+                        factory: Callable[[str], BaseException]) -> None:
+    """Map an error tag to an exception factory taking the fault-point name."""
+    _ERROR_TYPES[tag] = factory
+
+
+def make_error(tag: str, point: str) -> BaseException:
+    factory = _ERROR_TYPES.get(tag)
+    if factory is not None:
+        return factory(point)
+    return InjectedFault(point, tag)
+
+
+#: the registry of instrumented fault points (name -> what failing there
+#: simulates).  Purely documentary — fault_point() does not validate against
+#: it on the hot path — but the README table and tests are generated from it,
+#: and registering keeps chaos plans discoverable.
+FAULT_POINTS: Dict[str, str] = {}
+
+
+def register_fault_point(name: str, description: str) -> str:
+    FAULT_POINTS[name] = description
+    return name
+
+
+register_fault_point("serve.replica.forward",
+                     "a model replica's batched forward pass crashing, "
+                     "raising an engine fault, or stalling")
+register_fault_point("serve.replica.warmup",
+                     "the re-warm forward of a quarantined replica failing")
+register_fault_point("artifacts.store.write",
+                     "a process killed mid-commit, or bytes corrupted on the "
+                     "way to disk")
+register_fault_point("artifacts.store.read",
+                     "on-disk artifact bytes corrupted or truncated before "
+                     "deserialization")
+register_fault_point("explore.candidate.eval",
+                     "a design-space candidate's pipeline evaluation dying")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule: where, how often, and what happens.
+
+    ``point`` is an ``fnmatch`` pattern over fault-point names
+    (``"serve.replica.*"`` arms both forward and warmup).  ``kind`` picks the
+    effect: ``"error"`` raises the exception registered for ``error`` (tag),
+    ``"delay"`` sleeps ``delay_ms``, ``"corrupt"`` deterministically mangles
+    the payload offered at the point.  ``max_injections`` caps how many times
+    this rule may fire (useful for "fail twice, then recover" scripts).
+    """
+
+    point: str
+    probability: float = 1.0
+    kind: str = "error"
+    error: str = "fault"
+    delay_ms: float = 0.0
+    max_injections: Optional[int] = None
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"kind must be one of {FAULT_KINDS}, got {self.kind!r}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in [0, 1], got {self.probability}")
+        if self.delay_ms < 0:
+            raise ValueError(f"delay_ms must be >= 0, got {self.delay_ms}")
+        if self.max_injections is not None and self.max_injections < 0:
+            raise ValueError("max_injections must be >= 0")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"point": self.point, "probability": self.probability,
+                "kind": self.kind, "error": self.error,
+                "delay_ms": self.delay_ms,
+                "max_injections": self.max_injections}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultRule":
+        known = {f: data[f] for f in ("point", "probability", "kind", "error",
+                                      "delay_ms", "max_injections")
+                 if f in data}
+        unknown = set(data) - set(known)
+        if unknown:
+            raise ValueError(f"unknown FaultRule fields: {sorted(unknown)}")
+        return cls(**known)
+
+
+def _corrupt_bytes(payload: bytes, salt: int) -> bytes:
+    """Deterministically flip a few bytes of ``payload`` (never a no-op)."""
+    if not payload:
+        return b"\xff"
+    mangled = bytearray(payload)
+    for i in range(3):
+        offset = (salt >> (8 * i)) % len(mangled)
+        mangled[offset] ^= 0x5A
+    # guarantee the result differs even if the xors collided
+    if bytes(mangled) == payload:
+        mangled[salt % len(mangled)] ^= 0xFF
+    return bytes(mangled)
+
+
+class FaultPlan:
+    """A seeded set of :class:`FaultRule`\\ s plus the visit/injection ledger.
+
+    Thread-safe: the visit counters are lock-protected, so one plan may be
+    installed while a multi-worker server is serving.  Install with
+    :meth:`active` (context manager) or :func:`install_plan`.
+    """
+
+    def __init__(self, rules: Sequence[FaultRule], seed: int = 0):
+        self.rules: List[FaultRule] = list(rules)
+        self.seed = int(seed)
+        self._lock = threading.Lock()
+        self._visits: Dict[str, int] = {}
+        self._injections: Dict[str, int] = {}
+        self._rule_fired: List[int] = [0] * len(self.rules)
+
+    # -- construction / serialization ----------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {"seed": self.seed,
+                "rules": [rule.to_dict() for rule in self.rules]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        return cls([FaultRule.from_dict(r) for r in data.get("rules", [])],
+                   seed=data.get("seed", 0))
+
+    # -- the deterministic draw ------------------------------------------------
+    def _draw(self, point: str, visit: int, rule_index: int) -> float:
+        digest = hashlib.sha256(
+            f"{self.seed}:{point}:{visit}:{rule_index}".encode()).digest()
+        return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+    def _decide(self, point: str) -> Optional[tuple]:
+        """Pick the firing rule (if any) for this visit; returns
+        ``(rule, salt)`` where ``salt`` seeds payload corruption."""
+        with self._lock:
+            visit = self._visits.get(point, 0)
+            self._visits[point] = visit + 1
+            for index, rule in enumerate(self.rules):
+                if not fnmatch.fnmatch(point, rule.point):
+                    continue
+                if (rule.max_injections is not None
+                        and self._rule_fired[index] >= rule.max_injections):
+                    continue
+                if self._draw(point, visit, index) < rule.probability:
+                    self._rule_fired[index] += 1
+                    self._injections[point] = self._injections.get(point, 0) + 1
+                    salt = int.from_bytes(hashlib.sha256(
+                        f"salt:{self.seed}:{point}:{visit}".encode()
+                    ).digest()[:8], "big")
+                    return rule, salt
+        return None
+
+    def visit(self, point: str, payload: Any = None) -> Any:
+        """One pass through a fault point; the instrumentation entry point."""
+        fired = self._decide(point)
+        if fired is None:
+            return payload
+        rule, salt = fired
+        if rule.kind == "delay":
+            time.sleep(rule.delay_ms / 1e3)
+            return payload
+        if rule.kind == "corrupt":
+            if isinstance(payload, (bytes, bytearray)):
+                return _corrupt_bytes(bytes(payload), salt)
+            if payload is None:
+                raise TypeError(
+                    f"fault point {point!r} offers no payload to corrupt")
+            import numpy as np
+
+            if isinstance(payload, np.ndarray):
+                raw = _corrupt_bytes(payload.tobytes(), salt)
+                return np.frombuffer(raw, dtype=payload.dtype).reshape(
+                    payload.shape).copy()
+            raise TypeError(f"cannot corrupt payload of type "
+                            f"{type(payload).__name__} at {point!r}")
+        raise make_error(rule.error, point)
+
+    # -- introspection ---------------------------------------------------------
+    def summary(self) -> Dict[str, Any]:
+        """JSON-able ledger: per-point visit and injection counts."""
+        with self._lock:
+            return {"seed": self.seed,
+                    "visits": dict(sorted(self._visits.items())),
+                    "injections": dict(sorted(self._injections.items())),
+                    "total_injections": sum(self._injections.values())}
+
+    def injections_at(self, point: str) -> int:
+        with self._lock:
+            return self._injections.get(point, 0)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._visits.clear()
+            self._injections.clear()
+            self._rule_fired = [0] * len(self.rules)
+
+    # -- installation ----------------------------------------------------------
+    @contextmanager
+    def active(self) -> Iterator["FaultPlan"]:
+        """Install this plan for the duration of the ``with`` block."""
+        previous = install_plan(self)
+        try:
+            yield self
+        finally:
+            install_plan(previous)
+
+
+#: the installed plan.  One process-wide slot (not thread-local): the serving
+#: tier's faults must hit worker threads the installing test never owns.
+_ACTIVE: Optional[FaultPlan] = None
+
+
+def install_plan(plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
+    """Install ``plan`` (or ``None`` to disarm); returns the previous plan."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = plan
+    return previous
+
+
+def active_plan() -> Optional[FaultPlan]:
+    return _ACTIVE
+
+
+def fault_point(name: str, payload: Any = None) -> Any:
+    """Pass through an instrumented fault point.
+
+    Disabled (no plan installed) this is one global load and an ``is None``
+    test — cheap enough for per-batch hot paths.  Armed, the installed
+    plan's matching rule may raise, sleep, or return a corrupted copy of
+    ``payload``; otherwise ``payload`` comes back unchanged.
+    """
+    plan = _ACTIVE
+    if plan is None:
+        return payload
+    return plan.visit(name, payload)

@@ -37,8 +37,12 @@ def _print_result(result: ExplorationResult) -> None:
           f"{stats['cluster_layers_fresh']} clustered fresh "
           f"(store: {stats['store_hits']} hits / "
           f"{stats['store_misses']} misses)")
+    if stats.get("retried"):
+        print(f"[explore] transient failures retried: {stats['retried']}")
     for error in stats["errors"]:
-        print(f"[explore] candidate {error['index']} failed: "
+        print(f"[explore] candidate {error['index']} failed "
+              f"({error.get('error_type')}, "
+              f"{error.get('attempts', 1)} attempts): "
               f"{error['error']}", file=sys.stderr)
     print(f"[explore] Pareto frontier: {len(result.frontier)} of "
           f"{len(result.ok_results)} feasible points "
@@ -85,6 +89,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     run_p.add_argument("--register", action="store_true",
                        help="register the frontier's best point as a "
                             "pipeline scenario (explore-<space>-best)")
+    run_p.add_argument("--retries", type=int, default=2,
+                       help="retry budget per failing candidate before it "
+                            "is recorded as a typed failure (default: 2)")
+    run_p.add_argument("--faults", type=float, default=0.0, metavar="RATE",
+                       help="chaos session: inject faults at this "
+                            "probability into candidate evaluation and the "
+                            "artifact store (0 disables; see README "
+                            "'Robustness & fault injection')")
+    run_p.add_argument("--fault-seed", type=int, default=0,
+                       help="seed of the injected fault plan (same seed = "
+                            "bit-identical chaos)")
 
     sub.add_parser("list-strategies", help="print the strategy registry")
     sub.add_parser("list-spaces", help="print the search-space registry")
@@ -124,8 +139,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     else:
         space = SearchSpace.from_dict(json.loads(Path(args.space).read_text()))
 
-    result = explore(space, strategy=args.strategy, budget=args.budget,
-                     cache_dir=args.cache_dir, workers=args.workers)
+    if args.faults > 0.0:
+        from repro.core.faults import FaultPlan, FaultRule
+
+        plan = FaultPlan([
+            FaultRule("explore.candidate.eval", probability=args.faults),
+            FaultRule("artifacts.store.write", probability=args.faults / 4,
+                      kind="corrupt"),
+        ], seed=args.fault_seed)
+        print(f"[explore] chaos session: fault rate {args.faults} "
+              f"(seed {args.fault_seed})")
+        with plan.active():
+            result = explore(space, strategy=args.strategy,
+                             budget=args.budget, cache_dir=args.cache_dir,
+                             workers=args.workers, retries=args.retries)
+        summary = plan.summary()
+        print(f"[explore] injected faults: "
+              f"{ {k: v for k, v in summary['injections'].items() if v} }")
+    else:
+        result = explore(space, strategy=args.strategy, budget=args.budget,
+                         cache_dir=args.cache_dir, workers=args.workers,
+                         retries=args.retries)
     _print_result(result)
 
     # write the reports even for a failed sweep: stats.errors and the

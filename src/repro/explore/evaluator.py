@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.compressor import _available_cpus, layer_config_to_dict
+from repro.core.faults import fault_point
 from repro.explore.pareto import Objective, resolve_objectives
 from repro.explore.space import Candidate, EXPLORE_STAGES, SearchSpace
 from repro.pipeline.artifacts import ArtifactStore
@@ -56,6 +57,8 @@ class CandidateResult:
     objectives: Dict[str, float] = field(default_factory=dict)
     report: Dict[str, Any] = field(default_factory=dict)
     error: Optional[str] = None
+    error_type: Optional[str] = None   # exception class name of the failure
+    attempts: int = 1                  # evaluation attempts consumed
     fidelity: float = 1.0
     seconds: float = 0.0
     cluster_layers_cached: int = 0
@@ -73,6 +76,8 @@ class CandidateResult:
             "values": self.candidate.values_dict,
             "objectives": dict(self.objectives),
             "error": self.error,
+            "error_type": self.error_type,
+            "attempts": self.attempts,
             "fidelity": self.fidelity,
             "seconds": self.seconds,
             "cluster_layers_cached": self.cluster_layers_cached,
@@ -180,18 +185,26 @@ class Evaluator:
                  store: Optional[ArtifactStore] = None,
                  cache_dir: Optional[str] = None,
                  workers: Optional[int] = None,
-                 stages: Optional[Sequence[str]] = None):
+                 stages: Optional[Sequence[str]] = None,
+                 retries: int = 2, backoff_ms: float = 25.0):
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if backoff_ms < 0:
+            raise ValueError("backoff_ms must be >= 0")
         self.space = space
         self.store = store if store is not None else ArtifactStore(cache_dir)
         requested = workers if workers is not None else _available_cpus()
         self.workers = max(1, min(int(requested), _available_cpus()))
         self.stages = tuple(stages) if stages is not None else None
         self.objectives = resolve_objectives(space.objectives)
+        self.retries = int(retries)
+        self.backoff_ms = float(backoff_ms)
         # counters are bumped from worker threads; += is not atomic
         self._counter_lock = threading.Lock()
         self.evaluated = 0
         self.infeasible = 0
         self.failed = 0
+        self.retried = 0
 
     def _count(self, counter: str) -> None:
         with self._counter_lock:
@@ -231,7 +244,8 @@ class Evaluator:
         if error is not None:
             self._count("infeasible")
             return CandidateResult(candidate=candidate, error=error,
-                                   fidelity=fidelity,
+                                   error_type="InfeasibleCandidate",
+                                   attempts=0, fidelity=fidelity,
                                    seconds=time.perf_counter() - start)
         spec = _scaled_spec(candidate.scenario_spec(), fidelity)
         scenario = Scenario.from_dict({
@@ -240,21 +254,36 @@ class Evaluator:
             "description": f"candidate {candidate.index} of search space "
                            f"{self.space.name}",
         })
-        try:
-            config = scenario.pipeline_config()
-            pipeline = Pipeline(config, store=self.store,
-                                workload=scenario.workload,
-                                input_shape=scenario.input_shape,
-                                scenario=scenario.name)
-            run = pipeline.run(scenario.build_model(),
-                               stages=self._stage_list(config))
-            objectives = extract_objectives(run, self.objectives)
-        except Exception as exc:  # a failed candidate must not kill the sweep
-            self._count("failed")
-            return CandidateResult(candidate=candidate,
-                                   error=f"{type(exc).__name__}: {exc}",
-                                   fidelity=fidelity,
-                                   seconds=time.perf_counter() - start)
+        # a transiently-failing candidate (injected fault, flaky IO) is
+        # retried with exponential backoff; past the budget it is recorded
+        # as a typed failure and excluded — the sweep itself never dies
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                fault_point("explore.candidate.eval")
+                config = scenario.pipeline_config()
+                pipeline = Pipeline(config, store=self.store,
+                                    workload=scenario.workload,
+                                    input_shape=scenario.input_shape,
+                                    scenario=scenario.name)
+                run = pipeline.run(scenario.build_model(),
+                                   stages=self._stage_list(config))
+                objectives = extract_objectives(run, self.objectives)
+                break
+            except Exception as exc:  # failure must not kill the sweep
+                if attempts <= self.retries:
+                    self._count("retried")
+                    time.sleep(self.backoff_ms / 1e3
+                               * 2.0 ** (attempts - 1))
+                    continue
+                self._count("failed")
+                return CandidateResult(candidate=candidate,
+                                       error=f"{type(exc).__name__}: {exc}",
+                                       error_type=type(exc).__name__,
+                                       attempts=attempts,
+                                       fidelity=fidelity,
+                                       seconds=time.perf_counter() - start)
 
         cluster = run.event_for("cluster") or {}
         serve = run.artifacts.get("serve_report") or {}
@@ -277,6 +306,7 @@ class Evaluator:
             candidate=candidate,
             objectives=objectives,
             report=report,
+            attempts=attempts,
             fidelity=fidelity,
             seconds=time.perf_counter() - start,
             cluster_layers_cached=len(cluster.get("layers_cached", [])),
@@ -322,5 +352,6 @@ class Evaluator:
             "evaluated": self.evaluated,
             "infeasible": self.infeasible,
             "failed": self.failed,
+            "retried": self.retried,
             "store": self.store.stats(),
         }

@@ -105,12 +105,18 @@ def explore(space: Union[SearchSpace, Mapping[str, Any]],
             store: Optional[ArtifactStore] = None,
             cache_dir: Optional[str] = None,
             workers: Optional[int] = None,
-            stages: Optional[Sequence[str]] = None) -> ExplorationResult:
+            stages: Optional[Sequence[str]] = None,
+            retries: int = 2,
+            backoff_ms: float = 25.0) -> ExplorationResult:
     """Run one design-space exploration and return its Pareto frontier.
 
     ``strategy`` / ``budget`` override the space's own settings;
     ``store`` / ``cache_dir`` wire in a (shareable, warm-able) artifact
-    cache; ``workers`` caps the evaluator's thread pool.
+    cache; ``workers`` caps the evaluator's thread pool.  A candidate whose
+    evaluation raises is retried up to ``retries`` times with exponential
+    backoff (``backoff_ms`` initial), then recorded as a typed failure in
+    ``stats["errors"]`` and excluded from the frontier — the sweep itself
+    always completes.
     """
     if not isinstance(space, SearchSpace):
         space = SearchSpace.from_dict(space)
@@ -124,7 +130,8 @@ def explore(space: Union[SearchSpace, Mapping[str, Any]],
 
     info = get_strategy(space.strategy)
     evaluator = Evaluator(space, store=store, cache_dir=cache_dir,
-                          workers=workers, stages=stages)
+                          workers=workers, stages=stages,
+                          retries=retries, backoff_ms=backoff_ms)
     store_before = evaluator.store.stats()
 
     start = time.perf_counter()
@@ -142,7 +149,8 @@ def explore(space: Union[SearchSpace, Mapping[str, Any]],
         "frontier_size": len(frontier),
         "dominated": frontier.dominated_count,
         "errors": [
-            {"index": r.candidate.index, "error": r.error}
+            {"index": r.candidate.index, "error": r.error,
+             "error_type": r.error_type, "attempts": r.attempts}
             for r in outcome.results if not r.ok
         ],
         "cluster_layers_cached": sum(r.cluster_layers_cached for r in ok),

@@ -8,23 +8,53 @@ the expensive stage this exists for; the store itself is generic.
 
 Artifacts live in memory, and optionally on disk (``cache_dir``) as pickles
 so warm caches survive across processes (e.g. the CLI run twice).
+
+The disk tier is **crash-safe** and safe for concurrent multi-process
+writers:
+
+* every commit writes a temp file, ``fsync``\\ s it and atomically renames
+  into place — a reader (or a re-run after a mid-write kill) only ever
+  observes the old entry, the new entry, or a leftover ``*.tmp`` that is
+  never read;
+* each entry carries a SHA-256 digest of its pickle payload in a manifest
+  sidecar (``manifest/<key>.json``); a digest mismatch (truncation, bit
+  rot, torn write from a crashed process) is *detected*, the bad files are
+  moved to ``quarantine/`` and the read is a miss — the pipeline then
+  transparently recomputes and rewrites the entry;
+* writers serialize per key through ``O_EXCL`` lock files with stale-lock
+  takeover, so two processes producing the same key cannot interleave their
+  pkl/manifest pairs.  Keys are content hashes of the inputs, so concurrent
+  same-key writers are idempotent anyway — the lock only prevents a torn
+  *pair*, not a wrong value.
+
+The write and read paths are instrumented with the
+``artifacts.store.write`` / ``artifacts.store.read`` fault points of
+:mod:`repro.core.faults`; an injected ``corrupt`` rule mangles the payload
+bytes exactly like a torn write would, and the digest check catches it.
 """
 
 from __future__ import annotations
 
 import enum
 import hashlib
+import json
 import os
 import pickle
 import threading
+import time
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 import numpy as np
 
+from repro.core.faults import fault_point
+
 #: sentinel returned by :meth:`ArtifactStore.get` on a miss (``None`` is a
 #: legal artifact value)
 MISS = object()
+
+#: a lock file untouched for this long belongs to a dead writer
+STALE_LOCK_S = 30.0
 
 
 def _feed(h: "hashlib._Hash", obj: Any) -> None:
@@ -76,18 +106,79 @@ def stable_hash(*parts: Any) -> str:
     return h.hexdigest()
 
 
+def _atomic_write(path: Path, payload: bytes) -> None:
+    """Temp file + fsync + rename: the entry appears complete or not at all."""
+    tmp = path.with_suffix(
+        f".{os.getpid()}.{threading.get_ident()}.tmp")
+    with tmp.open("wb") as fh:
+        fh.write(payload)
+        fh.flush()
+        os.fsync(fh.fileno())
+    tmp.replace(path)
+
+
+class _KeyLock:
+    """``O_EXCL`` lock file with stale-lock takeover.
+
+    The lock's *existence* is the lock; its content (pid) is diagnostic
+    only.  A writer that dies mid-commit leaves the file behind — the next
+    writer takes it over once its mtime is older than ``STALE_LOCK_S``
+    (refreshing a healthy long write is the holder's job; our commits are
+    milliseconds, so the default margin is enormous).
+    """
+
+    def __init__(self, path: Path, timeout_s: float = 60.0):
+        self.path = path
+        self.timeout_s = timeout_s
+
+    def __enter__(self) -> "_KeyLock":
+        deadline = time.monotonic() + self.timeout_s
+        while True:
+            try:
+                fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                try:
+                    age = time.time() - self.path.stat().st_mtime
+                except OSError:
+                    continue  # holder released between open and stat; retry
+                if age > STALE_LOCK_S:
+                    # dead writer: steal by removing and re-contending; a
+                    # race between stealers is fine — exactly one O_EXCL
+                    # open wins the next round
+                    try:
+                        self.path.unlink()
+                    except OSError:
+                        pass
+                    continue
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"could not acquire artifact lock {self.path} "
+                        f"within {self.timeout_s}s") from None
+                time.sleep(0.005)
+            else:
+                os.write(fd, str(os.getpid()).encode())
+                os.close(fd)
+                return self
+
+    def __exit__(self, *exc) -> None:
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+
 class ArtifactStore:
     """Two-level (memory, optional disk) store of stage artifacts.
 
     Keys are the content hashes of :func:`stable_hash`; values are arbitrary
-    picklable objects.  A corrupt or unreadable disk entry counts as a miss
-    — the pipeline recomputes and overwrites it.
+    picklable objects.  A corrupt, truncated or unreadable disk entry is
+    detected via its manifest digest, moved to ``quarantine/`` and counted
+    as a miss — the pipeline recomputes and overwrites it.
 
-    One store may be shared by concurrent pipeline runs (the parallel
-    evaluator of :mod:`repro.explore` fans candidates across threads against
-    a single store): the hit/miss counters are lock-protected and disk
-    writes go through per-writer temp files followed by an atomic rename,
-    so two threads producing the same key cannot corrupt each other.
+    One store may be shared by concurrent pipeline runs across threads
+    *and* processes: counters are lock-protected, commits are atomic
+    (temp + fsync + rename) and per-key ``O_EXCL`` lock files with
+    stale-lock takeover serialize writers of the same key.
     """
 
     def __init__(self, cache_dir: Optional[Union[str, Path]] = None):
@@ -96,11 +187,24 @@ class ArtifactStore:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
+            (self.cache_dir / "manifest").mkdir(exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.corrupted = 0
 
     def _path(self, key: str) -> Path:
         return self.cache_dir / f"{key}.pkl"
+
+    def _manifest_path(self, key: str) -> Path:
+        return self.cache_dir / "manifest" / f"{key}.json"
+
+    def _lock_path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.lock"
+
+    def _quarantine_dir(self) -> Path:
+        path = self.cache_dir / "quarantine"
+        path.mkdir(exist_ok=True)
+        return path
 
     def _count(self, hit: bool) -> None:
         with self._lock:
@@ -109,37 +213,117 @@ class ArtifactStore:
             else:
                 self.misses += 1
 
+    # -- read path ------------------------------------------------------------
+    def _read_manifest(self, key: str) -> Optional[Dict[str, Any]]:
+        path = self._manifest_path(key)
+        try:
+            manifest = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(manifest, dict) or "digest" not in manifest:
+            return None
+        return manifest
+
+    def _quarantine(self, key: str, reason: str) -> None:
+        """Move a bad entry (pkl + manifest) out of the way of recompute."""
+        qdir = self._quarantine_dir()
+        stamp = f"{key}.{os.getpid()}"
+        for src, suffix in ((self._path(key), "pkl"),
+                            (self._manifest_path(key), "json")):
+            if src.exists():
+                try:
+                    src.replace(qdir / f"{stamp}.{suffix}")
+                except OSError:
+                    pass  # another process already quarantined it
+        with self._lock:
+            self.corrupted += 1
+
+    def _load_disk(self, key: str) -> Any:
+        path = self._path(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return MISS
+        raw = fault_point("artifacts.store.read", raw)
+        manifest = self._read_manifest(key)
+        if manifest is not None:
+            if hashlib.sha256(raw).hexdigest() != manifest["digest"]:
+                self._quarantine(key, "digest mismatch")
+                return MISS
+        try:
+            return pickle.loads(raw)
+        except Exception:
+            # unpicklable despite a matching (or absent) manifest — a
+            # pre-manifest legacy entry or a hash collision-grade anomaly;
+            # either way: quarantine + miss + recompute
+            self._quarantine(key, "unpicklable payload")
+            return MISS
+
     def get(self, key: str) -> Any:
         if key in self._memory:
             self._count(hit=True)
             return self._memory[key]
         if self.cache_dir is not None:
-            path = self._path(key)
-            if path.exists():
-                try:
-                    with path.open("rb") as fh:
-                        value = pickle.load(fh)
-                except Exception:
-                    self._count(hit=False)
-                    return MISS
+            value = self._load_disk(key)
+            if value is not MISS:
                 self._memory[key] = value
                 self._count(hit=True)
                 return value
         self._count(hit=False)
         return MISS
 
+    # -- write path -----------------------------------------------------------
     def put(self, key: str, value: Any) -> None:
         self._memory[key] = value
-        if self.cache_dir is not None:
-            tmp = self._path(key).with_suffix(f".{os.getpid()}.{threading.get_ident()}.tmp")
-            with tmp.open("wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            tmp.replace(self._path(key))
+        if self.cache_dir is None:
+            return
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        # digest the *good* payload before the fault point: an injected
+        # corruption then mangles what hits the disk, and the manifest
+        # digest catches it on read — exactly like a real torn write
+        digest = hashlib.sha256(payload).hexdigest()
+        payload = fault_point("artifacts.store.write", payload)
+        manifest = json.dumps({"key": key, "digest": digest,
+                               "size": len(payload),
+                               "writer_pid": os.getpid()}).encode()
+        with _KeyLock(self._lock_path(key)):
+            _atomic_write(self._path(key), payload)
+            _atomic_write(self._manifest_path(key), manifest)
+
+    # -- maintenance ----------------------------------------------------------
+    def scrub(self) -> Dict[str, int]:
+        """Verify every disk entry against its manifest digest.
+
+        Corrupted or truncated entries are quarantined; entries without a
+        manifest are left alone (legacy format — they still fail safe at
+        read time via the unpickle guard).  Returns counts.
+        """
+        report = {"checked": 0, "ok": 0, "quarantined": 0, "unmanifested": 0}
+        if self.cache_dir is None:
+            return report
+        for path in sorted(self.cache_dir.glob("*.pkl")):
+            key = path.stem
+            report["checked"] += 1
+            manifest = self._read_manifest(key)
+            if manifest is None:
+                report["unmanifested"] += 1
+                continue
+            try:
+                raw = path.read_bytes()
+            except OSError:
+                continue
+            if hashlib.sha256(raw).hexdigest() == manifest["digest"]:
+                report["ok"] += 1
+            else:
+                self._quarantine(key, "scrub digest mismatch")
+                report["quarantined"] += 1
+        return report
 
     def stats(self) -> Dict[str, int]:
-        """Snapshot of the hit/miss counters (e.g. for sweep reports)."""
+        """Snapshot of the hit/miss/corruption counters (for sweep reports)."""
         with self._lock:
-            return {"hits": self.hits, "misses": self.misses}
+            return {"hits": self.hits, "misses": self.misses,
+                    "corrupted": self.corrupted}
 
     def __contains__(self, key: str) -> bool:
         if key in self._memory:

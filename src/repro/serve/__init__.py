@@ -8,34 +8,62 @@ The serving layer over the decode-free compressed-domain engine:
 * :class:`~repro.serve.server.ModelServer` — multi-model registry with
   per-model worker pools, canonical-shape (bit-stable) batch execution and
   p50/p95 latency + throughput + batch-histogram stats.
+* :mod:`~repro.serve.errors` — the typed error taxonomy every failed
+  request resolves with (stable ``code`` per failure mode).
+* :class:`~repro.serve.server.FaultPolicy` — per-model retries/backoff,
+  deadlines, replica quarantine + re-warm, and graceful degradation to the
+  dense reconstruct path on engine faults.
 * :mod:`~repro.serve.loader` — builds serving replicas from the pipeline
   scenario registry or serialized ``.npz`` manifests.
 * ``python -m repro.serve`` — JSONL serving over stdin/stdout or TCP.
 """
 
-from repro.serve.batcher import (
-    BatchPolicy,
-    DynamicBatcher,
-    Request,
+from repro.serve.batcher import BatchPolicy, DynamicBatcher, Request
+from repro.serve.errors import (
+    ERROR_TAXONOMY,
+    EngineFault,
+    ManifestError,
+    ReplicaUnavailable,
+    RequestFailed,
+    RequestTimeout,
     ServerClosed,
     ServerOverloaded,
+    ServingError,
+    error_payload,
 )
-from repro.serve.loader import LoadedModel, load_npz, load_scenario, policy_from_spec
+from repro.serve.loader import (
+    LoadedModel,
+    load_npz,
+    load_scenario,
+    policy_from_spec,
+    verify_npz,
+)
 from repro.serve.metrics import ServingMetrics, StatsRegistry, percentile
-from repro.serve.server import ModelServer
+from repro.serve.server import FaultPolicy, ModelServer, serving_chaos_plan
 
 __all__ = [
     "BatchPolicy",
     "DynamicBatcher",
+    "ERROR_TAXONOMY",
+    "EngineFault",
+    "FaultPolicy",
     "LoadedModel",
+    "ManifestError",
     "ModelServer",
+    "ReplicaUnavailable",
     "Request",
+    "RequestFailed",
+    "RequestTimeout",
     "ServerClosed",
     "ServerOverloaded",
+    "ServingError",
     "ServingMetrics",
     "StatsRegistry",
+    "error_payload",
     "load_npz",
     "load_scenario",
     "percentile",
     "policy_from_spec",
+    "serving_chaos_plan",
+    "verify_npz",
 ]

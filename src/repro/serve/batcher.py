@@ -24,15 +24,11 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Deque, List, Optional
 
+# the batcher's failure modes live in the serving error taxonomy; re-exported
+# here because they are raised from this module's API
+from repro.serve.errors import ServerClosed, ServerOverloaded
+
 OVERLOAD_POLICIES = ("shed", "block")
-
-
-class ServerOverloaded(RuntimeError):
-    """Raised by ``submit`` when the queue is full under the shed policy."""
-
-
-class ServerClosed(RuntimeError):
-    """Raised when submitting to (or waiting on) a closed batcher/server."""
 
 
 @dataclass(frozen=True)
@@ -79,19 +75,31 @@ _request_ids = itertools.count()
 
 
 class Request:
-    """One in-flight request: payload in, future-style result out."""
+    """One in-flight request: payload in, future-style result out.
 
-    __slots__ = ("id", "payload", "enqueued_at", "completed_at", "_event",
-                 "_result", "_error")
+    ``attempts`` counts executions that failed (the retry path bumps it);
+    ``deadline`` is the absolute ``perf_counter`` instant after which the
+    server resolves the request with a timeout instead of executing it.
+    """
+
+    __slots__ = ("id", "payload", "enqueued_at", "completed_at", "attempts",
+                 "deadline", "_event", "_result", "_error")
 
     def __init__(self, payload: Any, request_id: Optional[Any] = None):
         self.id = next(_request_ids) if request_id is None else request_id
         self.payload = payload
         self.enqueued_at = time.perf_counter()
         self.completed_at: Optional[float] = None
+        self.attempts = 0
+        self.deadline: Optional[float] = None
         self._event = threading.Event()
         self._result: Any = None
         self._error: Optional[BaseException] = None
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        if self.deadline is None:
+            return False
+        return (time.perf_counter() if now is None else now) >= self.deadline
 
     def done(self) -> bool:
         return self._event.is_set()
@@ -129,15 +137,20 @@ class DynamicBatcher:
         self._queue: Deque[Request] = deque()
         self._cond = threading.Condition()
         self._closed = False
+        self._pending_retries = 0
 
     # -- producer side --------------------------------------------------------
     def submit(self, payload: Any, request_id: Optional[Any] = None,
-               timeout: Optional[float] = None) -> Request:
+               timeout: Optional[float] = None,
+               deadline_s: Optional[float] = None) -> Request:
         """Enqueue one request; returns its :class:`Request` handle.
 
         Under the ``"shed"`` policy a full queue raises
         :class:`ServerOverloaded`; under ``"block"`` the call waits for
-        space (``timeout`` bounds that wait).
+        space (``timeout`` bounds that wait).  ``deadline_s`` starts the
+        request's wall-clock budget at admission: once it elapses the server
+        resolves the request with a timeout error instead of (re-)executing
+        it.
         """
         request = Request(payload, request_id)
         deadline = None if timeout is None else time.perf_counter() + timeout
@@ -161,16 +174,67 @@ class DynamicBatcher:
             # stamp enqueue time *inside* the lock so queue-wait metrics do
             # not count time spent blocked on admission
             request.enqueued_at = time.perf_counter()
+            if deadline_s is not None:
+                request.deadline = request.enqueued_at + deadline_s
             self._queue.append(request)
             self._cond.notify_all()
         return request
+
+    # -- retry side ------------------------------------------------------------
+    def requeue(self, requests: List[Request]) -> None:
+        """Push failed requests back to the *front* of the queue (they are
+        the oldest work) — ignoring admission bounds and the closed flag, so
+        retries still land while a drain shutdown is completing."""
+        with self._cond:
+            for request in reversed(requests):
+                self._queue.appendleft(request)
+            self._cond.notify_all()
+
+    def requeue_later(self, request: Request, delay_s: float) -> None:
+        """Requeue after a backoff delay (a daemon timer re-admits it).
+
+        The pending-retry count keeps ``next_batch`` from telling workers
+        the queue is drained while a retry is still in its backoff window —
+        the hole that would otherwise let a drain shutdown strand a retried
+        request forever.
+        """
+        with self._cond:
+            self._pending_retries += 1
+
+        def _land():
+            with self._cond:
+                self._pending_retries -= 1
+                self._queue.appendleft(request)
+                self._cond.notify_all()
+
+        timer = threading.Timer(max(0.0, delay_s), _land)
+        timer.daemon = True
+        timer.start()
+
+    def fail_expired(self, now: Optional[float] = None) -> List[Request]:
+        """Remove and return every queued request whose deadline has passed.
+
+        The caller resolves them (typed timeout error + metrics); pulling
+        them here keeps deadline enforcement alive even when every replica
+        is quarantined and nothing is popping batches.
+        """
+        now = time.perf_counter() if now is None else now
+        with self._cond:
+            expired = [r for r in self._queue if r.expired(now)]
+            if expired:
+                self._queue = deque(r for r in self._queue
+                                    if not r.expired(now))
+                self._cond.notify_all()
+        return expired
 
     # -- consumer side --------------------------------------------------------
     def next_batch(self) -> Optional[List[Request]]:
         """Block until requests exist, coalesce, and pop one FIFO batch.
 
         Returns ``None`` once the batcher is closed *and* drained — the
-        worker's signal to exit.  A batch is released as soon as either
+        worker's signal to exit.  "Drained" includes retries still in their
+        backoff window: a worker never exits while a requeue timer is about
+        to re-admit work.  A batch is released as soon as either
         ``max_batch_size`` requests are queued or the oldest one has waited
         ``max_wait_ms``.
         """
@@ -179,9 +243,9 @@ class DynamicBatcher:
         with self._cond:
             while True:
                 while not self._queue:
-                    if self._closed:
+                    if self._closed and self._pending_retries == 0:
                         return None
-                    self._cond.wait()
+                    self._cond.wait(0.05 if self._closed else None)
                 while len(self._queue) and not self._closed:
                     if len(self._queue) >= policy.max_batch_size:
                         break
@@ -215,3 +279,8 @@ class DynamicBatcher:
     def qsize(self) -> int:
         with self._cond:
             return len(self._queue)
+
+    @property
+    def pending_retries(self) -> int:
+        with self._cond:
+            return self._pending_retries

@@ -25,6 +25,7 @@ generator) keeps the batcher's queue populated and gets coalesced batches
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import socketserver
 import sys
@@ -33,9 +34,9 @@ from typing import Any, Dict, Optional, TextIO, Tuple
 
 import numpy as np
 
-from repro.serve.batcher import ServerOverloaded
+from repro.serve.errors import ManifestError, error_payload
 from repro.serve.loader import load_npz, load_scenario
-from repro.serve.server import ModelServer
+from repro.serve.server import FaultPolicy, ModelServer, serving_chaos_plan
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,6 +64,20 @@ def build_parser() -> argparse.ArgumentParser:
                           help="worker threads (= model replicas) per model")
     batching.add_argument("--engine-mode", choices=("auto", "centroid", "dense"),
                           default="auto", help="compressed-engine execution mode")
+    robustness = parser.add_argument_group("robustness")
+    robustness.add_argument("--max-retries", type=int, default=None,
+                            help="retry budget per request after replica "
+                                 "failures (default 2)")
+    robustness.add_argument("--deadline-ms", type=float, default=None,
+                            help="per-request deadline; expired requests "
+                                 "resolve with a timeout error (default: none)")
+    robustness.add_argument("--faults", type=float, default=0.0, metavar="RATE",
+                            help="chaos session: inject replica faults at "
+                                 "this probability (0 disables; see README "
+                                 "'Robustness & fault injection')")
+    robustness.add_argument("--fault-seed", type=int, default=0,
+                            help="seed of the injected fault plan (same "
+                                 "seed = identical chaos)")
     transport = parser.add_argument_group("transport")
     transport.add_argument("--stdin-jsonl", action="store_true",
                            help="serve JSONL over stdin/stdout (default)")
@@ -81,7 +96,7 @@ def _response(request_id: Any, handle, timeout: float = 60.0) -> Dict[str, Any]:
     try:
         output = handle.result(timeout)
     except Exception as error:  # noqa: BLE001 - report per-request, keep serving
-        return {"id": request_id, "error": str(error)}
+        return error_payload(error, request_id)
     return {"id": request_id,
             "output": np.asarray(output).tolist(),
             "latency_ms": round(handle.latency_s * 1e3, 3)}
@@ -115,6 +130,13 @@ class JsonlSession:
                 out.write(json.dumps(_response(request_id, handle)) + "\n")
             out.flush()
 
+        def reject(payload: Dict[str, Any]) -> None:
+            # errors are emitted in stream position: everything submitted
+            # before the bad line is answered first, then the error object
+            flush(True)
+            out.write(json.dumps(payload) + "\n")
+            out.flush()
+
         for line in lines:
             line = line.strip()
             if not line:
@@ -122,9 +144,15 @@ class JsonlSession:
             try:
                 request = json.loads(line)
             except json.JSONDecodeError as error:
-                flush(True)
-                out.write(json.dumps({"error": f"bad json: {error}"}) + "\n")
-                out.flush()
+                reject({"error": f"bad json: {error}",
+                        "error_type": "JSONDecodeError"})
+                continue
+            if not isinstance(request, dict):
+                # a malformed-but-valid-JSON line (a bare list, string,
+                # number...) must not tear down the session loop
+                reject({"error": "request must be a JSON object, got "
+                                 f"{type(request).__name__}",
+                        "error_type": "BadRequest"})
                 continue
             if request.get("cmd") == "stats":
                 flush(True)  # stats reflect every request seen so far
@@ -135,17 +163,10 @@ class JsonlSession:
             model = request.get("model", self.default_model)
             try:
                 handle = self.server.submit(model, self._input_for(request, model))
-            except ServerOverloaded as error:
-                flush(True)
-                out.write(json.dumps({"id": request_id, "error": str(error),
-                                      "shed": True}) + "\n")
-                out.flush()
-                continue
-            except (KeyError, ValueError, TypeError) as error:
-                flush(True)
-                out.write(json.dumps({"id": request_id,
-                                      "error": str(error)}) + "\n")
-                out.flush()
+            except Exception as error:  # noqa: BLE001 - any bad line answers
+                # structured (overload carries shed:true, serving errors
+                # their code) and the session keeps serving the stream
+                reject(error_payload(error, request_id))
                 continue
             pending.append((request_id, handle))
             flush(False)
@@ -184,22 +205,34 @@ def main(argv=None) -> int:
         parser.error("--stdin-jsonl and --port are mutually exclusive")
 
     loaded = []
-    for scenario_name in args.scenario:
-        print(f"[serve] loading scenario {scenario_name!r} ...",
-              file=sys.stderr, flush=True)
-        loaded.append(load_scenario(scenario_name, mode=args.engine_mode,
-                                    replicas=args.workers,
-                                    cache_dir=args.cache_dir))
-    if args.npz:
-        print(f"[serve] loading archive {args.npz!r} ({args.model}) ...",
-              file=sys.stderr, flush=True)
-        loaded.append(load_npz(args.npz, args.model, mode=args.engine_mode,
-                               replicas=args.workers))
+    try:
+        for scenario_name in args.scenario:
+            print(f"[serve] loading scenario {scenario_name!r} ...",
+                  file=sys.stderr, flush=True)
+            loaded.append(load_scenario(scenario_name, mode=args.engine_mode,
+                                        replicas=args.workers,
+                                        cache_dir=args.cache_dir))
+        if args.npz:
+            print(f"[serve] loading archive {args.npz!r} ({args.model}) ...",
+                  file=sys.stderr, flush=True)
+            loaded.append(load_npz(args.npz, args.model, mode=args.engine_mode,
+                                   replicas=args.workers))
+    except ManifestError as error:
+        # a broken deploy artifact is an operator problem, not a traceback:
+        # say which file (and array) and exit non-zero
+        print(f"[serve] ERROR: {error}", file=sys.stderr)
+        return 1
 
+    fault_policy = None
+    if args.max_retries is not None or args.deadline_ms is not None:
+        fault_policy = FaultPolicy(
+            max_retries=args.max_retries if args.max_retries is not None else 2,
+            deadline_ms=args.deadline_ms)
     server = ModelServer()
     for model in loaded:
         model.register_with(
             server,
+            fault_policy=fault_policy,
             max_batch_size=args.max_batch_size,
             max_wait_ms=args.max_wait_ms,
             max_queue_size=args.max_queue_size,
@@ -216,7 +249,15 @@ def main(argv=None) -> int:
         lookahead=args.lookahead or 4 * next(
             iter(server.stats_report()["policies"].values()))["max_batch_size"])
 
-    with server:
+    plan = None
+    chaos = contextlib.nullcontext()
+    if args.faults > 0.0:
+        plan = serving_chaos_plan(args.faults, seed=args.fault_seed)
+        chaos = plan.active()
+        print(f"[serve] chaos session: fault rate {args.faults} "
+              f"(seed {args.fault_seed})", file=sys.stderr, flush=True)
+
+    with server, chaos:
         if args.port is not None:
             tcp = _tcp_server(session, args.host, args.port)
             print(f"[serve] listening on {args.host}:{args.port}",
@@ -232,6 +273,11 @@ def main(argv=None) -> int:
                 session.run(sys.stdin, sys.stdout)
             except BrokenPipeError:
                 pass  # client closed the stream; shut down quietly
+    if plan is not None:
+        summary = plan.summary()
+        print(f"[serve] injected faults: "
+              f"{ {k: v for k, v in summary['injections'].items() if v} }",
+              file=sys.stderr)
     if args.stats:
         print(json.dumps(server.stats_report(), indent=2), file=sys.stderr)
     return 0

@@ -15,11 +15,16 @@ thread-safe) plus the metadata the server and CLI report.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.nn.module import Module
 from repro.serve.batcher import BatchPolicy
+from repro.serve.errors import ManifestError
 
 #: keys of a scenario's ``serving`` section mapped onto BatchPolicy fields
 _POLICY_KEYS = ("max_batch_size", "max_wait_ms", "max_queue_size", "overload",
@@ -58,9 +63,11 @@ class LoadedModel:
         return policy_from_spec(self.serving_spec, **overrides)
 
     def register_with(self, server, policy: Optional[BatchPolicy] = None,
+                      fault_policy: Optional[Any] = None,
                       **policy_overrides: Any) -> None:
         server.register(self.name, self.replicas,
                         policy=policy or self.policy(**policy_overrides),
+                        fault_policy=fault_policy,
                         input_shape=self.input_shape)
 
 
@@ -123,6 +130,59 @@ def load_scenario(name: str, mode: str = "auto", replicas: int = 1,
     )
 
 
+def verify_npz(path: Any) -> Dict[str, Any]:
+    """Pre-flight check of a compressed-model ``.npz`` archive.
+
+    Raises :class:`~repro.serve.errors.ManifestError` — naming the file and
+    the first bad array — when the archive is missing, truncated, corrupted
+    (zip CRC / zlib failure while decompressing a member) or internally
+    inconsistent (manifest referencing arrays that are not there).  Returns
+    the parsed manifest on success.
+
+    ``np.load`` decompresses members lazily, so without this check a
+    truncated deploy artifact surfaces as a bare ``zlib.error`` from deep
+    inside the first forward-time codebook access; here it fails at load
+    time with a diagnosable, typed message.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ManifestError(path, "file does not exist")
+    try:
+        data = np.load(path)
+    except Exception as error:
+        raise ManifestError(
+            path, f"not a readable npz archive: {error}") from error
+    with data:
+        arrays = {}
+        for name in data.files:
+            try:
+                arrays[name] = data[name]
+            except Exception as error:
+                raise ManifestError(
+                    path, f"truncated or corrupted entry: {error}",
+                    array=name) from error
+        if "__manifest__" not in arrays:
+            raise ManifestError(path, "missing the __manifest__ array "
+                                      "(not a compressed-model archive?)")
+        try:
+            manifest = json.loads(
+                bytes(arrays["__manifest__"].tolist()).decode("utf-8"))
+        except Exception as error:
+            raise ManifestError(path, f"unreadable manifest JSON: {error}",
+                                array="__manifest__") from error
+        for layer, info in manifest.get("layers", {}).items():
+            safe = layer.replace(".", "__")
+            expected = [info.get("codebook"), f"{safe}__assignments"]
+            if info.get("config", {}).get("store_mask", True):
+                expected.append(f"{safe}__mask_codes")
+            for name in expected:
+                if name not in arrays:
+                    raise ManifestError(
+                        path, f"manifest references layer {layer!r} but the "
+                              "archive lacks its array", array=name)
+    return manifest
+
+
 def load_npz(path: str, model: str, mode: str = "auto", replicas: int = 1,
              model_kwargs: Optional[Dict[str, Any]] = None,
              input_shape: Tuple[int, ...] = (3, 16, 16),
@@ -139,12 +199,21 @@ def load_npz(path: str, model: str, mode: str = "auto", replicas: int = 1,
 
     kwargs = dict(model_kwargs or {})
     factory = get_model_factory(model)
+    verify_npz(path)
 
     def build_fresh() -> Module:
         return factory(**kwargs)
 
     live = build_fresh()
-    compressed = load_compressed_model(live, path)
+    try:
+        compressed = load_compressed_model(live, path)
+    except KeyError as error:
+        # the archive is internally consistent (verify_npz passed) but does
+        # not fit this architecture — still a deploy-artifact problem, so
+        # still the typed manifest error
+        raise ManifestError(
+            path, f"archive does not match the {model!r} architecture: "
+                  f"{error}") from error
     models = _replicate(live, build_fresh, replicas, compressed, mode)
     return LoadedModel(
         name=name or f"{model}@{path}",

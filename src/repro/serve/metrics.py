@@ -56,6 +56,13 @@ class ServingMetrics:
         self.shed = 0
         self.failed = 0
         self.batches = 0
+        # fault-handling outcomes (see repro.serve.errors for the taxonomy)
+        self.timeouts = 0
+        self.retries = 0
+        self.replica_failures = 0
+        self.quarantines = 0
+        self.restarts = 0
+        self.degraded_serves = 0
 
     # -- recording (hot path) -------------------------------------------------
     def record_batch(self, size: int) -> None:
@@ -80,6 +87,36 @@ class ServingMetrics:
         with self._lock:
             self.failed += 1
 
+    def record_timeout(self) -> None:
+        """A request's deadline elapsed before a replica completed it."""
+        with self._lock:
+            self.timeouts += 1
+
+    def record_retry(self) -> None:
+        """A failed request was re-queued for another attempt."""
+        with self._lock:
+            self.retries += 1
+
+    def record_replica_failure(self) -> None:
+        """One replica batch execution raised (before retry routing)."""
+        with self._lock:
+            self.replica_failures += 1
+
+    def record_quarantine(self) -> None:
+        """A replica crossed its consecutive-failure limit and was benched."""
+        with self._lock:
+            self.quarantines += 1
+
+    def record_restart(self) -> None:
+        """A quarantined replica re-warmed successfully and was re-admitted."""
+        with self._lock:
+            self.restarts += 1
+
+    def record_degraded(self, requests: int = 1) -> None:
+        """Requests served via the dense fallback after an engine fault."""
+        with self._lock:
+            self.degraded_serves += requests
+
     # -- reporting ------------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
         """JSON-able stats: counts, latency percentiles, throughput, histogram."""
@@ -89,6 +126,14 @@ class ServingMetrics:
             sizes = dict(self._batch_sizes)
             completed, shed, failed = self.completed, self.shed, self.failed
             batches = self.batches
+            faults = {
+                "timeouts": self.timeouts,
+                "retries": self.retries,
+                "replica_failures": self.replica_failures,
+                "quarantines": self.quarantines,
+                "restarts": self.restarts,
+                "degraded_serves": self.degraded_serves,
+            }
         elapsed = max(time.perf_counter() - self._started, 1e-9)
         mean_batch = (sum(size * count for size, count in sizes.items())
                       / max(batches, 1))
@@ -112,6 +157,7 @@ class ServingMetrics:
             "batch_size_histogram": {str(k): v for k, v in sorted(sizes.items())},
             "mean_batch_size": mean_batch,
             "window_seconds": elapsed,
+            "faults": faults,
         }
 
 

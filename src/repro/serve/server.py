@@ -17,26 +17,124 @@ Worker pools: a model registered with ``replicas=[m1, m2]`` gets one worker
 thread per replica, all draining the same queue.  Replicas must be
 independent model objects — the engines' caches and im2col buffers are not
 thread-safe, so a model instance is never shared between workers.
+
+Failure handling (see :mod:`repro.serve.errors` for the taxonomy) is
+governed by a per-model :class:`FaultPolicy`:
+
+* **deadlines** — a request admitted with a deadline is resolved with
+  :class:`~repro.serve.errors.RequestTimeout` once it elapses, whether the
+  request is still queued, mid-retry, or waiting out a quarantine.
+* **retry with backoff** — a failed batch puts its requests back at the
+  front of the queue after an exponential backoff; with multiple replicas
+  the retry is naturally picked up by a *different* (healthy) worker.  The
+  budget is bounded: a request is resolved with
+  :class:`~repro.serve.errors.RequestFailed` after ``max_retries``
+  re-executions.
+* **quarantine / re-warm** — a replica failing ``quarantine_after``
+  consecutive batches is benched: its worker stops taking work, waits
+  ``rewarm_after_ms``, re-warms the model with a synthetic forward and
+  re-admits itself (counted as a restart).  While benched it keeps expiring
+  deadlined requests so nothing hangs even with *every* replica benched.
+* **graceful degradation** — an :class:`~repro.serve.errors.EngineFault`
+  (the compressed centroid engine failing) flips the replica's engines to
+  the dense reconstruct path — bit-identical outputs, slower — and re-runs
+  the batch instead of failing it.
+
+All of it is instrumented with the ``serve.replica.*`` fault points of
+:mod:`repro.core.faults`, so a seeded :class:`FaultPlan` can drive every
+one of these paths deterministically (the chaos CI gate does exactly that).
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.core.faults import FaultPlan, FaultRule, fault_point
 from repro.nn.module import Module
 from repro.nn.serve import forward_padded, prepare_for_serving
-from repro.serve.batcher import (
-    BatchPolicy,
-    DynamicBatcher,
-    Request,
+from repro.serve.batcher import BatchPolicy, DynamicBatcher, Request
+from repro.serve.errors import (
+    EngineFault,
+    ReplicaUnavailable,
+    RequestFailed,
+    RequestTimeout,
     ServerClosed,
     ServerOverloaded,
 )
 from repro.serve.metrics import ServingMetrics, StatsRegistry
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Per-model failure-handling knobs.
+
+    ``max_retries``
+        Re-executions granted to a request after its first failed attempt;
+        past the budget it resolves with :class:`RequestFailed`.
+    ``backoff_initial_ms`` / ``backoff_multiplier``
+        Exponential backoff between retry attempts.
+    ``deadline_ms``
+        Per-request wall-clock budget from admission; ``None`` disables
+        deadlines (requests then only resolve by success, retry exhaustion
+        or shutdown).
+    ``quarantine_after``
+        Consecutive failed batches before a replica is benched; ``0``
+        disables quarantine.
+    ``rewarm_after_ms``
+        How long a benched replica sits out before re-warming.
+    ``degrade_on_engine_fault``
+        On :class:`EngineFault`, switch the replica's compressed engines to
+        the dense reconstruct path and re-run the batch (bit-identical
+        outputs) instead of counting a failure.
+    ``reject_when_unavailable``
+        With every replica quarantined, reject new submissions with
+        :class:`ReplicaUnavailable` instead of queueing them until a
+        re-warm (deadlines still bound the queued wait either way).
+    """
+
+    max_retries: int = 2
+    backoff_initial_ms: float = 2.0
+    backoff_multiplier: float = 2.0
+    deadline_ms: Optional[float] = None
+    quarantine_after: int = 3
+    rewarm_after_ms: float = 50.0
+    degrade_on_engine_fault: bool = True
+    reject_when_unavailable: bool = False
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_initial_ms < 0:
+            raise ValueError("backoff_initial_ms must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive (or None)")
+        if self.quarantine_after < 0:
+            raise ValueError("quarantine_after must be >= 0")
+        if self.rewarm_after_ms < 0:
+            raise ValueError("rewarm_after_ms must be >= 0")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        return (self.backoff_initial_ms / 1e3
+                * self.backoff_multiplier ** max(0, attempt - 1))
+
+
+class _ReplicaState:
+    """Supervision record of one replica: health + failure streak."""
+
+    def __init__(self, model: Module, index: int):
+        self.model = model
+        self.index = index
+        self.consecutive_failures = 0
+        self.healthy = True
+        self.degraded = False
 
 
 class _ModelEntry:
@@ -44,17 +142,49 @@ class _ModelEntry:
 
     def __init__(self, name: str, replicas: Sequence[Module],
                  policy: BatchPolicy,
+                 fault_policy: FaultPolicy,
                  metrics: Optional[ServingMetrics] = None,
                  input_shape: Optional[Tuple[int, ...]] = None,
                  dtype=np.float64):
         self.name = name
-        self.replicas = list(replicas)
         self.policy = policy
+        self.fault_policy = fault_policy
         self.metrics = metrics
         self.input_shape = None if input_shape is None else tuple(input_shape)
         self.dtype = np.dtype(dtype)
         self.batcher = DynamicBatcher(policy)
         self.threads: List[threading.Thread] = []
+        self.replica_states = [_ReplicaState(m, i)
+                               for i, m in enumerate(replicas)]
+        self.health_lock = threading.Lock()
+
+    @property
+    def replicas(self) -> List[Module]:
+        return [state.model for state in self.replica_states]
+
+    def healthy_replicas(self) -> int:
+        with self.health_lock:
+            return sum(1 for s in self.replica_states if s.healthy)
+
+
+def serving_chaos_plan(rate: float, seed: int = 0,
+                       delay_ms: float = 2.0) -> FaultPlan:
+    """The canonical chaos mix for the serving tier.
+
+    ``rate`` is the total per-forward injection probability, split across
+    replica crashes (1/2), engine faults that exercise the dense-degradation
+    path (1/4) and slow forwards (1/4).  Used by the chaos CI gate, the
+    fault-mode serving benchmark and ``python -m repro.serve --faults``.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"fault rate must be in [0, 1], got {rate}")
+    return FaultPlan([
+        FaultRule("serve.replica.forward", probability=rate / 2),
+        FaultRule("serve.replica.forward", probability=rate / 4,
+                  error="engine"),
+        FaultRule("serve.replica.forward", probability=rate / 4,
+                  kind="delay", delay_ms=delay_ms),
+    ], seed=seed)
 
 
 class ModelServer:
@@ -62,7 +192,9 @@ class ModelServer:
 
     >>> server = ModelServer()
     >>> server.register("resnet", model, input_shape=(3, 16, 16),
-    ...                 policy=BatchPolicy(max_batch_size=8, max_wait_ms=2.0))
+    ...                 policy=BatchPolicy(max_batch_size=8, max_wait_ms=2.0),
+    ...                 fault_policy=FaultPolicy(max_retries=3,
+    ...                                          deadline_ms=500.0))
     >>> with server:                      # starts workers, joins on exit
     ...     out = server.predict("resnet", image)          # blocking
     ...     handle = server.submit("resnet", image)        # async
@@ -71,20 +203,24 @@ class ModelServer:
     """
 
     def __init__(self, policy: Optional[BatchPolicy] = None,
+                 fault_policy: Optional[FaultPolicy] = None,
                  stats_window: int = 4096):
         self.default_policy = policy or BatchPolicy()
+        self.default_fault_policy = fault_policy or FaultPolicy()
         self.stats_window = stats_window
         self._entries: Dict[str, _ModelEntry] = {}
         self._stats = StatsRegistry()
         self._lock = threading.Lock()
         self._started = False
         self._closed = False
+        self._closing = threading.Event()  # cuts re-warm waits short
         self._drain = True  # False during a no-drain shutdown: workers fail
                             # popped batches instead of executing them
 
     # -- registry -------------------------------------------------------------
     def register(self, name: str, model: Union[Module, Sequence[Module]],
                  policy: Optional[BatchPolicy] = None,
+                 fault_policy: Optional[FaultPolicy] = None,
                  input_shape: Optional[Tuple[int, ...]] = None,
                  dtype=np.float64, warmup: bool = True) -> None:
         """Add a model (or a list of replicas — one worker thread each).
@@ -92,6 +228,8 @@ class ModelServer:
         ``input_shape`` enables submit-time shape validation and, together
         with ``warmup``, pre-builds every replica's serving caches at the
         canonical batch shape before the first request lands.
+        ``fault_policy`` overrides the server-wide retry/deadline/quarantine
+        defaults for this model.
         """
         replicas = [model] if isinstance(model, Module) else list(model)
         if not replicas:
@@ -108,6 +246,7 @@ class ModelServer:
         # at the canonical shape must fail this call, not linger as a
         # registered model whose queue no worker ever drains
         entry = _ModelEntry(name, replicas, policy or self.default_policy,
+                            fault_policy or self.default_fault_policy,
                             input_shape=input_shape, dtype=dtype)
         if warmup and entry.input_shape is not None:
             for replica in entry.replicas:
@@ -146,10 +285,10 @@ class ModelServer:
 
     # -- lifecycle ------------------------------------------------------------
     def _start_entry(self, entry: _ModelEntry) -> None:
-        for index, replica in enumerate(entry.replicas):
+        for state in entry.replica_states:
             thread = threading.Thread(
-                target=self._worker_loop, args=(entry, replica),
-                name=f"serve-{entry.name}-{index}", daemon=True)
+                target=self._worker_loop, args=(entry, state),
+                name=f"serve-{entry.name}-{state.index}", daemon=True)
             entry.threads.append(thread)
             thread.start()
 
@@ -166,10 +305,13 @@ class ModelServer:
     def shutdown(self, drain: bool = True, timeout: Optional[float] = 30.0) -> None:
         """Stop admission and join the workers.
 
-        ``drain=True`` lets queued requests finish; ``drain=False`` fails
-        every still-queued request with :class:`ServerClosed` (a batch a
-        worker already popped for execution still completes — "queued"
-        requests are the deterministic set here, not in-flight ones).
+        ``drain=True`` lets queued requests finish — including requests in
+        retry backoff and replicas mid-quarantine (the re-warm wait is cut
+        short); every queued request resolves with a result or a typed
+        error.  ``drain=False`` fails every still-queued request with
+        :class:`ServerClosed` (a batch a worker already popped for execution
+        still completes — "queued" requests are the deterministic set here,
+        not in-flight ones).
         """
         with self._lock:
             if self._closed:
@@ -177,6 +319,7 @@ class ModelServer:
             self._closed = True
             self._drain = drain
             entries = list(self._entries.values())
+        self._closing.set()
         for entry in entries:
             entry.batcher.close()
         if not drain:
@@ -202,13 +345,15 @@ class ModelServer:
 
     # -- request path ---------------------------------------------------------
     def submit(self, name: Optional[str], x: np.ndarray,
-               timeout: Optional[float] = None) -> Request:
+               timeout: Optional[float] = None,
+               deadline_ms: Optional[float] = None) -> Request:
         """Enqueue one request; returns its future-style handle.
 
         ``name=None`` routes to the only registered model.  Raises
-        :class:`~repro.serve.batcher.ServerOverloaded` when the queue is
+        :class:`~repro.serve.errors.ServerOverloaded` when the queue is
         full under the shed policy (``timeout`` bounds the wait under the
-        block policy).
+        block policy).  ``deadline_ms`` overrides the model's fault-policy
+        deadline for this request.
         """
         entry = self._entry(name)
         payload = np.asarray(x, dtype=entry.dtype)
@@ -216,8 +361,18 @@ class ModelServer:
             raise ValueError(
                 f"model {entry.name!r} expects input shape {entry.input_shape}, "
                 f"got {payload.shape}")
+        if (entry.fault_policy.reject_when_unavailable
+                and entry.healthy_replicas() == 0):
+            entry.metrics.record_shed()
+            raise ReplicaUnavailable(
+                f"model {entry.name!r}: all {len(entry.replica_states)} "
+                "replicas are quarantined")
+        if deadline_ms is None:
+            deadline_ms = entry.fault_policy.deadline_ms
+        deadline_s = None if deadline_ms is None else deadline_ms / 1e3
         try:
-            return entry.batcher.submit(payload, timeout=timeout)
+            return entry.batcher.submit(payload, timeout=timeout,
+                                        deadline_s=deadline_s)
         except ServerOverloaded:
             entry.metrics.record_shed()
             raise
@@ -239,7 +394,7 @@ class ModelServer:
         return np.stack([handle.result(timeout) for handle in handles])
 
     # -- worker ---------------------------------------------------------------
-    def _worker_loop(self, entry: _ModelEntry, model: Module) -> None:
+    def _worker_loop(self, entry: _ModelEntry, state: _ReplicaState) -> None:
         while True:
             batch = entry.batcher.next_batch()
             if batch is None:
@@ -248,31 +403,174 @@ class ModelServer:
                 for request in batch:
                     request.set_exception(ServerClosed("server shut down"))
                 continue
-            self._execute(entry, model, batch)
+            live = self._drop_expired(entry, batch)
+            if not live:
+                continue
+            if self._execute(entry, state, live):
+                state.consecutive_failures = 0
+            elif (entry.fault_policy.quarantine_after > 0
+                  and state.consecutive_failures
+                  >= entry.fault_policy.quarantine_after):
+                self._quarantine_and_rewarm(entry, state)
 
-    def _execute(self, entry: _ModelEntry, model: Module,
-                 batch: List[Request]) -> None:
+    def _drop_expired(self, entry: _ModelEntry,
+                      batch: List[Request]) -> List[Request]:
+        """Resolve deadline-expired requests; return the still-live rest."""
+        now = time.perf_counter()
+        live = []
+        for request in batch:
+            if request.expired(now):
+                entry.metrics.record_timeout()
+                request.set_exception(RequestTimeout(
+                    f"request {request.id} missed its deadline after "
+                    f"{now - request.enqueued_at:.3f}s "
+                    f"({request.attempts} failed attempts)"))
+            else:
+                live.append(request)
+        return live
+
+    def _forward_replica(self, entry: _ModelEntry, state: _ReplicaState,
+                         stacked: np.ndarray) -> np.ndarray:
+        fault_point("serve.replica.forward")
+        if entry.policy.pad_to_full_batch:
+            return forward_padded(state.model, stacked,
+                                  entry.policy.max_batch_size)
+        return np.asarray(state.model.forward(stacked))
+
+    def _degrade(self, entry: _ModelEntry, state: _ReplicaState) -> None:
+        """Pin every compressed engine of this replica to the dense
+        reconstruct path.  Dense execution is bit-identical to the centroid
+        engine (asserted by the compressed-inference tests), so degraded
+        serves keep the server's bit-stability guarantee — they are just
+        slower."""
+        if state.degraded:
+            return
+        state.degraded = True
+        for _, module in state.model.named_modules():
+            engine = getattr(module, "engine", None)
+            if engine is not None:
+                engine.mode = "dense"
+
+    def _execute(self, entry: _ModelEntry, state: _ReplicaState,
+                 batch: List[Request]) -> bool:
+        """Run one batch on one replica; resolve or re-route its requests.
+
+        Returns ``True`` on success (results delivered), ``False`` when the
+        batch failed and its requests were routed to retry / typed errors.
+        """
         started = time.perf_counter()
         try:
             stacked = np.stack([request.payload for request in batch])
-            if entry.policy.pad_to_full_batch:
-                outputs = forward_padded(model, stacked,
-                                         entry.policy.max_batch_size)
-            else:
-                outputs = np.asarray(model.forward(stacked))
-        except Exception as error:  # noqa: BLE001 - failures propagate per request
-            for request in batch:
-                entry.metrics.record_failure()
-                request.set_exception(error)
-            return
+            try:
+                outputs = self._forward_replica(entry, state, stacked)
+            except EngineFault:
+                if not entry.fault_policy.degrade_on_engine_fault:
+                    raise
+                self._degrade(entry, state)
+                outputs = self._forward_replica(entry, state, stacked)
+                entry.metrics.record_degraded(len(batch))
+        except Exception as error:  # noqa: BLE001 - routed per request below
+            self._handle_batch_failure(entry, state, batch, error)
+            return False
         entry.metrics.record_batch(len(batch))
         for row, request in enumerate(batch):
             request.set_result(outputs[row])
             entry.metrics.record_request(
                 latency_s=request.completed_at - request.enqueued_at,
                 queue_wait_s=started - request.enqueued_at)
+        return True
+
+    def _handle_batch_failure(self, entry: _ModelEntry, state: _ReplicaState,
+                              batch: List[Request],
+                              error: BaseException) -> None:
+        """Route every request of a failed batch: retry, timeout, or fail."""
+        policy = entry.fault_policy
+        entry.metrics.record_replica_failure()
+        state.consecutive_failures += 1
+        now = time.perf_counter()
+        for request in batch:
+            request.attempts += 1
+            if request.expired(now):
+                entry.metrics.record_timeout()
+                request.set_exception(RequestTimeout(
+                    f"request {request.id} missed its deadline during retry "
+                    f"(attempt {request.attempts}: "
+                    f"{type(error).__name__}: {error})"))
+            elif request.attempts > policy.max_retries:
+                entry.metrics.record_failure()
+                request.set_exception(RequestFailed(
+                    f"request {request.id} failed after {request.attempts} "
+                    f"attempts; last error: {type(error).__name__}: {error}",
+                    cause=error, attempts=request.attempts))
+            else:
+                entry.metrics.record_retry()
+                entry.batcher.requeue_later(
+                    request, policy.backoff_s(request.attempts))
+
+    def _quarantine_and_rewarm(self, entry: _ModelEntry,
+                               state: _ReplicaState) -> None:
+        """Bench a repeatedly-failing replica, then re-warm and re-admit it.
+
+        While benched, the worker keeps sweeping deadline-expired requests
+        out of the queue so requests never hang even when every replica of
+        the model is quarantined at once.  A shutdown cuts the bench wait
+        short: the worker re-admits itself immediately and helps drain
+        (bounded retries guarantee the drain still terminates if the fault
+        persists).
+        """
+        policy = entry.fault_policy
+        with entry.health_lock:
+            state.healthy = False
+        entry.metrics.record_quarantine()
+        rewarm_s = policy.rewarm_after_ms / 1e3
+        while True:
+            waited = 0.0
+            while waited < rewarm_s and not self._closing.is_set():
+                step = min(0.02, rewarm_s - waited)
+                self._closing.wait(step)
+                waited += step
+                for request in entry.batcher.fail_expired():
+                    entry.metrics.record_timeout()
+                    request.set_exception(RequestTimeout(
+                        f"request {request.id} missed its deadline while "
+                        f"every healthy replica was busy or quarantined"))
+            try:
+                fault_point("serve.replica.warmup")
+                if entry.input_shape is not None:
+                    warm = np.zeros(
+                        (entry.policy.max_batch_size, *entry.input_shape),
+                        dtype=entry.dtype)
+                    state.model.forward(warm)
+            except Exception:  # noqa: BLE001 - stay benched, try again
+                if self._closing.is_set():
+                    break  # help drain regardless; retries bound the damage
+                continue
+            break
+        with entry.health_lock:
+            state.healthy = True
+        state.consecutive_failures = 0
+        entry.metrics.record_restart()
 
     # -- stats ----------------------------------------------------------------
+    def health_report(self) -> Dict[str, Any]:
+        """Per-model replica supervision state (healthy/degraded/streaks)."""
+        with self._lock:
+            entries = list(self._entries.items())
+        report = {}
+        for name, entry in entries:
+            with entry.health_lock:
+                report[name] = {
+                    "replicas": [
+                        {"index": s.index, "healthy": s.healthy,
+                         "degraded": s.degraded,
+                         "consecutive_failures": s.consecutive_failures}
+                        for s in entry.replica_states
+                    ],
+                    "healthy": sum(1 for s in entry.replica_states
+                                   if s.healthy),
+                }
+        return report
+
     def stats_report(self) -> Dict[str, Any]:
         """JSON-able server stats: per-model latency/throughput/batch mix."""
         report = self._stats.report()
@@ -285,8 +583,12 @@ class ModelServer:
                     "max_wait_ms": entry.policy.max_wait_ms,
                     "max_queue_size": entry.policy.max_queue_size,
                     "overload": entry.policy.overload,
-                    "workers": len(entry.replicas),
+                    "workers": len(entry.replica_states),
+                    "max_retries": entry.fault_policy.max_retries,
+                    "deadline_ms": entry.fault_policy.deadline_ms,
+                    "quarantine_after": entry.fault_policy.quarantine_after,
                 }
                 for name, entry in self._entries.items()
             }
+        report["health"] = self.health_report()
         return report

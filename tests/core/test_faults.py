@@ -1,0 +1,248 @@
+"""Fault-injection framework: determinism, kinds, budgets, installation."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.faults import (
+    FAULT_POINTS,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    active_plan,
+    fault_point,
+    install_plan,
+    make_error,
+    register_error_type,
+)
+
+
+def _fire_sequence(plan, point, visits):
+    """Which visit indices inject, for a fresh copy of ``plan``."""
+    fired = []
+    with plan.active():
+        for i in range(visits):
+            try:
+                fault_point(point)
+            except InjectedFault:
+                fired.append(i)
+    return fired
+
+
+class TestDeterminism:
+    def test_same_seed_same_decisions(self):
+        rules = [FaultRule("p", probability=0.3)]
+        a = _fire_sequence(FaultPlan(rules, seed=7), "p", 200)
+        b = _fire_sequence(FaultPlan(rules, seed=7), "p", 200)
+        assert a == b
+        assert a, "0.3 over 200 visits must fire at least once"
+
+    def test_different_seed_different_decisions(self):
+        rules = [FaultRule("p", probability=0.3)]
+        a = _fire_sequence(FaultPlan(rules, seed=1), "p", 200)
+        b = _fire_sequence(FaultPlan(rules, seed=2), "p", 200)
+        assert a != b
+
+    def test_rate_roughly_matches_probability(self):
+        fired = _fire_sequence(
+            FaultPlan([FaultRule("p", probability=0.25)], seed=0), "p", 2000)
+        assert 0.18 < len(fired) / 2000 < 0.32
+
+    def test_reset_replays_identically(self):
+        plan = FaultPlan([FaultRule("p", probability=0.5)], seed=3)
+        first = _fire_sequence(plan, "p", 50)
+        plan.reset()
+        again = _fire_sequence(plan, "p", 50)
+        assert first == again
+
+    def test_decisions_independent_per_point(self):
+        plan = FaultPlan([FaultRule("*", probability=0.5)], seed=5)
+        with plan.active():
+            outcomes = {}
+            for point in ("a", "b"):
+                hits = []
+                for i in range(64):
+                    try:
+                        fault_point(point)
+                    except InjectedFault:
+                        hits.append(i)
+                outcomes[point] = hits
+        assert outcomes["a"] != outcomes["b"]
+
+    def test_thread_parallel_visits_keep_aggregate_counts(self):
+        plan = FaultPlan([FaultRule("p", probability=0.5)], seed=9)
+        errors = []
+
+        def worker():
+            for _ in range(100):
+                try:
+                    with_lock = fault_point("p")  # noqa: F841
+                except InjectedFault:
+                    errors.append(1)
+
+        with plan.active():
+            threads = [threading.Thread(target=worker) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(10.0)
+        summary = plan.summary()
+        assert summary["visits"]["p"] == 400
+        assert summary["injections"]["p"] == len(errors)
+        # the injected *count* is scheduling-independent: decision i is a pure
+        # function of (seed, point, i)
+        reference = _fire_sequence(FaultPlan(plan.rules, seed=9), "p", 400)
+        assert len(reference) == len(errors)
+
+
+class TestKinds:
+    def test_error_raises_injected_fault_with_point(self):
+        plan = FaultPlan([FaultRule("x.y", probability=1.0)])
+        with plan.active():
+            with pytest.raises(InjectedFault) as info:
+                fault_point("x.y")
+        assert info.value.point == "x.y"
+        assert info.value.tag == "fault"
+
+    def test_registered_error_tag_raises_custom_type(self):
+        class Custom(RuntimeError):
+            pass
+
+        register_error_type("custom-test", lambda point: Custom(point))
+        try:
+            plan = FaultPlan([FaultRule("p", error="custom-test")])
+            with plan.active():
+                with pytest.raises(Custom):
+                    fault_point("p")
+        finally:
+            from repro.core import faults
+            faults._ERROR_TYPES.pop("custom-test", None)
+        # unregistered tags fall back to InjectedFault, carrying the tag
+        err = make_error("nobody-registered-this", "p")
+        assert isinstance(err, InjectedFault) and err.tag == "nobody-registered-this"
+
+    def test_delay_sleeps_and_passes_payload_through(self):
+        import time
+        plan = FaultPlan([FaultRule("p", kind="delay", delay_ms=20.0)])
+        with plan.active():
+            start = time.perf_counter()
+            out = fault_point("p", b"payload")
+            elapsed = time.perf_counter() - start
+        assert out == b"payload"
+        assert elapsed >= 0.015
+
+    def test_corrupt_bytes_differ_and_are_deterministic(self):
+        payload = b"hello world " * 10
+        outs = []
+        for _ in range(2):
+            plan = FaultPlan([FaultRule("p", kind="corrupt")], seed=4)
+            with plan.active():
+                outs.append(fault_point("p", payload))
+        assert outs[0] != payload
+        assert len(outs[0]) == len(payload)
+        assert outs[0] == outs[1]
+
+    def test_corrupt_ndarray_changes_values_keeps_shape(self):
+        payload = np.arange(32, dtype=np.float64).reshape(4, 8)
+        plan = FaultPlan([FaultRule("p", kind="corrupt")], seed=1)
+        with plan.active():
+            out = fault_point("p", payload)
+        assert out.shape == payload.shape and out.dtype == payload.dtype
+        assert not np.array_equal(out, payload)
+
+    def test_corrupt_without_payload_is_a_type_error(self):
+        plan = FaultPlan([FaultRule("p", kind="corrupt")])
+        with plan.active():
+            with pytest.raises(TypeError):
+                fault_point("p")
+
+
+class TestRulesAndBudgets:
+    def test_fnmatch_pattern_arms_matching_points_only(self):
+        plan = FaultPlan([FaultRule("serve.replica.*", probability=1.0)])
+        with plan.active():
+            with pytest.raises(InjectedFault):
+                fault_point("serve.replica.forward")
+            fault_point("artifacts.store.write")  # unmatched: passes
+        assert plan.injections_at("serve.replica.forward") == 1
+        assert plan.injections_at("artifacts.store.write") == 0
+
+    def test_max_injections_budget(self):
+        plan = FaultPlan([FaultRule("p", probability=1.0, max_injections=2)])
+        fired = 0
+        with plan.active():
+            for _ in range(10):
+                try:
+                    fault_point("p")
+                except InjectedFault:
+                    fired += 1
+        assert fired == 2
+
+    def test_first_matching_firing_rule_wins(self):
+        class Marker(RuntimeError):
+            pass
+
+        register_error_type("marker-test", lambda point: Marker(point))
+        try:
+            plan = FaultPlan([
+                FaultRule("p", probability=1.0, error="marker-test"),
+                FaultRule("p", probability=1.0),
+            ])
+            with plan.active():
+                with pytest.raises(Marker):
+                    fault_point("p")
+        finally:
+            from repro.core import faults
+            faults._ERROR_TYPES.pop("marker-test", None)
+
+    def test_rule_validation(self):
+        with pytest.raises(ValueError):
+            FaultRule("p", probability=1.5)
+        with pytest.raises(ValueError):
+            FaultRule("p", kind="explode")
+        with pytest.raises(ValueError):
+            FaultRule("p", delay_ms=-1)
+
+    def test_round_trip_serialization(self):
+        plan = FaultPlan([FaultRule("a.*", probability=0.25, kind="delay",
+                                    delay_ms=3.0, max_injections=5)], seed=11)
+        clone = FaultPlan.from_dict(plan.to_dict())
+        assert clone.seed == 11
+        assert clone.rules == plan.rules
+        with pytest.raises(ValueError):
+            FaultRule.from_dict({"point": "p", "banana": 1})
+
+
+class TestInstallation:
+    def test_disabled_fault_point_is_identity(self):
+        assert active_plan() is None
+        assert fault_point("anything", "payload") == "payload"
+        assert fault_point("anything") is None
+
+    def test_active_restores_previous_plan(self):
+        outer = FaultPlan([], seed=0)
+        inner = FaultPlan([], seed=1)
+        with outer.active():
+            assert active_plan() is outer
+            with inner.active():
+                assert active_plan() is inner
+            assert active_plan() is outer
+        assert active_plan() is None
+
+    def test_install_plan_returns_previous(self):
+        plan = FaultPlan([], seed=0)
+        assert install_plan(plan) is None
+        try:
+            assert active_plan() is plan
+        finally:
+            assert install_plan(None) is plan
+        assert active_plan() is None
+
+    def test_instrumented_points_are_registered(self):
+        # the registry is what the README documents; the points the serving,
+        # artifact and explore layers instrument must appear in it
+        for name in ("serve.replica.forward", "serve.replica.warmup",
+                     "artifacts.store.write", "artifacts.store.read",
+                     "explore.candidate.eval"):
+            assert name in FAULT_POINTS

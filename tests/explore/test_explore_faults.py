@@ -1,0 +1,116 @@
+"""Fault-hardened exploration: retries, typed failures, sweep completion."""
+
+import pytest
+
+from repro.core.faults import FaultPlan, FaultRule
+from repro.explore.cli import main as explore_main
+from repro.explore.evaluator import Evaluator
+from repro.explore.runner import explore
+
+
+class TestEvaluatorRetries:
+    def test_transient_fault_is_retried_to_success(self, space):
+        # exactly one injected failure: attempt 1 faults, attempt 2 runs
+        plan = FaultPlan([FaultRule("explore.candidate.eval",
+                                    probability=1.0, max_injections=1)])
+        evaluator = Evaluator(space, workers=1, retries=2, backoff_ms=1.0)
+        with plan.active():
+            result = evaluator.evaluate_one(space.grid()[0])
+        assert result.ok
+        assert result.attempts == 2
+        assert evaluator.stats()["retried"] == 1
+        assert evaluator.stats()["failed"] == 0
+
+    def test_budget_exhaustion_is_typed_failure(self, space):
+        plan = FaultPlan([FaultRule("explore.candidate.eval",
+                                    probability=1.0)])
+        evaluator = Evaluator(space, workers=1, retries=1, backoff_ms=1.0)
+        with plan.active():
+            result = evaluator.evaluate_one(space.grid()[0])
+        assert not result.ok
+        assert result.error_type == "InjectedFault"
+        assert result.attempts == 2  # initial try + 1 retry
+        record = result.record()
+        assert record["error_type"] == "InjectedFault"
+        assert record["attempts"] == 2
+
+    def test_infeasible_candidate_is_not_retried(self, tiny_space):
+        bad = tiny_space(axes=[{"path": "accelerator.array_size",
+                                "values": [63]}])  # not a power of two
+        evaluator = Evaluator(bad, workers=1, retries=5, backoff_ms=1.0)
+        result = evaluator.evaluate_one(bad.grid()[0])
+        assert not result.ok
+        assert result.error_type == "InfeasibleCandidate"
+        assert result.attempts == 0
+        assert evaluator.stats()["retried"] == 0
+
+    def test_validation(self, space):
+        with pytest.raises(ValueError):
+            Evaluator(space, retries=-1)
+        with pytest.raises(ValueError):
+            Evaluator(space, backoff_ms=-1.0)
+
+
+class TestSweepUnderFaults:
+    def test_sweep_completes_and_reports_failures(self, space):
+        # high fault rate + small retry budget: some candidates fail, but
+        # the sweep finishes and the report carries the typed failures
+        plan = FaultPlan([FaultRule("explore.candidate.eval",
+                                    probability=0.5)], seed=17)
+        with plan.active():
+            result = explore(space, workers=2, retries=1, backoff_ms=1.0)
+        assert len(result.results) == 4  # every candidate accounted for
+        for failure in result.errors:
+            assert failure.error_type == "InjectedFault"
+            assert failure.attempts == 2
+        errors = result.stats["errors"]
+        assert len(errors) == len(result.errors)
+        for entry in errors:
+            assert entry["error_type"] == "InjectedFault"
+
+    def test_moderate_faults_with_retries_lose_no_candidate(self, space):
+        # 30% per-attempt faults, 2 retries: P(3 consecutive) ~ 2.7%; with
+        # this seed every candidate recovers and the frontier is intact
+        plan = FaultPlan([FaultRule("explore.candidate.eval",
+                                    probability=0.3)], seed=5)
+        with plan.active():
+            faulted = explore(space, workers=2, retries=2, backoff_ms=1.0)
+        clean = explore(space, workers=2)
+        assert not faulted.errors, [r.error for r in faulted.errors]
+        assert faulted.stats["retried"] >= 1
+        # injected faults change wall time, never results: the frontier's
+        # objective vectors are bit-identical to the clean sweep's
+        faulted_front = {r.candidate.index: r.objectives
+                         for r in faulted.frontier.points}
+        clean_front = {r.candidate.index: r.objectives
+                       for r in clean.frontier.points}
+        assert faulted_front == clean_front
+
+
+class TestChaosCLI:
+    def test_run_with_faults_flag_completes(self, tiny_pipeline, tmp_path,
+                                            capsys):
+        space_file = tmp_path / "space.json"
+        import json
+        space_file.write_text(json.dumps({
+            "name": "chaos-cli",
+            "model": "resnet18",
+            "model_kwargs": {"num_classes": 4, "seed": 2},
+            "workload": "resnet18",
+            "pipeline": tiny_pipeline,
+            "strategy": "grid",
+            "axes": [{"path": "base.k", "values": [6, 8]}],
+        }))
+        out_file = tmp_path / "report.json"
+        code = explore_main(["run", str(space_file), "--workers", "1",
+                             "--faults", "0.3", "--fault-seed", "5",
+                             "--retries", "3",
+                             "--cache-dir", str(tmp_path / "cache"),
+                             "--output", str(out_file)])
+        captured = capsys.readouterr()
+        assert code == 0, captured.err
+        assert "chaos session" in captured.out
+        report = json.loads(out_file.read_text())
+        assert report["frontier"], "chaos run must keep a non-empty frontier"
+        for record in report["candidates"]:
+            assert record["attempts"] >= 1

@@ -1,0 +1,193 @@
+"""Satellite robustness: malformed JSONL lines and broken ``.npz`` archives.
+
+A bad input line must answer with a structured error object — never tear
+down the session loop; a broken deploy artifact must fail loading with a
+typed :class:`ManifestError` naming the file and the first bad array.
+"""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import LayerCompressionConfig, MVQCompressor
+from repro.nn import Conv2d, Sequential
+from repro.serve import BatchPolicy, ManifestError, ModelServer, verify_npz
+from repro.serve.cli import JsonlSession
+
+INPUT_SHAPE = (4, 6, 6)
+
+
+def _compressed_stack():
+    model = Sequential(
+        Conv2d(4, 8, 3, padding=1, rng=np.random.default_rng(0)),
+        Conv2d(8, 8, 3, padding=1, rng=np.random.default_rng(1)),
+    )
+    cfg = LayerCompressionConfig(k=8, d=8, max_kmeans_iterations=5)
+    MVQCompressor(cfg).export_compressed_model(model)
+    model.eval()
+    return model
+
+
+def _run_session(lines):
+    server = ModelServer()
+    server.register("stack", _compressed_stack(),
+                    policy=BatchPolicy(max_batch_size=4, max_wait_ms=1.0),
+                    input_shape=INPUT_SHAPE)
+    session = JsonlSession(server, default_model="stack",
+                           shapes={"stack": INPUT_SHAPE}, lookahead=8)
+    out = io.StringIO()
+    with server:
+        session.run(lines, out)
+    return [json.loads(line) for line in out.getvalue().splitlines()]
+
+
+class TestMalformedJsonl:
+    def test_non_dict_json_lines_get_structured_errors(self, rng):
+        x = rng.normal(size=INPUT_SHAPE)
+        lines = [
+            "[1, 2, 3]",                        # valid JSON, not an object
+            '"just a string"',
+            "42",
+            "null",
+            json.dumps({"id": "ok", "input": x.tolist()}),  # loop survives
+        ]
+        responses = _run_session(lines)
+        assert len(responses) == 5
+        for bad in responses[:4]:
+            assert bad["error_type"] == "BadRequest"
+            assert "JSON object" in bad["error"]
+        assert responses[4]["id"] == "ok"
+        assert "output" in responses[4]
+
+    def test_session_keeps_serving_after_every_error_shape(self, rng):
+        x = rng.normal(size=INPUT_SHAPE)
+        lines = [
+            "{truncated json",
+            json.dumps({"id": 1, "model": "no-such-model",
+                        "input": x.tolist()}),
+            json.dumps({"id": 2}),               # neither input nor synthetic
+            json.dumps({"id": 3, "input": "not an array of numbers"}),
+            json.dumps({"id": 4, "input": [[1.0]]}),        # wrong shape
+            json.dumps({"id": 5, "input": x.tolist()}),
+        ]
+        responses = _run_session(lines)
+        assert len(responses) == 6
+        assert responses[0]["error_type"] == "JSONDecodeError"
+        assert responses[1]["error_type"] == "KeyError"
+        assert "no-such-model" in responses[1]["error"]
+        for i in (2, 3, 4):
+            assert "error" in responses[i]
+            assert responses[i]["id"] == i
+        assert "output" in responses[5] and responses[5]["id"] == 5
+
+    def test_interleaved_errors_preserve_stream_order(self, rng):
+        x = rng.normal(size=(4, *INPUT_SHAPE))
+        lines = []
+        for i in range(4):
+            lines.append(json.dumps({"id": i, "input": x[i].tolist()}))
+            lines.append("not json at all")
+        responses = _run_session(lines)
+        # errors are flushed in position: ok, error, ok, error, ...
+        kinds = ["output" if "output" in r else "error" for r in responses]
+        assert kinds == ["output", "error"] * 4
+
+
+def _fake_archive(path, **arrays):
+    manifest = {
+        "crosslayer": False,
+        "layers": {
+            "conv1": {
+                "weight_shape": [8, 4, 3, 3],
+                "config": {"store_mask": False},
+                "codebook": "codebook_0",
+            }
+        },
+    }
+    defaults = {
+        "codebook_0": np.zeros((8, 8)),
+        "conv1__assignments": np.zeros(16, dtype=np.int32),
+        "__manifest__": np.frombuffer(
+            json.dumps(manifest).encode("utf-8"), dtype=np.uint8).copy(),
+    }
+    defaults.update(arrays)
+    np.savez_compressed(path, **{k: v for k, v in defaults.items()
+                                 if v is not None})
+    return path
+
+
+class TestVerifyNpz:
+    def test_good_archive_returns_manifest(self, tmp_path):
+        path = _fake_archive(tmp_path / "ok.npz")
+        manifest = verify_npz(path)
+        assert "conv1" in manifest["layers"]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ManifestError) as info:
+            verify_npz(tmp_path / "nope.npz")
+        assert info.value.code == "bad_manifest"
+        assert "does not exist" in str(info.value)
+        assert info.value.path.endswith("nope.npz")
+
+    def test_garbage_file_is_not_an_archive(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"definitely not a zip archive")
+        with pytest.raises(ManifestError) as info:
+            verify_npz(path)
+        assert "not a readable npz archive" in str(info.value)
+
+    def test_truncated_archive(self, tmp_path):
+        path = _fake_archive(tmp_path / "trunc.npz")
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(ManifestError) as info:
+            verify_npz(path)
+        assert info.value.path.endswith("trunc.npz")
+
+    def test_corrupted_member_names_the_array(self, tmp_path):
+        path = _fake_archive(tmp_path / "flip.npz")
+        raw = bytearray(path.read_bytes())
+        # mangle member data (zip metadata lives at both ends of the file)
+        mid = len(raw) // 2
+        for offset in range(mid, mid + 8):
+            raw[offset] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ManifestError):
+            verify_npz(path)
+
+    def test_missing_manifest_array(self, tmp_path):
+        path = tmp_path / "nomanifest.npz"
+        np.savez_compressed(path, some_array=np.zeros(4))
+        with pytest.raises(ManifestError) as info:
+            verify_npz(path)
+        assert "__manifest__" in str(info.value)
+
+    def test_unparsable_manifest_json(self, tmp_path):
+        path = _fake_archive(
+            tmp_path / "badjson.npz",
+            __manifest__=np.frombuffer(b"{broken", dtype=np.uint8).copy())
+        with pytest.raises(ManifestError) as info:
+            verify_npz(path)
+        assert info.value.array == "__manifest__"
+
+    def test_manifest_referencing_absent_array(self, tmp_path):
+        path = _fake_archive(tmp_path / "inconsistent.npz",
+                             conv1__assignments=None)
+        with pytest.raises(ManifestError) as info:
+            verify_npz(path)
+        assert info.value.array == "conv1__assignments"
+        assert "conv1" in str(info.value)
+
+
+class TestCliManifestFailure:
+    def test_broken_npz_exits_cleanly(self, tmp_path, capsys):
+        from repro.serve import cli
+
+        path = tmp_path / "broken.npz"
+        path.write_bytes(b"torn deploy artifact")
+        code = cli.main(["--npz", str(path), "--model", "resnet18"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "ERROR" in err
+        assert "broken.npz" in err
