@@ -70,8 +70,8 @@ FAULT_RATE = 0.10
 FAULT_SEED = 7
 
 
-def _compressed_replicas(p: Dict[str, object], count: int = 2):
-    """``count`` independent serving replicas of one compressed ResNet-18."""
+def _compress_model(p: Dict[str, object], count: int = 2):
+    """One compressed ResNet-18 plus ``count`` thread-serving replicas of it."""
     cfg = LayerCompressionConfig(k=p["k"], d=8,
                                  max_kmeans_iterations=p["iterations"])
     base = resnet18_mini(num_classes=5, seed=1)
@@ -82,7 +82,12 @@ def _compressed_replicas(p: Dict[str, object], count: int = 2):
         swap_to_compressed(replica, compressed, mode="auto")
         replica.eval()
         replicas.append(replica)
-    return replicas
+    return compressed, replicas
+
+
+def _compressed_replicas(p: Dict[str, object], count: int = 2):
+    """``count`` independent serving replicas of one compressed ResNet-18."""
+    return _compress_model(p, count)[1]
 
 
 def run(smoke: bool = False) -> Dict[str, object]:
@@ -235,6 +240,241 @@ def check_fault_report(report: Dict[str, object]) -> list:
     return errors
 
 
+#: process workers per sharded pool (and thread replicas in its baseline)
+SHARDED_WORKERS = 2
+
+
+def run_sharded(smoke: bool = False) -> Dict[str, object]:
+    """Sharded process workers vs thread replicas over one shared model.
+
+    The same compressed model is served two ways under the identical
+    closed-loop stream: ``SHARDED_WORKERS`` thread replicas sharing state
+    by reference, then a :class:`~repro.serve.sharded.ProcessReplicaPool`
+    whose workers map one shared-memory arena zero-copy.  Alongside the
+    closed-loop speedup the process tier serves an **open-loop Poisson
+    trace** (seeded arrivals at ~70% of its measured throughput) for
+    p50/p95/p99 under realistic arrival jitter, and reports per-worker RSS
+    plus the arena accounting (``compressed_state_private_bytes`` must be
+    zero — the zero-copy claim, gated in CI on any host).
+    """
+    import os
+
+    from repro.serve import ProcessReplicaPool
+    from repro.serve.metrics import percentile
+
+    p = QUICK if smoke else FULL
+    n, max_batch = p["num_requests"], p["max_batch"]
+    workers = SHARDED_WORKERS
+    compressed, thread_replicas = _compress_model(p, count=workers)
+
+    rng = np.random.default_rng(0)
+    requests = rng.standard_normal((n, *INPUT_SHAPE))
+    policy = BatchPolicy(max_batch_size=max_batch, max_wait_ms=p["max_wait_ms"],
+                         max_queue_size=max(2 * n, 64), overload="shed")
+    reference = predict_batched(thread_replicas[0], requests,
+                                batch_size=max_batch)
+
+    # -- thread-replica baseline (state deduplicated by reference)
+    thread_server = ModelServer()
+    thread_server.register("resnet18", thread_replicas, policy=policy,
+                           input_shape=INPUT_SHAPE)
+    with thread_server:
+        thread_server.predict_many("resnet18", requests[:max_batch])  # warm
+        best_thread = float("inf")
+        for _ in range(p["repeats"]):
+            start = time.perf_counter()
+            thread_out = thread_server.predict_many("resnet18", requests)
+            best_thread = min(best_thread, time.perf_counter() - start)
+
+    # -- sharded process workers over the shared-memory arena
+    pool = ProcessReplicaPool(
+        compressed, ("factory", resnet18_mini, {"num_classes": 5, "seed": 1}),
+        INPUT_SHAPE, workers=workers, mode="auto", max_batch_size=max_batch)
+    try:
+        process_server = ModelServer()
+        pool.register_with(process_server, "resnet18", policy=policy)
+        with process_server:
+            process_server.predict_many("resnet18", requests[:max_batch])
+            best_process = float("inf")
+            for _ in range(p["repeats"]):
+                start = time.perf_counter()
+                process_out = process_server.predict_many("resnet18", requests)
+                best_process = min(best_process,
+                                   time.perf_counter() - start)
+
+            # open-loop Poisson trace at ~70% of the measured throughput
+            offered_rps = 0.7 * (n / best_process)
+            gaps = np.random.default_rng(1).exponential(1.0 / offered_rps,
+                                                        size=n)
+            handles = []
+            start = time.perf_counter()
+            for i in range(n):
+                time.sleep(gaps[i])
+                handles.append(process_server.submit("resnet18", requests[i]))
+            trace_out = np.stack([h.result(timeout=120.0) for h in handles])
+            trace_elapsed = time.perf_counter() - start
+            latencies = [h.latency_s for h in handles]
+            info = pool.info()
+    finally:
+        pool.close()
+
+    worker_reports = [w for w in info["workers"] if "error" not in w]
+    return {
+        "workload": {"model": "resnet18_mini",
+                     "input_shape": list(INPUT_SHAPE),
+                     "num_requests": n, "k": p["k"],
+                     "max_batch_size": max_batch,
+                     "max_wait_ms": p["max_wait_ms"]},
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "smoke": bool(smoke),
+        "thread_s": best_thread,
+        "thread_sps": n / best_thread,
+        "process_s": best_process,
+        "process_sps": n / best_process,
+        "speedup_process_vs_thread": best_thread / best_process,
+        "process_bit_identical_to_thread": bool(
+            np.array_equal(process_out, thread_out)),
+        "process_bit_identical_to_library": bool(
+            np.array_equal(process_out, reference)),
+        "open_loop": {
+            "offered_rps": offered_rps,
+            "achieved_rps": n / trace_elapsed,
+            "latency_ms": {"p50": percentile(latencies, 50) * 1e3,
+                           "p95": percentile(latencies, 95) * 1e3,
+                           "p99": percentile(latencies, 99) * 1e3},
+            "bit_identical": bool(np.array_equal(trace_out, reference)),
+        },
+        "arena_nbytes": info["arena"]["nbytes"],
+        "per_worker_rss_bytes": [w.get("rss_bytes") for w in worker_reports],
+        "per_worker_arena_shared_bytes": [
+            w.get("arena_shared_bytes") for w in worker_reports],
+        "compressed_state_private_bytes": sum(
+            w.get("private_state_bytes", 0) for w in worker_reports),
+        "workers_reporting": len(worker_reports),
+        "respawns": info["respawns"],
+    }
+
+
+def run_sharded_chaos(smoke: bool = False) -> Dict[str, object]:
+    """SIGKILL a sharded worker mid-load: re-spawn, zero hangs, exact bits.
+
+    One of the pool's worker processes is killed (the real signal, not an
+    injected exception) while the request stream is in flight.  The gate
+    demands every request resolves (success or typed error — never a hang),
+    every success is bit-identical to the clean reference, and the dead
+    worker was re-spawned and re-attached to the arena.
+    """
+    from repro.serve import ProcessReplicaPool
+
+    p = QUICK if smoke else FULL
+    n, max_batch = p["num_requests"], p["max_batch"]
+    compressed, refs = _compress_model(p, count=1)
+
+    rng = np.random.default_rng(0)
+    requests = rng.standard_normal((n, *INPUT_SHAPE))
+    reference = predict_batched(refs[0], requests, batch_size=max_batch)
+
+    policy = BatchPolicy(max_batch_size=max_batch, max_wait_ms=p["max_wait_ms"],
+                         max_queue_size=max(2 * n, 64), overload="shed")
+    fault_policy = FaultPolicy(max_retries=4, backoff_initial_ms=1.0,
+                               quarantine_after=3, rewarm_after_ms=20.0)
+    pool = ProcessReplicaPool(
+        compressed, ("factory", resnet18_mini, {"num_classes": 5, "seed": 1}),
+        INPUT_SHAPE, workers=SHARDED_WORKERS, mode="auto",
+        max_batch_size=max_batch)
+    ok = mismatched = typed_errors = unresolved = 0
+    try:
+        server = ModelServer()
+        pool.register_with(server, "resnet18", policy=policy,
+                           fault_policy=fault_policy)
+        with server:
+            server.predict_many("resnet18", requests[:2])  # warm
+            start = time.perf_counter()
+            handles = [server.submit("resnet18", row) for row in requests]
+            time.sleep(0.02)            # let batches reach the workers ...
+            pool.replicas[0].kill()     # ... then SIGKILL one mid-flight
+            for i, handle in enumerate(handles):
+                try:
+                    out = handle.result(timeout=120.0)
+                except ServingError:
+                    typed_errors += 1   # resolved: a typed error, not a hang
+                except TimeoutError:
+                    unresolved += 1     # the wait itself timed out: a hang
+                else:
+                    ok += 1
+                    if not np.array_equal(out, reference[i]):
+                        mismatched += 1
+            elapsed = time.perf_counter() - start
+            # attribute read only — pool.info() would itself re-spawn
+            respawns = sum(r.respawns for r in pool.replicas)
+    finally:
+        pool.close()
+
+    return {
+        "num_requests": n,
+        "workers": SHARDED_WORKERS,
+        "throughput_rps": n / elapsed,
+        "requests_ok": ok,
+        "requests_typed_error": typed_errors,
+        "requests_unresolved": unresolved,
+        "successes_bit_identical": mismatched == 0,
+        "respawns": respawns,
+    }
+
+
+#: CI gates on the sharded tier: the closed-loop process-vs-thread speedup
+#: is only meaningful with real parallelism, so it is gated on >= 2 CPUs;
+#: bit-exactness and zero-copy accounting are gated unconditionally
+MIN_SHARDED_SPEEDUP = 2.0
+MIN_SHARDED_SPEEDUP_SMOKE = 1.3
+
+
+def check_sharded_report(report: Dict[str, object]) -> list:
+    """Gate one :func:`run_sharded` report; returns error strings."""
+    errors = []
+    if not report["process_bit_identical_to_thread"]:
+        errors.append("process-worker outputs diverge from thread-replica "
+                      "outputs on the same stream")
+    if not report["process_bit_identical_to_library"]:
+        errors.append("process-worker outputs diverge from predict_batched "
+                      "on the same stream")
+    if not report["open_loop"]["bit_identical"]:
+        errors.append("open-loop trace outputs diverge from the reference")
+    if not report["workers_reporting"]:
+        errors.append("no sharded worker returned its memory report")
+    if report["compressed_state_private_bytes"]:
+        errors.append(f"{report['compressed_state_private_bytes']} bytes of "
+                      "model state are private to workers — the zero-copy "
+                      "shared-arena claim is violated")
+    cpus = report.get("cpu_count") or 1
+    if cpus >= 2:
+        minimum = (MIN_SHARDED_SPEEDUP_SMOKE if report["smoke"]
+                   else MIN_SHARDED_SPEEDUP)
+        speedup = report["speedup_process_vs_thread"]
+        if speedup < minimum:
+            errors.append(f"sharded process serving is {speedup:.2f}x thread "
+                          f"serving on a {cpus}-CPU host "
+                          f"(minimum {minimum}x)")
+    return errors
+
+
+def check_sharded_chaos_report(report: Dict[str, object]) -> list:
+    """The sharded chaos gate: re-spawn happened, no hangs, exact bits."""
+    errors = []
+    if report["requests_unresolved"]:
+        errors.append(f"{report['requests_unresolved']} requests never "
+                      "resolved after the worker SIGKILL (hang)")
+    if not report["successes_bit_identical"]:
+        errors.append("successful responses after the worker SIGKILL "
+                      "diverge from the clean reference bits")
+    if not report["requests_ok"]:
+        errors.append("no request succeeded after the worker SIGKILL")
+    if not report["respawns"]:
+        errors.append("the SIGKILL'd worker was never re-spawned")
+    return errors
+
+
 #: CI gate: dynamic batching must beat sequential single-image serving
 MIN_SPEEDUP = 1.5
 
@@ -259,6 +499,7 @@ def main(argv=None) -> int:
     args = list(argv if argv is not None else sys.argv[1:])
     quick = "--quick" in args
     chaos = "--chaos" in args
+    sharded = "--sharded" in args
     output = None
     if "--output" in args:
         output = args[args.index("--output") + 1]
@@ -283,6 +524,30 @@ def main(argv=None) -> int:
               f"{fault_report['requests_unresolved']} unresolved "
               f"({fault_report['injections']} injections)")
         errors += check_fault_report(fault_report)
+    if sharded:
+        sharded_report = run_sharded(smoke=quick)
+        report["sharded"] = sharded_report
+        open_loop = sharded_report["open_loop"]
+        print(f"[perf] sharded serving: {sharded_report['workers']} process "
+              f"workers {sharded_report['process_sps']:.0f} req/s vs thread "
+              f"{sharded_report['thread_sps']:.0f} req/s "
+              f"({sharded_report['speedup_process_vs_thread']:.2f}x on "
+              f"{sharded_report['cpu_count']} CPUs); open-loop "
+              f"p50 {open_loop['latency_ms']['p50']:.1f} / "
+              f"p99 {open_loop['latency_ms']['p99']:.1f} ms at "
+              f"{open_loop['offered_rps']:.0f} req/s offered; arena "
+              f"{sharded_report['arena_nbytes'] / 1024:.0f} KiB shared, "
+              f"{sharded_report['compressed_state_private_bytes']} B private")
+        errors += check_sharded_report(sharded_report)
+        if chaos:
+            sharded_chaos = run_sharded_chaos(smoke=quick)
+            sharded_report["chaos"] = sharded_chaos
+            print(f"[perf] sharded chaos (worker SIGKILL mid-load): "
+                  f"{sharded_chaos['requests_ok']} ok / "
+                  f"{sharded_chaos['requests_typed_error']} typed errors / "
+                  f"{sharded_chaos['requests_unresolved']} unresolved, "
+                  f"{sharded_chaos['respawns']} re-spawn(s)")
+            errors += check_sharded_chaos_report(sharded_chaos)
     if output:
         Path(output).write_text(
             json.dumps({"mode": "smoke" if quick else "full",

@@ -47,7 +47,14 @@ TRACKED: Dict[str, List[str]] = {
     # its throughput/p95 are noise; resolution correctness (no hangs,
     # bit-exact successes) is hard-gated by bench_serving.check_fault_report
     # in the chaos-smoke CI job instead
-    "serving": ["speedup_batched_vs_sequential"],
+    # serving.sharded.speedup_process_vs_thread IS tracked: the committed
+    # baseline floor comes from whatever host wrote it (possibly 1-CPU,
+    # where the ratio sits near 1.0), so the 20% tolerance gates real
+    # multi-process regressions without flaking on core count; the hard
+    # >=1.3x smoke gate on >=2-CPU hosts lives in
+    # bench_serving.check_sharded_report
+    "serving": ["speedup_batched_vs_sequential",
+                "sharded.speedup_process_vs_thread"],
     # explore.cache_speedup is deliberately untracked: like
     # pipeline.warm_speedup it is a ratio of two sub-second smoke wall
     # times, and cache-hit correctness is already hard-gated by

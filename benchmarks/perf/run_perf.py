@@ -92,7 +92,9 @@ def main(argv=None) -> int:
         ("end_to_end", bench_end_to_end.run),
         ("inference", bench_inference.run),
         ("pipeline", bench_pipeline.run),
-        ("serving", bench_serving.run),
+        ("serving", lambda smoke: {
+            **bench_serving.run(smoke=smoke),
+            "sharded": bench_serving.run_sharded(smoke=smoke)}),
         ("explore", bench_explore.run),
     )
     report = {
@@ -146,6 +148,13 @@ def main(argv=None) -> int:
           f"({serving['batched_sps']:.0f} req/s, "
           f"mean batch {serving['mean_batch_size']:.1f}, "
           f"p95 {serving['latency_ms_p95']:.1f} ms)")
+    sharded = serving["sharded"]
+    print(f"[perf] sharded serving: {sharded['workers']} process workers "
+          f"{sharded['speedup_process_vs_thread']:.2f}x thread replicas on "
+          f"{sharded['cpu_count']} CPUs "
+          f"({sharded['process_sps']:.0f} req/s, open-loop p99 "
+          f"{sharded['open_loop']['latency_ms']['p99']:.1f} ms, "
+          f"{sharded['compressed_state_private_bytes']} B private state)")
     explore = report["explore"]
     print(f"[perf] explore: {explore['candidates']}-candidate sweep, frontier "
           f"{explore['frontier_size']} points, parallel "
@@ -157,6 +166,7 @@ def main(argv=None) -> int:
     errors = bench_inference.check_report(inference)
     errors += bench_pipeline.check_report(pipeline)
     errors += bench_serving.check_report(serving)
+    errors += bench_serving.check_sharded_report(sharded)
     errors += bench_explore.check_report(explore)
     for error in errors:
         print(f"[perf] ERROR: {error}", file=sys.stderr)

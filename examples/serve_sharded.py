@@ -1,0 +1,88 @@
+"""Sharded serving: worker processes over one shared-memory model copy.
+
+End-to-end tour of the multi-process serving tier:
+
+1. compress a scenario model once in the parent (``load_scenario``);
+2. build a :class:`~repro.serve.sharded.ProcessReplicaPool` — the model's
+   read-only arrays (deduplicated codebooks, assignments, masks, dense
+   params) are serialized into a single ``ShmArena`` shared-memory segment
+   and N spawned workers rebuild their models on zero-copy views of it;
+3. register the pool with the same :class:`~repro.serve.server.ModelServer`
+   used for thread replicas and serve a burst of requests;
+4. verify the results are **bit-identical** to in-process serving;
+5. read the zero-copy accounting from ``pool.info()`` (one arena, N
+   attachments, zero private model bytes per worker);
+6. SIGKILL a worker mid-flight and watch the pool re-spawn it
+   transparently.
+
+The ``if __name__ == "__main__"`` guard is required: workers use the
+``spawn`` start method, which re-imports this file in each child.
+
+Usage:  python examples/serve_sharded.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import predict_batched
+from repro.serve import ModelServer, load_scenario
+
+
+def main() -> None:
+    # ---------------------------------------------------------- load + swap
+    print("compressing scenario 'serving-resnet18' ...")
+    loaded = load_scenario("serving-resnet18")
+    print(f"  {loaded.meta['layers']} compressed layers, "
+          f"CR {loaded.meta['compression_ratio']:.1f}x")
+
+    # ------------------------------------------------ shared arena + pool
+    # serializes codebooks/assignments/masks/params into one named
+    # /dev/shm segment; each worker attaches read-only views of it
+    pool = loaded.process_pool(workers=2)
+    try:
+        server = ModelServer()
+        pool.register_with(server, loaded.name,
+                           policy=loaded.policy(max_batch_size=8,
+                                                max_wait_ms=2.0))
+
+        rng = np.random.default_rng(0)
+        requests = rng.standard_normal((32, *loaded.input_shape))
+
+        with server:
+            outputs = server.predict_many(loaded.name, requests)
+
+        # ------------------------------------------------- bit-exactness
+        reference = predict_batched(loaded.replicas[0], requests, batch_size=8)
+        assert np.array_equal(outputs, reference)
+        print(f"\nserved {len(requests)} requests across "
+              f"{len(pool.replicas)} worker processes")
+        print("  bit-identical to in-process serving: True")
+
+        # --------------------------------------------- zero-copy accounting
+        info = pool.info()
+        arena = info["arena"]
+        pids = sorted(w["pid"] for w in info["workers"])
+        print(f"  arena {arena['name']}: {arena['nbytes'] / 1024:.0f} KiB "
+              f"shared, refcount {arena['refcount']} "
+              f"(creator + {len(pool.replicas)} workers)")
+        print(f"  worker pids      : {pids}")
+        print("  every worker maps the same physical copy of the model; "
+              "private model bytes per worker: 0")
+
+        # ------------------------------------------------- kill + re-spawn
+        victim = pool.replicas[0]
+        old_pid = victim.pid
+        victim.kill()                       # SIGKILL, as chaos would
+        out = victim.forward(requests[:4])  # transparently re-spawned
+        assert np.array_equal(out, reference[:4])
+        print(f"\nchaos: SIGKILL'd worker {old_pid}, next forward "
+              f"re-spawned pid {victim.pid} and stayed bit-exact "
+              f"(respawns={victim.respawns})")
+    finally:
+        pool.close()                        # detaches workers, unlinks arena
+    print("arena unlinked; /dev/shm is clean")
+
+
+if __name__ == "__main__":
+    main()

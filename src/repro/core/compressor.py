@@ -148,7 +148,11 @@ class CompressedLayer:
     codebook: Codebook
     assignments: np.ndarray
     mask: Optional[np.ndarray]
-    original_grouped: np.ndarray = field(repr=False)
+    #: the pre-compression grouped weights, kept for SSE reporting only.
+    #: ``None`` for layers rebuilt from a serving artifact (shared-memory
+    #: arena, ``.npz`` without a live dense model) — reconstruction and the
+    #: decode-free engines never need it.
+    original_grouped: Optional[np.ndarray] = field(default=None, repr=False)
 
     @property
     def num_subvectors(self) -> int:
@@ -164,6 +168,11 @@ class CompressedLayer:
                                   self.config.d, mask, self.config.strategy)
 
     def report(self) -> ClusteringReport:
+        if self.original_grouped is None:
+            raise ValueError(
+                f"layer {self.name!r} has no original_grouped weights "
+                "(rebuilt from a serving artifact); SSE reporting needs the "
+                "pre-compression weights")
         mask = self.mask if self.mask is not None else np.ones_like(self.original_grouped, dtype=bool)
         return clustering_report(self.original_grouped, self.reconstruct_grouped(), mask)
 

@@ -96,6 +96,12 @@ register_fault_point("serve.replica.forward",
                      "raising an engine fault, or stalling")
 register_fault_point("serve.replica.warmup",
                      "the re-warm forward of a quarantined replica failing")
+register_fault_point("serve.worker.spawn",
+                     "a serving worker process failing to spawn or to "
+                     "re-attach to the shared-memory arena")
+register_fault_point("serve.worker.ipc",
+                     "the pipe to a serving worker process breaking, or the "
+                     "worker dying mid-request")
 register_fault_point("artifacts.store.write",
                      "a process killed mid-commit, or bytes corrupted on the "
                      "way to disk")

@@ -109,3 +109,95 @@ def load_compressed_model(model: Module, path: Union[str, Path]) -> CompressedMo
 def compressed_file_size_bytes(path: Union[str, Path]) -> int:
     """On-disk size of a saved compressed model."""
     return Path(path).stat().st_size
+
+
+# -- the zero-copy serving form ------------------------------------------------
+# The shared-memory serving arena (repro.serve.shm) stores the same artefacts
+# as the .npz archive but in the exact dtypes the decode-free engines consume
+# (float64 effective codewords, int64 assignments, bool masks), so a worker
+# process attaching the arena builds its CentroidEngines directly on the
+# shared views — np.asarray at matching dtype is a no-op, zero bytes copied.
+
+def serving_arrays(compressed: CompressedModel):
+    """``(manifest, arrays)`` of a compressed model in serving form.
+
+    ``arrays`` maps names to the read-only state the compressed-domain
+    engines need — deduplicated effective codebooks, int64 assignments and
+    decoded boolean masks; ``manifest`` is the JSON-able layer table (the
+    same layer-config wire schema as the ``.npz`` archive) that
+    :func:`layers_from_serving_arrays` inverts.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    manifest = {"crosslayer": compressed.crosslayer, "layers": {}}
+    codebook_ids: Dict[int, str] = {}
+    for state in compressed:
+        key = id(state.codebook)
+        if key not in codebook_ids:
+            cb_name = f"codebook_{len(codebook_ids)}"
+            codebook_ids[key] = cb_name
+            arrays[cb_name] = np.ascontiguousarray(
+                state.codebook.effective_codewords(), dtype=np.float64)
+        safe = state.name.replace(".", "__")
+        arrays[f"{safe}__assignments"] = np.ascontiguousarray(
+            state.assignments, dtype=np.int64)
+        has_mask = bool(state.config.store_mask and state.mask is not None)
+        if has_mask:
+            arrays[f"{safe}__mask"] = np.ascontiguousarray(
+                state.mask, dtype=bool)
+        manifest["layers"][state.name] = {
+            "weight_shape": list(state.weight_shape),
+            "config": layer_config_to_dict(state.config),
+            "codebook": codebook_ids[key],
+            "mask": f"{safe}__mask" if has_mask else None,
+        }
+    return manifest, arrays
+
+
+def layers_from_serving_arrays(manifest: Dict,
+                               arrays: Dict[str, np.ndarray]
+                               ) -> Dict[str, CompressedLayer]:
+    """Rebuild the per-layer compressed state from serving-form arrays.
+
+    The inverse of :func:`serving_arrays`.  Codebooks, assignments and masks
+    are adopted as-is (views stay views — this is what makes worker-process
+    attach zero-copy); ``original_grouped`` is ``None`` since no dense model
+    backs a serving artifact.
+    """
+    codebooks: Dict[str, Codebook] = {}
+    layers: Dict[str, CompressedLayer] = {}
+    for name, info in manifest["layers"].items():
+        config = layer_config_from_dict(info["config"])
+        cb_name = info["codebook"]
+        if cb_name not in codebooks:
+            codebooks[cb_name] = Codebook(arrays[cb_name], bits=None)
+        safe = name.replace(".", "__")
+        mask = arrays[info["mask"]] if info.get("mask") else None
+        layers[name] = CompressedLayer(
+            name=name, weight_shape=tuple(info["weight_shape"]), config=config,
+            codebook=codebooks[cb_name],
+            assignments=arrays[f"{safe}__assignments"], mask=mask,
+        )
+    return layers
+
+
+#: array-name prefix of non-compressed model state in a serving arena
+STATE_PREFIX = "state::"
+
+
+def serving_state_arrays(model: Module,
+                         compressed: CompressedModel) -> Dict[str, np.ndarray]:
+    """The non-compressed state a serving replica needs, keyed by state-dict
+    name: every parameter except the compressed layers' dense weights (those
+    live in the codebook + assignment arrays) plus all buffers.
+
+    Works on the live model before *or* after its compressed-module swap —
+    post-swap models simply no longer expose the dropped weights.
+    """
+    dropped = {f"{name}.weight" for name in compressed.layers}
+    state: Dict[str, np.ndarray] = {}
+    for key, param in model.named_parameters():
+        if key not in dropped:
+            state[key] = param.value
+    for key, buf in model.named_buffers():
+        state[key] = np.asarray(buf)
+    return state

@@ -29,14 +29,15 @@ from __future__ import annotations
 
 import copy
 import json
+import multiprocessing
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.compressor import _available_cpus, layer_config_to_dict
-from repro.core.faults import fault_point
+from repro.core.faults import active_plan, fault_point
 from repro.explore.pareto import Objective, resolve_objectives
 from repro.explore.space import Candidate, EXPLORE_STAGES, SearchSpace
 from repro.pipeline.artifacts import ArtifactStore
@@ -179,18 +180,38 @@ def _scaled_spec(spec: Dict[str, Any], fidelity: float) -> Dict[str, Any]:
 
 
 class Evaluator:
-    """Fans candidates of one :class:`SearchSpace` across worker threads."""
+    """Fans candidates of one :class:`SearchSpace` across workers.
+
+    ``backend`` picks the worker kind:
+
+    * ``"thread"`` (default) — shared in-process :class:`ArtifactStore`,
+      cheapest on a single CPU (clustering already fans layer work across
+      cores), and the only backend a :class:`~repro.core.faults.FaultPlan`
+      can reach (plans are thread-scoped and do not cross processes).
+    * ``"process"`` — spawned worker processes, each rebuilding a
+      single-use Evaluator against the same **disk-backed** store (the
+      crash-safe content-hash cache is the cross-process channel, so the
+      signature-wave cache guarantee still holds).  Requires ``cache_dir``;
+      with a memory-only store it degrades to threads.
+    * ``"auto"`` — ``"process"`` iff more than one CPU is available *and*
+      the store is disk-backed, else ``"thread"``.
+    """
 
     def __init__(self, space: SearchSpace,
                  store: Optional[ArtifactStore] = None,
                  cache_dir: Optional[str] = None,
                  workers: Optional[int] = None,
                  stages: Optional[Sequence[str]] = None,
-                 retries: int = 2, backoff_ms: float = 25.0):
+                 retries: int = 2, backoff_ms: float = 25.0,
+                 backend: str = "thread"):
         if retries < 0:
             raise ValueError("retries must be >= 0")
         if backoff_ms < 0:
             raise ValueError("backoff_ms must be >= 0")
+        if backend not in ("auto", "thread", "process"):
+            raise ValueError(
+                f"backend must be 'auto', 'thread' or 'process', "
+                f"got {backend!r}")
         self.space = space
         self.store = store if store is not None else ArtifactStore(cache_dir)
         requested = workers if workers is not None else _available_cpus()
@@ -199,6 +220,8 @@ class Evaluator:
         self.objectives = resolve_objectives(space.objectives)
         self.retries = int(retries)
         self.backoff_ms = float(backoff_ms)
+        self.backend = backend
+        self._backend_used = "thread"
         # counters are bumped from worker threads; += is not atomic
         self._counter_lock = threading.Lock()
         self.evaluated = 0
@@ -206,9 +229,33 @@ class Evaluator:
         self.failed = 0
         self.retried = 0
 
-    def _count(self, counter: str) -> None:
+    def _count(self, counter: str, by: int = 1) -> None:
         with self._counter_lock:
-            setattr(self, counter, getattr(self, counter) + 1)
+            setattr(self, counter, getattr(self, counter) + by)
+
+    def _resolve_backend(self) -> str:
+        """The backend actually used for this evaluate() call.
+
+        Resolved per call (not per Evaluator) because the two dynamic
+        conditions — an active fault plan, a single usable worker — can
+        change between sweeps on the same Evaluator.
+        """
+        on_disk = self.store.cache_dir is not None
+        if self.backend == "auto":
+            if _available_cpus() > 1 and on_disk:
+                resolved = "process"
+            else:
+                resolved = "thread"
+        else:
+            resolved = self.backend
+        if resolved == "process":
+            if active_plan() is not None:
+                # fault plans are thread-scoped: a spawned worker would
+                # silently evaluate without the injected faults
+                resolved = "thread"
+            elif not on_disk or self.workers <= 1:
+                resolved = "thread"
+        return resolved
 
     # -- validation -------------------------------------------------------------
     def validate(self, candidate: Candidate) -> Optional[str]:
@@ -331,6 +378,7 @@ class Evaluator:
                 seen[signature] = True
                 leaders.append(candidate)
 
+        backend = self._backend_used = self._resolve_backend()
         results: Dict[int, CandidateResult] = {}
         for wave in (leaders, followers):
             if not wave:
@@ -339,6 +387,10 @@ class Evaluator:
                 for candidate in wave:
                     results[candidate.index] = self.evaluate_one(candidate,
                                                                  fidelity)
+            elif backend == "process":
+                for candidate, outcome in zip(
+                        wave, self._evaluate_wave_process(wave, fidelity)):
+                    results[candidate.index] = outcome
             else:
                 with ThreadPoolExecutor(max_workers=self.workers) as pool:
                     for candidate, outcome in zip(wave, pool.map(
@@ -346,12 +398,71 @@ class Evaluator:
                         results[candidate.index] = outcome
         return [results[c.index] for c in candidates]
 
+    def _evaluate_wave_process(self, wave: Sequence[Candidate],
+                               fidelity: float) -> List[CandidateResult]:
+        """One wave on spawned worker processes over the disk-backed store."""
+        from repro.core.precision import compute_dtype, distance_block_bytes
+
+        base = {
+            "space": self.space.to_dict(),
+            "cache_dir": str(self.store.cache_dir),
+            "stages": self.stages,
+            "retries": self.retries,
+            "backoff_ms": self.backoff_ms,
+            "fidelity": fidelity,
+            "compute_dtype": compute_dtype().name,
+            "distance_block_bytes": distance_block_bytes(),
+        }
+        payloads = [{**base, "index": c.index, "values": c.values,
+                     "spec": c.scenario_spec()} for c in wave]
+        context = multiprocessing.get_context("spawn")
+        workers = min(self.workers, len(wave))
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=context) as pool:
+            outcomes = list(pool.map(_evaluate_candidate_process, payloads))
+        results = []
+        for result, counters in outcomes:
+            for counter, value in counters.items():
+                if value:
+                    self._count(counter, value)
+            results.append(result)
+        return results
+
     def stats(self) -> Dict[str, Any]:
         return {
             "workers": self.workers,
+            "backend": self._backend_used,
             "evaluated": self.evaluated,
             "infeasible": self.infeasible,
             "failed": self.failed,
             "retried": self.retried,
             "store": self.store.stats(),
         }
+
+
+def _evaluate_candidate_process(
+        payload: Dict[str, Any]) -> Tuple[CandidateResult, Dict[str, int]]:
+    """Spawned-worker entry: evaluate one candidate, return result + counters.
+
+    Rebuilds a fresh single-use :class:`Evaluator` (thread locks don't
+    pickle) against the parent's disk cache and precision settings, so a
+    process-backend sweep is observationally identical to a thread sweep.
+    """
+    from repro.core.precision import set_compute_dtype, set_distance_block_bytes
+    from repro.explore.space import SearchSpace as _SearchSpace
+
+    set_compute_dtype(payload["compute_dtype"])
+    set_distance_block_bytes(payload["distance_block_bytes"])
+    evaluator = Evaluator(_SearchSpace.from_dict(payload["space"]),
+                          cache_dir=payload["cache_dir"], workers=1,
+                          stages=payload["stages"],
+                          retries=payload["retries"],
+                          backoff_ms=payload["backoff_ms"])
+    candidate = Candidate(index=int(payload["index"]),
+                          values=tuple(tuple(pair) for pair
+                                       in payload["values"]),
+                          spec=payload["spec"])
+    result = evaluator.evaluate_one(candidate, payload["fidelity"])
+    counters = {name: getattr(evaluator, name) for name in
+                ("evaluated", "infeasible", "failed", "retried")}
+    return result, counters

@@ -179,6 +179,29 @@ class CentroidEngine:
         else:  # KERNEL: rows (c_out, c_in), one kernel plane per subvector
             self._assign2d = self._index.reshape(self.c_out, self.c_in)
 
+    def share_tables_with(self, source: "CentroidEngine") -> None:
+        """Adopt ``source``'s lazily-built derived state instead of building
+        our own copy.
+
+        Replicas of one compressed model already share the raw ``(codebook,
+        assignments, mask)`` arrays; what this shares is everything derived
+        from them — the effective-codeword table, the routing index, and
+        the per-dtype dense/table caches (the dense cache is the O(model)
+        item).  All of it is read-only after construction, so thread
+        replicas can serve from one physical copy.  The cache *dicts* are
+        shared by reference: a miss filled by any replica is a hit for all
+        of them (worst case under races is a benign duplicate build,
+        last-write-wins).
+        """
+        if source is self:
+            return
+        source._build_table()
+        self._table = source._table
+        self._index = source._index
+        self._assign2d = source._assign2d
+        self._dense_cache = source._dense_cache
+        self._table_cache = source._table_cache
+
     @property
     def table_size(self) -> int:
         """U — number of distinct decoded subvector values."""

@@ -31,6 +31,12 @@ The write and read paths are instrumented with the
 ``artifacts.store.write`` / ``artifacts.store.read`` fault points of
 :mod:`repro.core.faults`; an injected ``corrupt`` rule mangles the payload
 bytes exactly like a torn write would, and the digest check catches it.
+
+These multi-process guarantees are load-bearing for the explorer's
+``backend="process"`` mode: spawned evaluation workers share nothing but
+``cache_dir``, so the disk tier *is* the cross-process result channel —
+every worker's stage outputs land here and the next wave (in any process)
+reads them back as cache hits.
 """
 
 from __future__ import annotations

@@ -14,13 +14,20 @@ The serving layer over the decode-free compressed-domain engine:
   deadlines, replica quarantine + re-warm, and graceful degradation to the
   dense reconstruct path on engine faults.
 * :mod:`~repro.serve.loader` — builds serving replicas from the pipeline
-  scenario registry or serialized ``.npz`` manifests.
+  scenario registry or serialized ``.npz`` manifests (replicas share one
+  physical copy of model state via read-only views).
+* :mod:`~repro.serve.shm` + :mod:`~repro.serve.sharded` — the sharded
+  multi-process tier: a refcounted shared-memory arena holding one copy of
+  all compressed/model state, and :class:`~repro.serve.sharded.
+  ProcessReplicaPool` worker processes that map it zero-copy behind the
+  same ``ModelServer`` API.
 * ``python -m repro.serve`` — JSONL serving over stdin/stdout or TCP.
 """
 
 from repro.serve.batcher import BatchPolicy, DynamicBatcher, Request
 from repro.serve.errors import (
     ERROR_TAXONOMY,
+    ArenaError,
     EngineFault,
     ManifestError,
     ReplicaUnavailable,
@@ -29,19 +36,29 @@ from repro.serve.errors import (
     ServerClosed,
     ServerOverloaded,
     ServingError,
+    WorkerFault,
     error_payload,
 )
 from repro.serve.loader import (
     LoadedModel,
+    adopt_state_views,
     load_npz,
     load_scenario,
     policy_from_spec,
+    replica_state_report,
     verify_npz,
 )
 from repro.serve.metrics import ServingMetrics, StatsRegistry, percentile
 from repro.serve.server import FaultPolicy, ModelServer, serving_chaos_plan
+from repro.serve.sharded import (
+    ProcessReplica,
+    ProcessReplicaPool,
+    worker_chaos_plan,
+)
+from repro.serve.shm import ShmArena
 
 __all__ = [
+    "ArenaError",
     "BatchPolicy",
     "DynamicBatcher",
     "ERROR_TAXONOMY",
@@ -50,6 +67,8 @@ __all__ = [
     "LoadedModel",
     "ManifestError",
     "ModelServer",
+    "ProcessReplica",
+    "ProcessReplicaPool",
     "ReplicaUnavailable",
     "Request",
     "RequestFailed",
@@ -58,12 +77,17 @@ __all__ = [
     "ServerOverloaded",
     "ServingError",
     "ServingMetrics",
+    "ShmArena",
     "StatsRegistry",
+    "WorkerFault",
+    "adopt_state_views",
     "error_payload",
     "load_npz",
     "load_scenario",
     "percentile",
     "policy_from_spec",
+    "replica_state_report",
     "serving_chaos_plan",
     "verify_npz",
+    "worker_chaos_plan",
 ]

@@ -61,7 +61,12 @@ def build_parser() -> argparse.ArgumentParser:
     batching.add_argument("--max-queue-size", type=int, default=None)
     batching.add_argument("--overload", choices=("shed", "block"), default=None)
     batching.add_argument("--workers", type=int, default=1,
-                          help="worker threads (= model replicas) per model")
+                          help="workers (= model replicas) per model")
+    batching.add_argument("--worker-mode", choices=("thread", "process"),
+                          default="thread",
+                          help="thread replicas (default) or sharded worker "
+                               "processes over a zero-copy shared-memory "
+                               "arena (see README 'Sharded serving')")
     batching.add_argument("--engine-mode", choices=("auto", "centroid", "dense"),
                           default="auto", help="compressed-engine execution mode")
     robustness = parser.add_argument_group("robustness")
@@ -204,19 +209,22 @@ def main(argv=None) -> int:
     if args.stdin_jsonl and args.port is not None:
         parser.error("--stdin-jsonl and --port are mutually exclusive")
 
+    # in process mode the in-process model is only the arena's state source;
+    # the serving replicas are worker processes built by the pool
+    replicas_in_process = 1 if args.worker_mode == "process" else args.workers
     loaded = []
     try:
         for scenario_name in args.scenario:
             print(f"[serve] loading scenario {scenario_name!r} ...",
                   file=sys.stderr, flush=True)
             loaded.append(load_scenario(scenario_name, mode=args.engine_mode,
-                                        replicas=args.workers,
+                                        replicas=replicas_in_process,
                                         cache_dir=args.cache_dir))
         if args.npz:
             print(f"[serve] loading archive {args.npz!r} ({args.model}) ...",
                   file=sys.stderr, flush=True)
             loaded.append(load_npz(args.npz, args.model, mode=args.engine_mode,
-                                   replicas=args.workers))
+                                   replicas=replicas_in_process))
     except ManifestError as error:
         # a broken deploy artifact is an operator problem, not a traceback:
         # say which file (and array) and exit non-zero
@@ -229,19 +237,34 @@ def main(argv=None) -> int:
             max_retries=args.max_retries if args.max_retries is not None else 2,
             deadline_ms=args.deadline_ms)
     server = ModelServer()
+    pools = []
     for model in loaded:
-        model.register_with(
-            server,
-            fault_policy=fault_policy,
-            max_batch_size=args.max_batch_size,
-            max_wait_ms=args.max_wait_ms,
-            max_queue_size=args.max_queue_size,
-            overload=args.overload,
-        )
+        if args.worker_mode == "process":
+            policy = model.policy(
+                max_batch_size=args.max_batch_size,
+                max_wait_ms=args.max_wait_ms,
+                max_queue_size=args.max_queue_size,
+                overload=args.overload)
+            pool = model.process_pool(workers=args.workers,
+                                      mode=args.engine_mode,
+                                      max_batch_size=policy.max_batch_size)
+            pools.append(pool)
+            pool.register_with(server, model.name, policy=policy,
+                               fault_policy=fault_policy)
+        else:
+            model.register_with(
+                server,
+                fault_policy=fault_policy,
+                max_batch_size=args.max_batch_size,
+                max_wait_ms=args.max_wait_ms,
+                max_queue_size=args.max_queue_size,
+                overload=args.overload,
+            )
         print(f"[serve] registered {model.name!r} "
               f"(CR {model.meta['compression_ratio']:.1f}x, "
               f"{model.meta['layers']} compressed layers, "
-              f"{args.workers} worker(s))", file=sys.stderr, flush=True)
+              f"{args.workers} {args.worker_mode} worker(s))",
+              file=sys.stderr, flush=True)
 
     session = JsonlSession(
         server, default_model=loaded[0].name,
@@ -257,29 +280,41 @@ def main(argv=None) -> int:
         print(f"[serve] chaos session: fault rate {args.faults} "
               f"(seed {args.fault_seed})", file=sys.stderr, flush=True)
 
-    with server, chaos:
-        if args.port is not None:
-            tcp = _tcp_server(session, args.host, args.port)
-            print(f"[serve] listening on {args.host}:{args.port}",
-                  file=sys.stderr, flush=True)
-            try:
-                tcp.serve_forever()
-            except KeyboardInterrupt:
-                pass
-            finally:
-                tcp.server_close()
-        else:
-            try:
-                session.run(sys.stdin, sys.stdout)
-            except BrokenPipeError:
-                pass  # client closed the stream; shut down quietly
+    try:
+        with server, chaos:
+            if args.port is not None:
+                tcp = _tcp_server(session, args.host, args.port)
+                print(f"[serve] listening on {args.host}:{args.port}",
+                      file=sys.stderr, flush=True)
+                try:
+                    tcp.serve_forever()
+                except KeyboardInterrupt:
+                    pass
+                finally:
+                    tcp.server_close()
+            else:
+                try:
+                    session.run(sys.stdin, sys.stdout)
+                except BrokenPipeError:
+                    pass  # client closed the stream; shut down quietly
+    finally:
+        # worker processes outlive the server's drain, never its exit
+        for pool in pools:
+            pool.close()
     if plan is not None:
         summary = plan.summary()
         print(f"[serve] injected faults: "
               f"{ {k: v for k, v in summary['injections'].items() if v} }",
               file=sys.stderr)
     if args.stats:
-        print(json.dumps(server.stats_report(), indent=2), file=sys.stderr)
+        report = server.stats_report()
+        for name, line in report["breakdown"].items():
+            lat = line["latency_ms"]
+            print(f"[serve] {name}: {line['requests_completed']} requests, "
+                  f"{line['throughput_rps']:.1f} req/s, latency p50 "
+                  f"{lat['p50']:.2f} / p95 {lat['p95']:.2f} / "
+                  f"p99 {lat['p99']:.2f} ms", file=sys.stderr)
+        print(json.dumps(report, indent=2), file=sys.stderr)
     return 0
 
 

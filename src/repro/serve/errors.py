@@ -16,6 +16,11 @@ injected fault surfaced as *some* typed error rather than a hang::
                   degradation to the dense reconstruct path when enabled)
     bad_manifest  a ``.npz`` model archive is truncated/corrupted; names the
                   file and the first bad array
+    worker_fault  a serving worker *process* died or its pipe broke mid-
+                  request (the pool re-spawns it; the batch is retried under
+                  the normal fault policy)
+    arena         the shared-memory arena is missing, corrupt, or owned by a
+                  live process when takeover was attempted
 
 :func:`error_payload` renders any exception as the structured JSON error
 object the CLI emits.
@@ -82,6 +87,33 @@ class EngineFault(ServingError):
     code = "engine_fault"
 
 
+class WorkerFault(ServingError):
+    """A serving worker process died, hung past its deadline, or its pipe
+    broke mid-request.
+
+    Raised in the *parent*: the :class:`~repro.serve.sharded.ProcessReplica`
+    proxy converts a dead/unresponsive worker into this typed error so the
+    server's retry/quarantine machinery handles a process crash exactly like
+    a thread-replica crash — and the pool re-spawns the worker behind it.
+    """
+
+    code = "worker_fault"
+
+
+class ArenaError(ServingError):
+    """A shared-memory arena operation failed.
+
+    Covers attach-to-missing-segment, a corrupt or version-mismatched
+    header, and attempted takeover of a segment whose owner is still alive.
+    """
+
+    code = "arena"
+
+    def __init__(self, name: Any, message: str):
+        super().__init__(f"shared-memory arena {str(name)!r}: {message}")
+        self.arena_name = str(name)
+
+
 class ManifestError(ServingError):
     """A ``.npz`` compressed-model archive failed to load.
 
@@ -105,7 +137,8 @@ class ManifestError(ServingError):
 ERROR_TAXONOMY: Dict[str, tuple] = {
     cls.code: (cls, cls.__doc__.strip().splitlines()[0])
     for cls in (ServerOverloaded, ServerClosed, RequestTimeout, RequestFailed,
-                ReplicaUnavailable, EngineFault, ManifestError)
+                ReplicaUnavailable, EngineFault, WorkerFault, ArenaError,
+                ManifestError)
 }
 
 
@@ -127,3 +160,8 @@ def error_payload(error: BaseException,
 # points, driving the same degradation path a real engine bug would
 register_error_type("engine", lambda point: EngineFault(
     f"injected engine fault at {point!r}"))
+
+# a fault rule with error="worker" simulates a worker process dying / a pipe
+# breaking at the serve.worker.* fault points, driving re-spawn handling
+register_error_type("worker", lambda point: WorkerFault(
+    f"injected worker fault at {point!r}"))

@@ -58,6 +58,9 @@ class LoadedModel:
     input_shape: Tuple[int, ...]
     serving_spec: Dict[str, Any] = field(default_factory=dict)
     meta: Dict[str, Any] = field(default_factory=dict)
+    #: spawn-safe recipe for rebuilding the bare architecture in a worker
+    #: process — ``("scenario", name)`` or ``("zoo", model, kwargs)``
+    builder_spec: Optional[Tuple] = None
 
     def policy(self, **overrides: Any) -> BatchPolicy:
         return policy_from_spec(self.serving_spec, **overrides)
@@ -70,25 +73,163 @@ class LoadedModel:
                         fault_policy=fault_policy,
                         input_shape=self.input_shape)
 
+    def process_pool(self, workers: int = 2, **kwargs: Any):
+        """A :class:`~repro.serve.sharded.ProcessReplicaPool` for this model.
+
+        Worker processes rebuild the architecture from :attr:`builder_spec`
+        and attach the shared-memory arena for all compressed/model state;
+        register the pool's ``.replicas`` exactly like thread replicas.
+        """
+        from repro.serve.sharded import ProcessReplicaPool
+
+        if self.builder_spec is None:
+            raise ValueError(
+                f"model {self.name!r} has no spawn-safe builder spec; "
+                "process workers need a scenario or model-zoo source")
+        kwargs.setdefault("max_batch_size", self.policy().max_batch_size)
+        kwargs.setdefault("mode", self.meta.get("mode", "auto"))
+        return ProcessReplicaPool(self.compressed, self.builder_spec,
+                                  self.input_shape, workers=workers,
+                                  model=self.replicas[0], **kwargs)
+
+
+def _shared_view(array: np.ndarray) -> np.ndarray:
+    view = np.asarray(array).view()
+    view.flags.writeable = False
+    return view
+
+
+def adopt_state_views(model: Module, state: Dict[str, np.ndarray],
+                      strict: bool = True) -> Dict[str, np.ndarray]:
+    """Rebind ``model``'s parameters and buffers to read-only views of the
+    arrays in ``state`` (keyed by state-dict name).
+
+    This is the zero-copy counterpart of ``load_state_dict``: instead of
+    copying values *into* the model's own arrays, the model's parameters
+    are pointed *at* the shared arrays — one physical copy of model state
+    no matter how many replicas adopt it.  The views are read-only, which
+    is safe for serving (eval-mode forwards never write parameters or
+    buffers — BatchNorm only updates running stats in training mode, and
+    it rebinds rather than writes in place even then).  Gradients are
+    re-zeroed private arrays, so the rare introspection path that touches
+    ``.grad`` cannot write through to shared state.
+
+    Used by both sharding tiers: thread replicas adopt views over the
+    primary replica's arrays; worker processes adopt views over the
+    shared-memory arena.  Returns the adopted ``{name: view}`` map.
+    """
+    adopted: Dict[str, np.ndarray] = {}
+    for name, param in model.named_parameters():
+        if name not in state:
+            if strict:
+                raise KeyError(f"no shared array for parameter {name!r}")
+            continue
+        view = _shared_view(state[name])
+        if view.shape != param.value.shape:
+            raise ValueError(
+                f"shared array for {name!r} has shape {view.shape}, "
+                f"model expects {param.value.shape}")
+        param.value = view
+        param.grad = np.zeros_like(view)
+        adopted[name] = view
+    for mod_name, module in model.named_modules():
+        prefix = f"{mod_name}." if mod_name else ""
+        for attr in module._buffer_names:
+            name = f"{prefix}{attr}"
+            if name not in state:
+                if strict:
+                    raise KeyError(f"no shared array for buffer {name!r}")
+                continue
+            view = _shared_view(state[name])
+            setattr(module, attr, view)
+            adopted[name] = view
+    return adopted
+
+
+def _backing_array(array: np.ndarray) -> np.ndarray:
+    """Walk ``.base`` links to the array that owns the storage."""
+    base = array
+    while isinstance(base.base, np.ndarray):
+        base = base.base
+    return base
+
+
+def replica_state_report(replicas: List[Module]) -> Dict[str, Any]:
+    """``nbytes`` accounting of model state across replicas.
+
+    ``total_bytes`` counts every replica's parameters, buffers and
+    compressed-engine arrays as if each held its own copy; ``unique_bytes``
+    counts each distinct backing buffer once.  Deduplicated replicas show
+    ``total ≈ N x unique``; the dedup test asserts exactly that.
+    """
+    total = 0
+    unique: Dict[int, int] = {}
+
+    def visit(array: Optional[np.ndarray]) -> None:
+        nonlocal total
+        if array is None:
+            return
+        array = np.asarray(array)
+        total += array.nbytes
+        backing = _backing_array(array)
+        unique[id(backing)] = max(backing.nbytes, array.nbytes)
+
+    for replica in replicas:
+        for _, param in replica.named_parameters():
+            visit(param.value)
+        for _, buf in replica.named_buffers():
+            visit(buf)
+        for _, module in replica.named_modules():
+            engine = getattr(module, "engine", None)
+            if engine is None:
+                continue
+            visit(engine.codebook.codewords)
+            visit(engine.assignments)
+            visit(engine.mask)
+    unique_bytes = sum(unique.values())
+    return {"replicas": len(replicas), "total_bytes": int(total),
+            "unique_bytes": int(unique_bytes),
+            "dedup_ratio": float(total / max(unique_bytes, 1))}
+
 
 def _replicate(model: Module, build_fresh, count: int, compressed,
                mode: str) -> List[Module]:
     """``count`` independent serving replicas of one compressed model.
 
     The first replica is the live model itself; extra replicas are fresh
-    architecture builds that copy its state dict (so trained/fine-tuned
-    non-compressed parameters — biases, batch-norm — survive) and then get
-    their own compressed-module swap.
+    architecture builds whose parameters and buffers are rebound to
+    read-only *views* of the primary's arrays (so trained/fine-tuned
+    non-compressed state — biases, batch-norm — survives without a
+    per-replica state-dict copy), then get their own compressed-module
+    swap.  What stays per-replica is exactly the state that is not
+    thread-safe to share — engine chunk scratch and im2col buffers; the
+    raw compressed arrays, the engines' derived tables/caches, and every
+    parameter hold one physical copy across all replicas (the thread-mode
+    mirror of the process tier's shared-memory arena).
     """
     from repro.nn.compressed import swap_to_compressed
 
     replicas = [model]
+    shared_state = {name: p.value for name, p in model.named_parameters()}
+    shared_state.update(
+        {name: np.asarray(buf) for name, buf in model.named_buffers()})
     for _ in range(max(0, count - 1)):
         fresh = build_fresh()
-        fresh.load_state_dict(model.state_dict())
+        adopt_state_views(fresh, shared_state)
         replicas.append(fresh)
+    primary_swapped = None
     for replica in replicas:
-        swap_to_compressed(replica, compressed, mode=mode)
+        swapped = swap_to_compressed(replica, compressed, mode=mode)
+        if primary_swapped is None:
+            primary_swapped = swapped
+        else:
+            for name, module in swapped.items():
+                source = primary_swapped[name]
+                module.engine.share_tables_with(source.engine)
+                # from_layer copies the bias; point it back at one copy
+                if module.bias is not None:
+                    module.bias.value = _shared_view(source.bias.value)
+                    module.bias.grad = np.zeros_like(module.bias.value)
         replica.eval()
     return replicas
 
@@ -116,6 +257,7 @@ def load_scenario(name: str, mode: str = "auto", replicas: int = 1,
         compressed=compressed,
         input_shape=tuple(scenario.input_shape),
         serving_spec=serving_spec,
+        builder_spec=("scenario", scenario.name),
         meta={
             "source": "scenario",
             "model": scenario.model,
@@ -220,6 +362,7 @@ def load_npz(path: str, model: str, mode: str = "auto", replicas: int = 1,
         replicas=models,
         compressed=compressed,
         input_shape=tuple(input_shape),
+        builder_spec=("zoo", model, dict(kwargs)),
         meta={
             "source": "npz",
             "path": str(path),

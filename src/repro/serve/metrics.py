@@ -146,6 +146,7 @@ class ServingMetrics:
             "latency_ms": {
                 "p50": percentile(latencies, 50) * 1e3,
                 "p95": percentile(latencies, 95) * 1e3,
+                "p99": percentile(latencies, 99) * 1e3,
                 "max": max(latencies) * 1e3 if latencies else 0.0,
                 "mean": (sum(latencies) / len(latencies) * 1e3
                          if latencies else 0.0),
@@ -153,11 +154,27 @@ class ServingMetrics:
             "queue_wait_ms": {
                 "p50": percentile(waits, 50) * 1e3,
                 "p95": percentile(waits, 95) * 1e3,
+                "p99": percentile(waits, 99) * 1e3,
             },
             "batch_size_histogram": {str(k): v for k, v in sorted(sizes.items())},
             "mean_batch_size": mean_batch,
             "window_seconds": elapsed,
             "faults": faults,
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        """The compact per-model breakdown: latency percentiles (p50/p95/p99)
+        and throughput, without histograms or fault ledgers.
+
+        A stable sub-view of :meth:`snapshot` for dashboards and the CLI's
+        final stats line — one model, five numbers.
+        """
+        snap = self.snapshot()
+        return {
+            "requests_completed": snap["requests_completed"],
+            "throughput_rps": snap["throughput_rps"],
+            "latency_ms": dict(snap["latency_ms"]),
+            "queue_wait_ms": dict(snap["queue_wait_ms"]),
         }
 
 
@@ -181,6 +198,17 @@ class StatsRegistry:
         models = {name: metrics.snapshot() for name, metrics in items}
         return {
             "models": models,
+            # the per-model latency/throughput breakdown, keyed for clients
+            # that only want the headline numbers per model
+            "breakdown": {
+                name: {
+                    "requests_completed": snap["requests_completed"],
+                    "throughput_rps": snap["throughput_rps"],
+                    "latency_ms": dict(snap["latency_ms"]),
+                    "queue_wait_ms": dict(snap["queue_wait_ms"]),
+                }
+                for name, snap in models.items()
+            },
             "total_completed": sum(m["requests_completed"] for m in models.values()),
             "total_shed": sum(m["requests_shed"] for m in models.values()),
         }

@@ -446,6 +446,11 @@ class ModelServer:
         if state.degraded:
             return
         state.degraded = True
+        degrade = getattr(state.model, "degrade_to_dense", None)
+        if degrade is not None:
+            # process replicas (and any other proxy) own their degradation
+            degrade()
+            return
         for _, module in state.model.named_modules():
             engine = getattr(module, "engine", None)
             if engine is not None:

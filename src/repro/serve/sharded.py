@@ -1,0 +1,582 @@
+"""Sharded multi-process serving: worker processes over one shared arena.
+
+The thread-replica server (:mod:`repro.serve.server`) is capped by the GIL
+— N worker threads buy overlap on BLAS-released sections but not N cores.
+This module shards serving across *processes* while keeping model state
+physical-copy-count at **one**:
+
+* A :class:`ProcessReplicaPool` packs the compressed model's read-only
+  arrays — deduplicated codebooks, assignments, masks, and the
+  non-compressed parameters/buffers — into a single
+  :class:`~repro.serve.shm.ShmArena`.
+* Each worker process (:func:`_worker_main`, spawned via the portable
+  ``spawn`` start method) attaches the arena, rebuilds the bare
+  architecture from a picklable *builder spec*, swaps in the decode-free
+  compressed modules directly over the shared views (``np.asarray`` at
+  matching dtype is a no-op — zero bytes copied), adopts the shared
+  parameters/buffers, and serves batches over a pipe.
+* The parent-side :class:`ProcessReplica` is a :class:`~repro.nn.module.
+  Module` proxy: ``forward(batch)`` ships the batch to the worker and
+  returns its output bit-for-bit.  That makes a process replica a drop-in
+  replica for :class:`~repro.serve.server.ModelServer` — the dynamic
+  batcher, fault policy, retry/quarantine and drain machinery all apply
+  unchanged, and per-worker private memory stays O(activations), not
+  O(model).
+
+Failure handling: a dead, hung or pipe-broken worker surfaces as a typed
+:class:`~repro.serve.errors.WorkerFault` (never a hang — every receive is
+a poll loop with liveness checks), the server's fault policy retries the
+batch, and the next forward on that replica re-spawns the worker and
+re-attaches it to the arena (re-applying dense degradation if the replica
+had been degraded).  The ``serve.worker.spawn`` / ``serve.worker.ipc``
+fault points let a seeded :class:`~repro.core.faults.FaultPlan` drive
+these paths deterministically, and ``serve.replica.forward`` fires in the
+*parent* thread, so existing chaos plans exercise process replicas
+unmodified.
+
+Spawn vs fork: ``spawn`` is the default (and the right choice) because
+re-spawn happens from the server's worker threads — forking a threaded
+process is undefined-behaviour territory — and because it is the only
+start method portable across Linux/macOS.  Workers therefore import
+:mod:`repro` afresh; model *state* never travels over the pipe, only the
+arena name does.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from types import SimpleNamespace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.faults import fault_point
+from repro.nn.module import Module
+from repro.serve.errors import EngineFault, WorkerFault
+from repro.serve.shm import ShmArena
+
+__all__ = ["ProcessReplica", "ProcessReplicaPool", "worker_chaos_plan"]
+
+
+# -- worker-process side -------------------------------------------------------
+
+def _build_architecture(builder: Tuple) -> Module:
+    """Rebuild a bare (uncompressed) model from a picklable builder spec.
+
+    ``("zoo", name, kwargs)`` builds from :data:`repro.nn.models.MODEL_ZOO`;
+    ``("scenario", name)`` from a registered pipeline scenario;
+    ``("factory", fn, kwargs)`` calls a picklable factory directly.
+    """
+    kind = builder[0]
+    if kind == "zoo":
+        from repro.nn.models import get_model_factory
+
+        return get_model_factory(builder[1])(**(builder[2] or {}))
+    if kind == "scenario":
+        from repro.pipeline.scenarios import get_scenario
+
+        return get_scenario(builder[1]).build_model()
+    if kind == "factory":
+        return builder[1](**(builder[2] or {}))
+    raise ValueError(f"unknown builder spec kind {kind!r}")
+
+
+def _build_worker_model(spec: Dict[str, Any], arena: ShmArena) -> Module:
+    """One serving-ready model built directly over the arena's views."""
+    from repro.core.serialization import (
+        STATE_PREFIX,
+        layers_from_serving_arrays,
+    )
+    from repro.nn.compressed import swap_to_compressed
+    from repro.nn.serve import prepare_for_serving
+    from repro.serve.loader import adopt_state_views
+
+    views = arena.views
+    layer_views = {name: view for name, view in views.items()
+                   if not name.startswith(STATE_PREFIX)}
+    layers = layers_from_serving_arrays(arena.meta["serving"], layer_views)
+    model = _build_architecture(spec["builder"])
+    swap_to_compressed(model, SimpleNamespace(layers=layers),
+                       mode=spec["mode"])
+    state = {name[len(STATE_PREFIX):]: view for name, view in views.items()
+             if name.startswith(STATE_PREFIX)}
+    adopt_state_views(model, state)
+    return prepare_for_serving(model, tuple(spec["input_shape"]),
+                               spec["max_batch_size"],
+                               np.dtype(spec["dtype"]))
+
+
+def _rss_bytes() -> Optional[int]:
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:  # pragma: no cover - non-Linux
+        pass
+    return None
+
+
+def _worker_info(model: Module, arena: ShmArena) -> Dict[str, Any]:
+    """Memory accounting proving the zero-copy claim from inside the worker.
+
+    Walks every parameter, buffer and compressed-engine array of the
+    serving model and classifies its backing storage: inside the arena
+    (``shared``) or private to this process.  ``private_state_bytes == 0``
+    is the sharded tier's contract — model state maps the one shared copy;
+    what remains private is derived/scratch state (tables, im2col buffers,
+    activations), which is what raw ``rss_bytes`` shows.
+    """
+    shared = 0
+    private = 0
+    seen: set = set()
+
+    def account(array: Optional[np.ndarray]) -> None:
+        nonlocal shared, private
+        if array is None:
+            return
+        array = np.asarray(array)
+        key = (array.__array_interface__["data"][0], array.nbytes)
+        if key in seen:
+            return
+        seen.add(key)
+        if arena.owns(array):
+            shared += array.nbytes
+        else:
+            private += array.nbytes
+
+    modes: Dict[str, int] = {}
+    for _, param in model.named_parameters():
+        account(param.value)
+    for _, buf in model.named_buffers():
+        account(buf)
+    for _, module in model.named_modules():
+        engine = getattr(module, "engine", None)
+        if engine is None:
+            continue
+        account(engine.codebook.codewords)
+        account(engine.assignments)
+        account(engine.mask)
+        modes[engine.mode] = modes.get(engine.mode, 0) + 1
+    return {"pid": os.getpid(), "rss_bytes": _rss_bytes(),
+            "arena_shared_bytes": int(shared),
+            "private_state_bytes": int(private),
+            "engine_modes": modes}
+
+
+def _worker_main(spec: Dict[str, Any], conn) -> None:
+    """Entry point of one serving worker process.
+
+    Protocol (one reply per request, in order):
+    ``("forward", batch)`` -> ``("ok", outputs)`` | ``("err", type, msg,
+    code)``; ``("degrade",)`` pins every engine dense; ``("info",)``
+    returns :func:`_worker_info`; ``("stop",)`` exits the loop.  Start-up
+    failures send ``("fatal", type, msg)`` instead of ``("ready", pid)``.
+    """
+    from repro.core.precision import (
+        set_compute_dtype,
+        set_distance_block_bytes,
+    )
+
+    arena = None
+    try:
+        try:
+            set_compute_dtype(spec["compute_dtype"])
+            set_distance_block_bytes(spec["distance_block_bytes"])
+            arena = ShmArena.attach(spec["arena"])
+            model = _build_worker_model(spec, arena)
+        except Exception as error:  # noqa: BLE001 - reported to the parent
+            try:
+                conn.send(("fatal", type(error).__name__, str(error)))
+            except OSError:
+                pass
+            return
+        conn.send(("ready", os.getpid()))
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                return  # parent is gone; exit quietly
+            op = message[0]
+            if op == "forward":
+                try:
+                    outputs = np.asarray(model.forward(message[1]))
+                    reply = ("ok", outputs)
+                except Exception as error:  # noqa: BLE001 - shipped as data
+                    reply = ("err", type(error).__name__, str(error),
+                             getattr(error, "code", None))
+            elif op == "degrade":
+                for _, module in model.named_modules():
+                    engine = getattr(module, "engine", None)
+                    if engine is not None:
+                        engine.mode = "dense"
+                reply = ("ok", None)
+            elif op == "info":
+                reply = ("ok", _worker_info(model, arena))
+            elif op == "stop":
+                conn.send(("ok", None))
+                return
+            else:
+                reply = ("err", "ValueError", f"unknown op {op!r}", None)
+            try:
+                conn.send(reply)
+            except OSError:
+                return
+    finally:
+        if arena is not None:
+            arena.close()
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+# -- parent side ---------------------------------------------------------------
+
+class ProcessReplica(Module):
+    """Parent-side proxy for one serving worker process.
+
+    Quacks like a model replica — ``forward(batch)`` returns the worker's
+    output bit-for-bit — so :meth:`ModelServer.register` accepts a list of
+    these exactly like thread replicas.  All pipe traffic is serialized
+    under a per-replica lock (the server binds one worker thread per
+    replica anyway; the lock guards stats/health probes from other
+    threads).
+
+    Liveness is never assumed: every receive polls with a timeout and
+    checks the process, so a SIGKILL'd or hung worker surfaces as a typed
+    :class:`WorkerFault` within the request timeout, and the next forward
+    transparently re-spawns the worker and re-attaches it to the arena.
+    """
+
+    def __init__(self, pool: "ProcessReplicaPool", index: int):
+        super().__init__()
+        self.index = index
+        self.pid: Optional[int] = None
+        self.respawns = 0
+        self._pool = pool
+        self._lock = threading.RLock()
+        self._proc = None
+        self._conn = None
+        self._ready = False
+        self._degraded = False
+        self._closed = False
+        self._launched_once = False
+
+    # -- lifecycle -------------------------------------------------------------
+    def _launch_locked(self) -> None:
+        fault_point("serve.worker.spawn")
+        ctx = self._pool._ctx
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(target=_worker_main,
+                           args=(self._pool.spec, child_conn),
+                           name=f"serve-worker-{self.index}", daemon=True)
+        proc.start()
+        child_conn.close()
+        self._proc, self._conn = proc, parent_conn
+        self._ready = False
+        if self._launched_once:
+            self.respawns += 1
+        self._launched_once = True
+
+    def _await_ready_locked(self, timeout: float) -> None:
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self._kill_locked()
+                raise WorkerFault(
+                    f"worker {self.index} did not come up within {timeout}s")
+            if self._conn.poll(min(0.05, remaining)):
+                try:
+                    message = self._conn.recv()
+                except (EOFError, OSError):
+                    self._kill_locked()
+                    raise WorkerFault(
+                        f"worker {self.index} died during startup") from None
+                if message[0] == "ready":
+                    self._ready = True
+                    self.pid = message[1]
+                    if self._degraded:
+                        # a degraded replica stays degraded across re-spawns
+                        self._request_locked(("degrade",), timeout)
+                    return
+                if message[0] == "fatal":
+                    self._kill_locked()
+                    raise WorkerFault(
+                        f"worker {self.index} failed to start: "
+                        f"{message[1]}: {message[2]}")
+            elif not self._proc.is_alive() and not self._conn.poll(0.05):
+                code = self._proc.exitcode
+                self._kill_locked()
+                raise WorkerFault(
+                    f"worker {self.index} died during startup "
+                    f"(exitcode {code})")
+
+    def _alive_locked(self) -> bool:
+        return (self._conn is not None and self._proc is not None
+                and self._proc.is_alive() and self._ready)
+
+    def _ensure_alive_locked(self) -> None:
+        if self._closed:
+            raise WorkerFault(f"worker {self.index} pool is closed")
+        if self._alive_locked():
+            return
+        self._kill_locked()
+        self._launch_locked()
+        self._await_ready_locked(self._pool.spawn_timeout_s)
+
+    def _kill_locked(self) -> None:
+        if self._proc is not None:
+            if self._proc.is_alive():
+                self._proc.kill()
+            self._proc.join(1.0)
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+        self._proc = None
+        self._conn = None
+        self._ready = False
+
+    # -- request path ----------------------------------------------------------
+    def _request_locked(self, message: Tuple, timeout: float) -> Any:
+        try:
+            self._conn.send(message)
+        except (OSError, ValueError) as error:
+            self._kill_locked()
+            raise WorkerFault(
+                f"worker {self.index}: pipe broke on send "
+                f"({type(error).__name__})") from error
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self._kill_locked()
+                raise WorkerFault(
+                    f"worker {self.index} did not answer within {timeout}s")
+            try:
+                if self._conn.poll(min(0.05, remaining)):
+                    return self._conn.recv()
+            except (EOFError, OSError) as error:
+                self._kill_locked()
+                raise WorkerFault(
+                    f"worker {self.index} died mid-request "
+                    f"({type(error).__name__})") from error
+            if not self._proc.is_alive() and not self._conn.poll(0.05):
+                code = self._proc.exitcode
+                self._kill_locked()
+                raise WorkerFault(
+                    f"worker {self.index} died mid-request "
+                    f"(exitcode {code})")
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        with self._lock:
+            self._ensure_alive_locked()
+            fault_point("serve.worker.ipc")
+            reply = self._request_locked(("forward", np.asarray(x)),
+                                         self._pool.request_timeout_s)
+        if reply[0] == "ok":
+            return reply[1]
+        _, type_name, message, code = reply
+        if code == EngineFault.code:
+            # re-raise as the typed engine fault so the server's graceful
+            # dense-degradation path fires for process replicas too
+            raise EngineFault(message)
+        raise WorkerFault(f"worker {self.index} forward failed: "
+                          f"{type_name}: {message}")
+
+    def degrade_to_dense(self) -> None:
+        """Pin the worker's engines dense; sticky across re-spawns.
+
+        The server's ``_degrade`` calls this instead of walking our (empty)
+        module tree.  An unreachable worker is fine — the flag is re-applied
+        during the re-spawn handshake.
+        """
+        with self._lock:
+            self._degraded = True
+            if self._alive_locked():
+                try:
+                    self._request_locked(("degrade",),
+                                         self._pool.request_timeout_s)
+                except WorkerFault:
+                    pass  # re-spawn will re-apply
+
+    def info(self) -> Dict[str, Any]:
+        """The worker's memory/mode report (spawning it if needed)."""
+        with self._lock:
+            self._ensure_alive_locked()
+            reply = self._request_locked(("info",),
+                                         self._pool.request_timeout_s)
+        if reply[0] != "ok":
+            raise WorkerFault(f"worker {self.index} info failed: {reply}")
+        report = dict(reply[1])
+        report["respawns"] = self.respawns
+        return report
+
+    def kill(self) -> None:
+        """SIGKILL the worker (chaos/testing); next forward re-spawns it.
+
+        Joins the corpse so the kill is observable the moment this returns
+        — without it the next ``forward`` can race the still-dying process
+        and surface a :class:`WorkerFault` instead of re-spawning.
+        """
+        with self._lock:
+            if self._proc is not None and self._proc.is_alive():
+                self._proc.kill()
+                self._proc.join(5.0)
+
+    def close(self, timeout: float = 5.0) -> None:
+        with self._lock:
+            self._closed = True
+            if self._alive_locked():
+                try:
+                    self._request_locked(("stop",), timeout)
+                except WorkerFault:
+                    pass
+            if self._proc is not None:
+                self._proc.join(timeout)
+            self._kill_locked()
+
+
+class ProcessReplicaPool:
+    """N worker processes serving one compressed model from one arena.
+
+    Builds the shared-memory arena from the compressed model, spawns the
+    workers (concurrently — all launched, then all awaited), and exposes
+    ``.replicas`` — a list of :class:`ProcessReplica` proxies to register
+    with a :class:`~repro.serve.server.ModelServer` exactly like thread
+    replicas::
+
+        pool = ProcessReplicaPool(compressed, ("zoo", "resnet18", {}),
+                                  input_shape=(3, 16, 16), workers=4)
+        with pool, ModelServer() as server:
+            server.register("resnet18", pool.replicas,
+                            input_shape=pool.input_shape)
+
+    ``builder`` is the picklable architecture recipe workers rebuild from
+    (see :func:`_build_architecture`); ``model`` optionally names the live
+    (possibly fine-tuned) model whose non-compressed parameters/buffers go
+    into the arena — it defaults to ``compressed.model``.
+
+    ``close()`` stops the workers, then detaches *and unlinks* the arena;
+    the arena additionally unlinks via ``atexit`` and survives worker
+    SIGKILLs (see :mod:`repro.serve.shm`), so no ``/dev/shm`` segment
+    leaks.
+    """
+
+    def __init__(self, compressed: Any, builder: Tuple,
+                 input_shape: Sequence[int], workers: int = 2,
+                 mode: str = "auto", max_batch_size: int = 8,
+                 dtype=np.float64, start_method: str = "spawn",
+                 spawn_timeout_s: float = 120.0,
+                 request_timeout_s: float = 60.0,
+                 model: Optional[Module] = None,
+                 arena_name: Optional[str] = None):
+        from repro.core.precision import compute_dtype, distance_block_bytes
+        from repro.core.serialization import (
+            STATE_PREFIX,
+            serving_arrays,
+            serving_state_arrays,
+        )
+
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.input_shape = tuple(input_shape)
+        self.dtype = np.dtype(dtype)
+        self.spawn_timeout_s = float(spawn_timeout_s)
+        self.request_timeout_s = float(request_timeout_s)
+        self._closed = False
+
+        manifest, arrays = serving_arrays(compressed)
+        state_source = model if model is not None else compressed.model
+        for key, value in serving_state_arrays(state_source,
+                                               compressed).items():
+            arrays[STATE_PREFIX + key] = value
+        self.arena = ShmArena.create(arrays, meta={"serving": manifest},
+                                     name=arena_name)
+        self._ctx = multiprocessing.get_context(start_method)
+        self.spec: Dict[str, Any] = {
+            "arena": self.arena.name,
+            "builder": builder,
+            "mode": mode,
+            "input_shape": self.input_shape,
+            "max_batch_size": int(max_batch_size),
+            "dtype": self.dtype.name,
+            "compute_dtype": compute_dtype().name,
+            "distance_block_bytes": distance_block_bytes(),
+        }
+        self.replicas: List[ProcessReplica] = [
+            ProcessReplica(self, index) for index in range(workers)]
+        try:
+            for replica in self.replicas:
+                with replica._lock:
+                    replica._launch_locked()
+            for replica in self.replicas:
+                with replica._lock:
+                    replica._await_ready_locked(self.spawn_timeout_s)
+        except BaseException:
+            self.close()
+            raise
+
+    def register_with(self, server, name: str, policy=None,
+                      fault_policy=None, **kwargs: Any) -> None:
+        server.register(name, self.replicas, policy=policy,
+                        fault_policy=fault_policy,
+                        input_shape=self.input_shape, dtype=self.dtype,
+                        **kwargs)
+
+    def info(self) -> Dict[str, Any]:
+        """Arena + per-worker memory/health report."""
+        workers = []
+        for replica in self.replicas:
+            try:
+                workers.append(replica.info())
+            except WorkerFault as error:
+                workers.append({"pid": replica.pid, "error": str(error),
+                                "respawns": replica.respawns})
+        return {
+            "arena": {"name": self.arena.name,
+                      "nbytes": int(self.arena.nbytes),
+                      "refcount": int(self.arena.refcount())},
+            "workers": workers,
+            "respawns": sum(r.respawns for r in self.replicas),
+        }
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for replica in self.replicas:
+            replica.close()
+        self.arena.close()
+
+    def __enter__(self) -> "ProcessReplicaPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def worker_chaos_plan(rate: float, seed: int = 0):
+    """Chaos mix aimed at the process tier's own failure surface.
+
+    Splits ``rate`` between spawn failures and mid-request pipe breaks
+    (both raising :class:`WorkerFault` via the ``worker`` error tag), on
+    top of which the generic ``serving_chaos_plan`` still applies — its
+    ``serve.replica.forward`` point fires in the parent thread for process
+    replicas too.
+    """
+    from repro.core.faults import FaultPlan, FaultRule
+
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"fault rate must be in [0, 1], got {rate}")
+    return FaultPlan([
+        FaultRule("serve.worker.ipc", probability=rate / 2, error="worker"),
+        FaultRule("serve.worker.spawn", probability=rate / 2,
+                  error="worker"),
+    ], seed=seed)

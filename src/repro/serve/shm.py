@@ -1,0 +1,338 @@
+"""Zero-copy shared-memory arena for compressed-model serving state.
+
+One :class:`ShmArena` holds every read-only array a serving worker needs —
+deduplicated codebooks, assignments, masks and the non-compressed state
+dict (see :func:`repro.core.serialization.serving_arrays`) — in a single
+``multiprocessing.shared_memory`` segment.  N worker processes attach the
+segment and build their models directly on views of it, so the model
+exists **once** in physical memory no matter how many workers serve it:
+the software mirror of the paper's accelerator keeping one copy of the
+compressed tables that every compute unit reads.
+
+Segment layout::
+
+    [ magic | version | manifest_len | owner_pid | refcount ]   fixed header
+    [ manifest JSON ]                                           array table
+    [ 64-byte-aligned array payloads ... ]
+
+The manifest records each array's name/dtype/shape/offset plus an arbitrary
+JSON ``meta`` blob (the serving manifest), so ``attach()`` needs nothing but
+the segment name.
+
+Lifecycle guarantees:
+
+* **refcounted attach/detach** — the header refcount is maintained under an
+  ``flock`` on the ``/dev/shm`` file, so concurrent attaches from different
+  processes stay consistent; ``refcount()`` is introspection for tests and
+  supervision, not a deletion trigger.
+* **guaranteed unlink** — the creating process unlinks on ``close()`` and
+  again from an ``atexit`` hook, so a clean shutdown never leaks a segment.
+  A SIGKILL'd *worker* cannot leak or destroy the segment either: attached
+  handles are deliberately excluded from CPython's ``resource_tracker``
+  (whose default behaviour would unlink the segment when any attaching
+  process dies — exactly wrong for a shared arena).
+* **stale-segment takeover** — if the creator itself was SIGKILL'd, the next
+  ``create()`` under the same name finds the stale segment, checks the
+  recorded owner pid is dead, unlinks it and re-creates.
+
+Double-``close()`` is safe, and closing with live views outstanding (a
+worker's engines keep views until process exit) degrades gracefully: the
+mapping is released by process teardown instead.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import secrets
+import struct
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+import numpy as np
+
+try:  # POSIX only; the refcount falls back to best-effort without it
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+from multiprocessing import shared_memory
+
+from repro.serve.errors import ArenaError
+
+_MAGIC = b"MVQARENA"
+_VERSION = 1
+#: header: magic(8) + version(u32) + manifest_len(u32) + owner_pid(u64) +
+#: refcount(i64)
+_HEADER = struct.Struct("<8sIIQq")
+_REFCOUNT_OFFSET = _HEADER.size - 8
+_ALIGN = 64
+
+
+def _align(n: int) -> int:
+    return (n + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _pid_alive(pid: int) -> bool:
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists but not ours
+        return True
+    return True
+
+
+def _untracked_attach(name: str) -> shared_memory.SharedMemory:
+    """Attach a segment without registering it with the resource tracker.
+
+    CPython's tracker registers *attaches* too, so a worker process dying
+    (even cleanly) would unlink the shared segment under everyone else.
+    Python 3.13 grew ``track=False`` for exactly this; older versions need
+    the explicit unregister.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13
+        # Suppress the tracker registration during attach rather than
+        # unregistering afterwards: spawned workers share the parent's
+        # tracker process (whose cache is a *set* per resource type), so an
+        # attach-then-unregister from any worker would silently erase the
+        # creator's own registration — the crash safety net.
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+@contextmanager
+def _segment_lock(name: str) -> Iterator[bool]:
+    """``flock`` on the segment's ``/dev/shm`` file (refcount atomicity)."""
+    path = f"/dev/shm/{name}"
+    if fcntl is None or not os.path.exists(path):
+        yield False
+        return
+    fd = os.open(path, os.O_RDWR)
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        yield True
+    finally:
+        os.close(fd)  # closing the fd releases the lock
+
+
+#: arenas created by this process, for the atexit unlink sweep
+_CREATED: Dict[str, "ShmArena"] = {}
+
+
+def _atexit_unlink() -> None:  # pragma: no cover - exercised via subprocess
+    for arena in list(_CREATED.values()):
+        arena.close()
+
+
+atexit.register(_atexit_unlink)
+
+
+class ShmArena:
+    """A named shared-memory segment of read-only numpy arrays + manifest."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, *, owner: bool):
+        self._shm = shm
+        self._owner = owner
+        self._closed = False
+        self._unlinked = False
+
+        header = bytes(shm.buf[:_HEADER.size])
+        magic, version, manifest_len, owner_pid, _ = _HEADER.unpack(header)
+        if magic != _MAGIC:
+            raise ArenaError(shm.name, "not an MVQ arena (bad magic)")
+        if version != _VERSION:
+            raise ArenaError(
+                shm.name, f"arena version {version} != supported {_VERSION}")
+        self.owner_pid = int(owner_pid)
+        table = json.loads(
+            bytes(shm.buf[_HEADER.size:_HEADER.size + manifest_len]))
+        self.meta: Dict[str, Any] = table.get("meta", {})
+        data_start = _align(_HEADER.size + manifest_len)
+        self._entries = table["arrays"]
+        self._views: Dict[str, np.ndarray] = {}
+        for entry in self._entries:
+            view = np.frombuffer(
+                shm.buf, dtype=np.dtype(entry["dtype"]),
+                count=int(np.prod(entry["shape"], dtype=np.int64)),
+                offset=data_start + entry["offset"],
+            ).reshape(entry["shape"])
+            view.flags.writeable = False
+            self._views[entry["name"]] = view
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def create(cls, arrays: Dict[str, np.ndarray],
+               meta: Optional[Dict[str, Any]] = None,
+               name: Optional[str] = None) -> "ShmArena":
+        """Serialize ``arrays`` (+ JSON ``meta``) into a new shared segment.
+
+        An existing segment under the same explicit ``name`` is taken over
+        only if its recorded owner process is dead (stale after a crash);
+        a live owner makes this an :class:`ArenaError`.
+        """
+        name = name or f"mvq_{os.getpid():x}_{secrets.token_hex(4)}"
+        entries = []
+        offset = 0
+        for key, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            entries.append({"name": key, "dtype": array.dtype.str,
+                            "shape": list(array.shape), "offset": offset})
+            offset = _align(offset + array.nbytes)
+        manifest = json.dumps({"arrays": entries, "meta": meta or {}},
+                              sort_keys=True).encode("utf-8")
+        data_start = _align(_HEADER.size + len(manifest))
+        total = max(1, data_start + offset)
+
+        try:
+            shm = shared_memory.SharedMemory(name=name, create=True,
+                                             size=total)
+        except FileExistsError:
+            cls._takeover_stale(name)
+            shm = shared_memory.SharedMemory(name=name, create=True,
+                                             size=total)
+
+        shm.buf[:_HEADER.size] = _HEADER.pack(
+            _MAGIC, _VERSION, len(manifest), os.getpid(), 1)
+        shm.buf[_HEADER.size:_HEADER.size + len(manifest)] = manifest
+        for entry, (key, array) in zip(entries, arrays.items()):
+            array = np.ascontiguousarray(array)
+            target = np.frombuffer(shm.buf, dtype=array.dtype,
+                                   count=array.size,
+                                   offset=data_start + entry["offset"])
+            target[:] = array.reshape(-1)
+            del target  # drop the exported buffer before any close()
+
+        arena = cls(shm, owner=True)
+        _CREATED[name] = arena
+        return arena
+
+    @staticmethod
+    def _takeover_stale(name: str) -> None:
+        """Unlink an existing segment iff its creator is dead."""
+        try:
+            stale = _untracked_attach(name)
+        except FileNotFoundError:
+            return  # raced with its own cleanup
+        try:
+            header = bytes(stale.buf[:_HEADER.size])
+            magic = header[:8]
+            owner_pid = _HEADER.unpack(header)[3] if magic == _MAGIC else 0
+            if magic == _MAGIC and _pid_alive(int(owner_pid)):
+                raise ArenaError(
+                    name, f"segment exists and its owner (pid {owner_pid}) "
+                          "is alive")
+        finally:
+            stale.close()
+        stale.unlink()
+
+    @classmethod
+    def attach(cls, name: str) -> "ShmArena":
+        """Attach an existing arena by name; bumps the refcount."""
+        try:
+            shm = _untracked_attach(name)
+        except FileNotFoundError:
+            raise ArenaError(name, "no such shared-memory segment "
+                                   "(arena gone or never created)") from None
+        arena = cls(shm, owner=False)
+        arena._bump_refcount(+1)
+        return arena
+
+    # -- refcount -------------------------------------------------------------
+    def _bump_refcount(self, delta: int) -> int:
+        with _segment_lock(self.name):
+            (count,) = struct.unpack_from("<q", self._shm.buf,
+                                          _REFCOUNT_OFFSET)
+            count = max(0, count + delta)
+            struct.pack_into("<q", self._shm.buf, _REFCOUNT_OFFSET, count)
+        return count
+
+    def refcount(self) -> int:
+        """Current attach count (creator counts as 1)."""
+        (count,) = struct.unpack_from("<q", self._shm.buf, _REFCOUNT_OFFSET)
+        return int(count)
+
+    # -- access ---------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        return self._shm.size
+
+    @property
+    def views(self) -> Dict[str, np.ndarray]:
+        """Name -> read-only array view over the shared segment."""
+        return dict(self._views)
+
+    def owns(self, array: np.ndarray) -> bool:
+        """Whether ``array``'s storage lives inside this segment."""
+        if self._closed:
+            return False
+        probe = np.frombuffer(self._shm.buf, dtype=np.uint8)
+        try:
+            return bool(np.may_share_memory(array, probe))
+        finally:
+            del probe
+
+    # -- teardown -------------------------------------------------------------
+    def close(self) -> None:
+        """Detach (drop the refcount); the creator also unlinks.
+
+        Idempotent.  If live views are still referenced elsewhere (a serving
+        model keeps engine views until process exit) the unmap is skipped —
+        process teardown releases it — but the unlink still happens, so no
+        ``/dev/shm`` entry outlives the owner's clean shutdown.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._bump_refcount(-1)
+        except Exception:  # segment may already be gone under us
+            pass
+        self._views.clear()
+        try:
+            self._shm.close()
+        except BufferError:
+            # Outstanding numpy views still export the buffer.  Release the
+            # fd and drop our handles — the mmap stays alive exactly as long
+            # as the views do, and dies with them (or with the process).
+            # This also keeps SharedMemory.__del__ from re-raising at exit.
+            if getattr(self._shm, "_fd", -1) >= 0:
+                os.close(self._shm._fd)
+                self._shm._fd = -1
+            self._shm._buf = None
+            self._shm._mmap = None
+        if self._owner:
+            self.unlink()
+        _CREATED.pop(self._shm.name, None)
+
+    def unlink(self) -> None:
+        """Remove the segment name (idempotent); attached views survive."""
+        if self._unlinked:
+            return
+        self._unlinked = True
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+        _CREATED.pop(self._shm.name, None)
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -63,6 +63,44 @@ class TestLoadScenario:
         assert np.array_equal(out, reference)
 
 
+class TestReplicaDedup:
+    """Thread replicas share one physical copy of all read-only state."""
+
+    def test_replicas_share_state_by_reference(self, scenario_model):
+        from repro.serve import replica_state_report
+
+        report = replica_state_report(scenario_model.replicas)
+        assert report["replicas"] == 2
+        assert report["total_bytes"] > 0
+        # every param/buffer/engine table of replica 2 is a view of
+        # replica 1's storage: unique bytes ~ one copy, not two
+        assert report["unique_bytes"] * 2 == report["total_bytes"]
+        assert report["dedup_ratio"] == pytest.approx(2.0)
+
+    def test_shared_views_are_read_only(self, scenario_model):
+        secondary = scenario_model.replicas[1]
+        for name, param in secondary.named_parameters():
+            if not param.value.flags.writeable:
+                break
+        else:
+            pytest.fail("no read-only shared parameter found on replica 2")
+
+    def test_adopt_state_views_strict_on_missing(self):
+        from repro.nn.models import resnet18_mini
+        from repro.serve import adopt_state_views
+
+        model = resnet18_mini(num_classes=3, seed=0, width=8)
+        with pytest.raises(KeyError):
+            adopt_state_views(model, {})
+
+    def test_process_pool_requires_builder_spec(self, scenario_model):
+        import dataclasses
+
+        broken = dataclasses.replace(scenario_model, builder_spec=None)
+        with pytest.raises(ValueError):
+            broken.process_pool()
+
+
 class TestLoadNpz:
     def test_npz_roundtrip_matches_scenario_serving(self, tmp_path, rng):
         from repro.core.serialization import save_compressed_model

@@ -1,0 +1,165 @@
+"""Shared-memory arena lifecycle: refcounts, unlink guarantees, takeover."""
+
+import os
+import struct
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.serve import ArenaError, ShmArena
+
+
+def _segment_exists(name: str) -> bool:
+    return os.path.exists(f"/dev/shm/{name}")
+
+
+@pytest.fixture()
+def arrays():
+    rng = np.random.default_rng(3)
+    return {
+        "codewords": rng.standard_normal((4, 8)),
+        "assignments": rng.integers(0, 4, size=(2, 16), dtype=np.int64),
+        "mask": rng.random(32) > 0.5,
+    }
+
+
+class TestRoundtrip:
+    def test_views_bit_identical_and_read_only(self, arrays):
+        with ShmArena.create(arrays, meta={"k": 4}) as arena:
+            assert arena.meta == {"k": 4}
+            for name, original in arrays.items():
+                view = arena.views[name]
+                assert view.dtype == original.dtype
+                assert view.shape == original.shape
+                assert np.array_equal(view, original)
+                assert not view.flags.writeable
+                with pytest.raises((ValueError, RuntimeError)):
+                    view[...] = 0
+
+    def test_attach_sees_identical_bits(self, arrays):
+        with ShmArena.create(arrays) as arena:
+            attached = ShmArena.attach(arena.name)
+            try:
+                for name, original in arrays.items():
+                    assert np.array_equal(attached.views[name], original)
+                assert attached.meta == arena.meta
+            finally:
+                attached.close()
+
+    def test_owns_classifies_storage(self, arrays):
+        with ShmArena.create(arrays) as arena:
+            assert arena.owns(arena.views["codewords"])
+            assert arena.owns(arena.views["codewords"][1:3])  # sub-view
+            assert not arena.owns(np.zeros(4))
+            assert not arena.owns(np.array(arena.views["mask"]))  # a copy
+
+    def test_attach_unknown_name_is_typed_error(self):
+        with pytest.raises(ArenaError):
+            ShmArena.attach("mvq_does_not_exist")
+
+
+class TestRefcountAndUnlink:
+    def test_refcount_tracks_attach_detach(self, arrays):
+        arena = ShmArena.create(arrays)
+        try:
+            assert arena.refcount() == 1
+            attached = ShmArena.attach(arena.name)
+            assert arena.refcount() == 2
+            attached.close()
+            assert arena.refcount() == 1
+        finally:
+            arena.close()
+
+    def test_owner_close_unlinks_segment(self, arrays):
+        arena = ShmArena.create(arrays)
+        name = arena.name
+        assert _segment_exists(name)
+        arena.close()
+        assert not _segment_exists(name)
+        with pytest.raises(ArenaError):
+            ShmArena.attach(name)
+
+    def test_double_close_is_safe(self, arrays):
+        arena = ShmArena.create(arrays)
+        arena.close()
+        arena.close()
+        attached = ShmArena.create(arrays)
+        attached.close()
+        attached.unlink()  # unlink after close is also a no-op
+
+    def test_close_with_live_views_still_unlinks(self, arrays):
+        arena = ShmArena.create(arrays)
+        name = arena.name
+        view = arena.views["codewords"]      # outstanding buffer export
+        expected = np.array(view)
+        arena.close()
+        assert not _segment_exists(name)
+        # the mapping survives exactly as long as the view does
+        assert np.array_equal(view, expected)
+
+
+class TestCrashSafety:
+    def test_sigkilled_attacher_does_not_destroy_segment(self, arrays):
+        """A worker dying mid-attach must not unlink the arena under the
+        creator (the resource-tracker trap this module exists to avoid)."""
+        arena = ShmArena.create(arrays)
+        name = arena.name
+        try:
+            script = (
+                "import os, sys\n"
+                "from repro.serve.shm import ShmArena\n"
+                f"attached = ShmArena.attach({name!r})\n"
+                "print('attached', flush=True)\n"
+                "os.kill(os.getpid(), 9)\n"
+            )
+            proc = subprocess.run(
+                [sys.executable, "-c", script], capture_output=True,
+                text=True, timeout=60,
+                env={**os.environ, "PYTHONPATH": "src"}, cwd=_repo_root())
+            assert "attached" in proc.stdout, proc.stderr
+            assert proc.returncode == -9
+            assert _segment_exists(name)
+            # the creator still reads its data and cleans up normally
+            assert np.array_equal(arena.views["codewords"],
+                                  arrays["codewords"])
+        finally:
+            arena.close()
+        assert not _segment_exists(name)
+
+    def test_stale_segment_takeover(self, arrays):
+        name = f"mvq_test_stale_{os.getpid():x}"
+        stale = ShmArena.create(arrays, name=name)
+        # forge a dead owner pid in the header (magic 8 + version 4 +
+        # manifest_len 4 -> owner_pid u64 at offset 16)
+        struct.pack_into("<Q", stale._shm.buf, 16, _dead_pid())
+        fresh = ShmArena.create({"other": np.arange(3.0)}, name=name)
+        try:
+            assert np.array_equal(fresh.views["other"], np.arange(3.0))
+        finally:
+            fresh.close()
+            stale.close()
+        assert not _segment_exists(name)
+
+    def test_takeover_refused_while_owner_alive(self, arrays):
+        name = f"mvq_test_alive_{os.getpid():x}"
+        arena = ShmArena.create(arrays, name=name)
+        try:
+            with pytest.raises(ArenaError):
+                ShmArena.create(arrays, name=name)
+        finally:
+            arena.close()
+        assert not _segment_exists(name)
+
+
+def _repo_root() -> str:
+    return os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+
+
+def _dead_pid() -> int:
+    """A pid that is certainly not a live process."""
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    return proc.pid
