@@ -95,6 +95,23 @@ def _compressed_workload(p: Dict[str, object]) -> Dict[str, object]:
     for mod in model:
         mod.engine.mode = "centroid"
     centroid_s = best_of(lambda: model.forward(x), p["repeats"])
+    centroid_out = model.forward(x)
+
+    # the integer/LUT fast path: precomputed routing tables, gather/
+    # scatter-accumulate inner loop.  Exact LUT must be bit-identical to
+    # the centroid path; lut_quant trades a bounded activation-snap error
+    # for cheaper accumulation.
+    for mod in model:
+        mod.engine.mode = "lut"
+    lut_s = best_of(lambda: model.forward(x), p["repeats"])
+    lut_bit_identical = bool(np.array_equal(model.forward(x), centroid_out))
+    lut_table_bytes = int(sum(mod.engine.lut_table_bytes() for mod in model))
+    for mod in model:
+        mod.engine.mode = "lut_quant"
+    lut_quant_s = best_of(lambda: model.forward(x), p["repeats"])
+    quant_out = model.forward(x)
+    lut_quant_rel_err = (float(np.linalg.norm(quant_out - centroid_out))
+                         / max(float(np.linalg.norm(centroid_out)), 1e-12))
     for mod in model:
         mod.engine.mode = "auto"
 
@@ -116,7 +133,13 @@ def _compressed_workload(p: Dict[str, object]) -> Dict[str, object]:
         "compressed_auto_s": compressed_s,
         "compressed_dense_cached_s": dense_cached_s,
         "compressed_centroid_s": centroid_s,
+        "compressed_lut_s": lut_s,
+        "compressed_lut_quant_s": lut_quant_s,
         "speedup_compressed_vs_reconstruct": baseline_s / compressed_s,
+        "speedup_lut_vs_centroid": centroid_s / lut_s,
+        "lut_bit_identical_to_centroid": lut_bit_identical,
+        "lut_quant_rel_err": lut_quant_rel_err,
+        "lut_table_bytes": lut_table_bytes,
         "max_abs_error_vs_baseline": max_err,
         "serve_samples_per_s": stream.shape[0] / serve_s,
     }
@@ -193,6 +216,10 @@ MIN_SPEEDUP = 0.8
 #: (generous for float re-association; catches real datapath bugs)
 MAX_ABS_ERROR = 1e-6
 
+#: CI gate: lut_quant's activation snapping may deviate from exact
+#: compressed outputs by at most this relative error on the workload
+QUANT_REL_ERR_BUDGET = 0.05
+
 
 def check_report(report: Dict[str, object]) -> list:
     """Gate conditions on one :func:`run` report; returns error strings.
@@ -212,6 +239,13 @@ def check_report(report: Dict[str, object]) -> list:
     if speedup < MIN_SPEEDUP:
         errors.append(f"compressed-domain forward is {speedup:.2f}x dense "
                       f"(minimum {MIN_SPEEDUP}x)")
+    if not report["lut_bit_identical_to_centroid"]:
+        errors.append("exact LUT outputs are not bit-identical to the "
+                      "centroid path")
+    quant_err = report["lut_quant_rel_err"]
+    if not quant_err <= QUANT_REL_ERR_BUDGET:
+        errors.append(f"lut_quant rel err {quant_err:.4f} exceeds the "
+                      f"{QUANT_REL_ERR_BUDGET} budget")
     return errors
 
 
@@ -224,6 +258,10 @@ def main(argv=None) -> int:
           f"dense-reconstruct-then-conv "
           f"(centroid {report['reconstruct_then_conv_s'] / report['compressed_centroid_s']:.2f}x, "
           f"max err {report['max_abs_error_vs_baseline']:.2e})")
+    print(f"[perf] LUT fast path: {report['speedup_lut_vs_centroid']:.2f}x vs "
+          f"centroid (bit-identical: {report['lut_bit_identical_to_centroid']}, "
+          f"lut_quant rel err {report['lut_quant_rel_err']:.4f}, "
+          f"tables {report['lut_table_bytes'] / 1024:.0f} KiB)")
     print(f"[perf] systolic stream: {stream['stream_speedup_vs_scalar']:.1f}x vs "
           f"scalar tile loop, gating counts match: {stream['gating_counts_match']}")
     errors = check_report(report)

@@ -16,6 +16,21 @@ from typing import Optional
 import numpy as np
 
 
+def assignment_dtype(k: int) -> np.dtype:
+    """Narrowest integer dtype that can index a ``k``-entry codebook.
+
+    With the paper's k <= 256 operating point assignments are plain uint8 —
+    an 8x memory/bandwidth saving over the historical int64 storage, and
+    the width the integer/LUT inference path and the shared-memory serving
+    arena account for.
+    """
+    if k <= 2 ** 8:
+        return np.dtype(np.uint8)
+    if k <= 2 ** 16:
+        return np.dtype(np.uint16)
+    return np.dtype(np.int64)
+
+
 def quantize_symmetric(values: np.ndarray, scale: float, bits: int = 8) -> np.ndarray:
     """Symmetric uniform quantization (Eq. 5): scale * clamp(round(v / scale))."""
     if scale <= 0:

@@ -15,7 +15,7 @@ from typing import Dict, Union
 
 import numpy as np
 
-from repro.core.codebook import Codebook
+from repro.core.codebook import Codebook, assignment_dtype
 
 # the manifest uses the shared layer-config wire schema (also the pipeline
 # config's schema — one source of truth).  Archives written by older
@@ -88,7 +88,8 @@ def load_compressed_model(model: Module, path: Union[str, Path]) -> CompressedMo
             # lookups return them verbatim
             codebooks[cb_name] = Codebook(arrays[cb_name], bits=None)
         safe = name.replace(".", "__")
-        assignments = arrays[f"{safe}__assignments"].astype(np.int64)
+        assignments = arrays[f"{safe}__assignments"].astype(
+            assignment_dtype(codebooks[cb_name].k))
 
         mask = None
         if config.store_mask:
@@ -114,16 +115,18 @@ def compressed_file_size_bytes(path: Union[str, Path]) -> int:
 # -- the zero-copy serving form ------------------------------------------------
 # The shared-memory serving arena (repro.serve.shm) stores the same artefacts
 # as the .npz archive but in the exact dtypes the decode-free engines consume
-# (float64 effective codewords, int64 assignments, bool masks), so a worker
-# process attaching the arena builds its CentroidEngines directly on the
-# shared views — np.asarray at matching dtype is a no-op, zero bytes copied.
+# (float64 effective codewords, narrowest-width integer assignments — uint8
+# for k <= 256 — and bool masks), so a worker process attaching the arena
+# builds its CentroidEngines directly on the shared views — np.asarray at
+# matching dtype is a no-op, zero bytes copied.
 
 def serving_arrays(compressed: CompressedModel):
     """``(manifest, arrays)`` of a compressed model in serving form.
 
     ``arrays`` maps names to the read-only state the compressed-domain
-    engines need — deduplicated effective codebooks, int64 assignments and
-    decoded boolean masks; ``manifest`` is the JSON-able layer table (the
+    engines need — deduplicated effective codebooks, narrow-width integer
+    assignments and decoded boolean masks; ``manifest`` is the JSON-able
+    layer table (the
     same layer-config wire schema as the ``.npz`` archive) that
     :func:`layers_from_serving_arrays` inverts.
     """
@@ -139,7 +142,7 @@ def serving_arrays(compressed: CompressedModel):
                 state.codebook.effective_codewords(), dtype=np.float64)
         safe = state.name.replace(".", "__")
         arrays[f"{safe}__assignments"] = np.ascontiguousarray(
-            state.assignments, dtype=np.int64)
+            state.assignments, dtype=assignment_dtype(state.codebook.k))
         has_mask = bool(state.config.store_mask and state.mask is not None)
         if has_mask:
             arrays[f"{safe}__mask"] = np.ascontiguousarray(
@@ -182,6 +185,40 @@ def layers_from_serving_arrays(manifest: Dict,
 
 #: array-name prefix of non-compressed model state in a serving arena
 STATE_PREFIX = "state::"
+
+#: array-name prefix of engine-derived state (effective-codeword tables,
+#: LUT routing tables, per-dtype caches) in a serving arena.  Shipping these
+#: means spawned workers adopt the warmed engines' tables zero-copy instead
+#: of rebuilding them per process — and a pinned LUT mode survives the trip.
+DERIVED_PREFIX = "derived::"
+
+
+def derived_serving_arrays(model: Module, compressed: CompressedModel):
+    """``(derived_meta, arrays)`` of a serving model's engine-derived state.
+
+    Walks the compressed layers of an already-swapped (and ideally warmed)
+    serving ``model``; for each layer with a
+    :class:`~repro.nn.compressed.CentroidEngine` exports its
+    :meth:`derived_arrays` under ``derived::<layer>::<name>`` keys plus a
+    JSON-able per-layer record of the resolved execution mode and the
+    quantized-activation alphabet.  Models without engines (e.g. the
+    original dense model) yield ``({}, {})`` — derived shipping is purely
+    opportunistic.
+    """
+    modules = dict(model.named_modules())
+    derived_meta: Dict[str, Dict] = {}
+    arrays: Dict[str, np.ndarray] = {}
+    for name in compressed.layers:
+        module = modules.get(name)
+        engine = getattr(module, "engine", None)
+        if engine is None:
+            continue
+        safe = name.replace(".", "__")
+        for arr_name, arr in engine.derived_arrays().items():
+            arrays[f"{DERIVED_PREFIX}{safe}::{arr_name}"] = arr
+        derived_meta[name] = {"mode": engine.mode,
+                              "act_levels": int(engine.act_levels)}
+    return derived_meta, arrays
 
 
 def serving_state_arrays(model: Module,

@@ -21,11 +21,28 @@ Three execution modes per layer:
   ordinary GEMMs.  Still serves from compressed storage (nothing is decoded
   per call after the first), and on BLAS-backed CPUs it is usually the
   fastest steady state.
-* ``"auto"`` — a calibrated :class:`InferenceCostModel` picks between the
-  two per (layer, batch, dtype).  On CPU the gather/scatter rates are far
-  below BLAS GEMM rates, so large layers fall back to the cached-dense
-  path exactly as large ``k``/``U`` erodes the centroid path's reuse; on
-  the modelled accelerator the same formulas favour the centroid path.
+* ``"lut"`` — the integer/LUT fast path.  Same dataflow as the centroid
+  path, but the per-call routing is driven by one precomputed flat
+  lookup table (``row * U + table_entry``, built once per layer like
+  ``_dense_cache``) so the gather direction becomes a single
+  ``np.take`` over the partial-product table and the scatter direction
+  becomes a per-sample ``np.bincount`` accumulate in the wide
+  accumulation dtype.  Bit-identical to ``"centroid"`` (same summation
+  order; at float32 the scatter direction keeps the ``np.add.at``
+  kernel precisely to preserve that contract).
+* ``"lut_quant"`` — opt-in quantized-activation LUT mode: activations
+  are snapped to a small symmetric alphabet (``act_levels`` per sign,
+  int8-like at the default 127) before the LUT path runs with float32
+  only at accumulation boundaries (the ``repro.core.precision``
+  compute/accumulate split).  Approximate by design — callers gate on a
+  max relative-error budget instead of bit-identity.  Never chosen by
+  ``auto``.
+* ``"auto"`` — a calibrated :class:`InferenceCostModel` picks between
+  dense, centroid and exact-LUT per (layer, batch, dtype).  On CPU the
+  gather/scatter rates are far below BLAS GEMM rates, so large layers
+  fall back to the cached-dense path exactly as large ``k``/``U`` erodes
+  the centroid path's reuse; on the modelled accelerator the same
+  formulas favour the centroid/LUT paths.
 
 The centroid implementations are exact (not approximations): every mode
 produces bit-comparable results up to float summation order, which the
@@ -41,15 +58,19 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.core.codebook import Codebook
+from repro.core.codebook import Codebook, assignment_dtype
 from repro.core.grouping import GroupingStrategy, grouped_shape, ungroup_weight
-from repro.core.precision import compute_dtype, distance_block_bytes
+from repro.core.precision import accum_dtype, compute_dtype, distance_block_bytes
 from repro.core.reconstruct import effective_subvector_table
 from repro.nn import functional as F
 from repro.nn.module import Module
 from repro.nn.tensor import Parameter
 
-MODES = ("auto", "centroid", "dense")
+MODES = ("auto", "centroid", "dense", "lut", "lut_quant")
+
+#: default size of the symmetric quantized-activation alphabet (levels per
+#: sign — 127 mirrors int8 activations on the paper's accelerator)
+DEFAULT_ACT_LEVELS = 127
 
 
 @dataclass
@@ -75,6 +96,11 @@ class InferenceCostModel:
     scatter_elems_per_s: float = 5.0e7
     #: layout transposes / copies (elements/s)
     copy_elems_per_s: float = 2.0e8
+    #: LUT-path ``np.take`` gather + accumulate (elements/s)
+    lut_gather_elems_per_s: float = 4.5e8
+    #: LUT-path ``np.bincount`` scatter-accumulate (elements/s, float64 —
+    #: at float32 the LUT scatter keeps ``np.add.at`` for bit-identity)
+    lut_scatter_elems_per_s: float = 2.4e8
     #: float32 speedup over the float64 rates above
     fp32_speedup: float = 2.0
 
@@ -109,12 +135,42 @@ class InferenceCostModel:
             seconds += batch * n_in * (n_out // d) / (self.scatter_elems_per_s * scale)
         return seconds
 
+    def lut_seconds(self, batch: int, n_in: int, n_out: int, d: int,
+                    table_size: int, gather_form: bool,
+                    dtype=np.float64) -> float:
+        """Cost of the exact integer/LUT path.
+
+        Same skinny table GEMM and layout terms as the centroid path; the
+        routing term runs at the faster flat-``np.take`` / ``np.bincount``
+        rates.  The float32 scatter direction pays the plain ``np.add.at``
+        rate — the LUT path keeps that kernel at float32 so it stays
+        bit-identical to the centroid path.
+        """
+        scale = self._scale(dtype)
+        num_blocks = n_in // d if gather_form else n_in
+        seconds = 2.0 * batch * n_in * table_size / (self.skinny_gemm_flops_per_s * scale)
+        if gather_form:
+            seconds += batch * num_blocks * table_size / (self.copy_elems_per_s * scale)
+            seconds += batch * n_out * num_blocks / (self.lut_gather_elems_per_s * scale)
+        else:
+            rate = (self.lut_scatter_elems_per_s
+                    if np.dtype(dtype) == np.float64 else self.scatter_elems_per_s)
+            seconds += batch * n_in * (n_out // d) / (rate * scale)
+        return seconds
+
     def select(self, batch: int, n_in: int, n_out: int, d: int,
                table_size: int, gather_form: bool, dtype=np.float64) -> str:
+        """Cheapest exact path for this shape.  ``lut_quant`` is approximate
+        and therefore opt-in only — ``auto`` never selects it."""
         dense = self.dense_seconds(batch, n_in, n_out, dtype)
         centroid = self.centroid_seconds(batch, n_in, n_out, d, table_size,
                                          gather_form, dtype)
-        return "centroid" if centroid < dense else "dense"
+        lut = self.lut_seconds(batch, n_in, n_out, d, table_size,
+                               gather_form, dtype)
+        best = "centroid" if centroid < dense else "dense"
+        if lut < min(centroid, dense):
+            best = "lut"
+        return best
 
 
 #: grouping strategies whose subvectors lie along the GEMM reduction axis,
@@ -140,7 +196,13 @@ class CentroidEngine:
             raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
         shape4 = weight_shape if len(weight_shape) == 4 else (*weight_shape, 1, 1)
         expected = grouped_shape(shape4, d, strategy)
-        assignments = np.asarray(assignments, dtype=np.int64)
+        # hold assignments at the narrowest safe integer width (uint8 for
+        # k <= 256, the paper's operating point) — no copy when the caller
+        # already supplies the narrow dtype (e.g. a shared-memory view)
+        assignments = np.asarray(assignments)
+        narrow = assignment_dtype(codebook.k)
+        if assignments.dtype != narrow:
+            assignments = assignments.astype(narrow)
         if assignments.shape[0] != expected[0]:
             raise ValueError(
                 f"{assignments.shape[0]} assignments for {expected[0]} subvectors")
@@ -155,29 +217,54 @@ class CentroidEngine:
         self.mode = mode
         self.cost_model = cost_model or InferenceCostModel()
         self.gather_forward = strategy in _REDUCTION_SIDE
+        #: alphabet size (levels per sign) of the ``lut_quant`` snap
+        self.act_levels = DEFAULT_ACT_LEVELS
+        #: mode that actually ran on the most recent forward/backward
+        self.last_mode: Optional[str] = None
 
         self._table: Optional[np.ndarray] = None       # (U, d) float64
         self._index: Optional[np.ndarray] = None       # (N_G,)
         self._assign2d: Optional[np.ndarray] = None    # strategy-specific 2D view
-        self._dense_cache: Dict[str, np.ndarray] = {}  # dtype -> (c_out, n_in)
-        self._table_cache: Dict[str, np.ndarray] = {}  # dtype -> (U, d)
+        self._dense_cache: Dict[str, np.ndarray] = {}  # cache key -> (c_out, n_in)
+        self._table_cache: Dict[str, np.ndarray] = {}  # cache key -> (U, d)
+        self._lut: Dict[str, np.ndarray] = {}          # "route"/"flat" LUTs
 
     # -- compressed state -----------------------------------------------------
+    def _index_view(self, index: np.ndarray) -> np.ndarray:
+        """Strategy-specific 2D reshape of the routing index (a view)."""
+        s = self.strategy
+        if s is GroupingStrategy.OUTPUT:
+            # rows (c_out/d, c_in, kh, kw): one assignment row per output group
+            return index.reshape(self.c_out // self.d, self.n_in)
+        if s is GroupingStrategy.INPUT:
+            # rows (c_out, c_in/d, kh, kw): blocks stride the reduction axis
+            return index.reshape(
+                self.c_out, (self.c_in // self.d) * self.kh * self.kw)
+        # KERNEL: rows (c_out, c_in), one kernel plane per subvector
+        return index.reshape(self.c_out, self.c_in)
+
     def _build_table(self) -> None:
         if self._table is not None:
             return
         self._table, self._index = effective_subvector_table(
             self.codebook, self.assignments, self.mask)
-        s = self.strategy
-        if s is GroupingStrategy.OUTPUT:
-            # rows (c_out/d, c_in, kh, kw): one assignment row per output group
-            self._assign2d = self._index.reshape(self.c_out // self.d, self.n_in)
-        elif s is GroupingStrategy.INPUT:
-            # rows (c_out, c_in/d, kh, kw): blocks stride the reduction axis
-            self._assign2d = self._index.reshape(
-                self.c_out, (self.c_in // self.d) * self.kh * self.kw)
-        else:  # KERNEL: rows (c_out, c_in), one kernel plane per subvector
-            self._assign2d = self._index.reshape(self.c_out, self.c_in)
+        self._assign2d = self._index_view(self._index)
+
+    def _build_lut(self) -> None:
+        """Precompute the flat routing LUT (once per layer, like the dense
+        cache): ``flat[row, col] = row * U + assign2d[row, col]`` oriented so
+        one table serves gather and scatter in both directions.  Routed reads
+        become a single ``np.take`` into the flattened ``(R*U, bc)`` partial
+        -product tensor; routed writes become ``np.bincount`` keys."""
+        if "flat" in self._lut:
+            return
+        self._build_table()
+        u = int(self._table.shape[0])
+        route = self._assign2d.T if self.gather_forward else self._assign2d
+        route = np.ascontiguousarray(route)
+        self._lut["route"] = route
+        self._lut["flat"] = (
+            route + np.arange(route.shape[0], dtype=np.int64)[:, None] * u)
 
     def share_tables_with(self, source: "CentroidEngine") -> None:
         """Adopt ``source``'s lazily-built derived state instead of building
@@ -196,11 +283,45 @@ class CentroidEngine:
         if source is self:
             return
         source._build_table()
+        # the narrow-width assignment copy is derived state too (the raw
+        # source array may have been wider) — share one physical copy
+        self.assignments = source.assignments
         self._table = source._table
         self._index = source._index
         self._assign2d = source._assign2d
         self._dense_cache = source._dense_cache
         self._table_cache = source._table_cache
+        self._lut = source._lut
+
+    def derived_arrays(self) -> Dict[str, np.ndarray]:
+        """Everything lazily derived from the raw compressed state, as flat
+        name -> array (read-only after build).  The serving tier ships these
+        in the :class:`~repro.serve.shm.ShmArena` so spawned workers adopt
+        them zero-copy instead of rebuilding per process."""
+        self._build_table()
+        out: Dict[str, np.ndarray] = {"table": self._table, "index": self._index}
+        for key, arr in self._lut.items():
+            out[f"lut/{key}"] = arr
+        for key, arr in self._table_cache.items():
+            out[f"table_cache/{key}"] = arr
+        for key, arr in self._dense_cache.items():
+            out[f"dense_cache/{key}"] = arr
+        return out
+
+    def adopt_derived(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Adopt previously exported derived state (inverse of
+        :meth:`derived_arrays`); arrays may be shared-memory views."""
+        self._table = np.asarray(arrays["table"])
+        self._index = np.asarray(arrays["index"])
+        self._assign2d = self._index_view(self._index)
+        for name, arr in arrays.items():
+            prefix, _, key = name.partition("/")
+            if prefix == "lut":
+                self._lut[key] = np.asarray(arr)
+            elif prefix == "table_cache":
+                self._table_cache[key] = np.asarray(arr)
+            elif prefix == "dense_cache":
+                self._dense_cache[key] = np.asarray(arr)
 
     @property
     def table_size(self) -> int:
@@ -208,14 +329,27 @@ class CentroidEngine:
         self._build_table()
         return int(self._table.shape[0])
 
+    def lut_table_bytes(self) -> int:
+        """Bytes held by the precomputed LUT routing tables and the
+        per-dtype effective-codeword tables (0 until the LUT path runs)."""
+        total = sum(arr.nbytes for arr in self._lut.values())
+        total += sum(arr.nbytes for arr in self._table_cache.values())
+        return int(total)
+
     @property
     def num_blocks(self) -> int:
         """Subvector blocks along the reduction axis (gather-form only)."""
         return self.n_in // self.d if self.gather_forward else self.n_in
 
+    def _cache_key(self, dtype: np.dtype) -> str:
+        """Per-dtype caches are also keyed by the integer assignment width,
+        so swapping in assignments of a different width (wider codebook,
+        adopted shared views) can never alias a stale entry."""
+        return f"{np.dtype(dtype).name}/{self.assignments.dtype.name}"
+
     def _table_as(self, dtype: np.dtype) -> np.ndarray:
         self._build_table()
-        key = np.dtype(dtype).name
+        key = self._cache_key(dtype)
         if key not in self._table_cache:
             self._table_cache[key] = np.ascontiguousarray(self._table, dtype=dtype)
         return self._table_cache[key]
@@ -223,7 +357,7 @@ class CentroidEngine:
     def weight_matrix(self, dtype: np.dtype) -> np.ndarray:
         """Cached dense ``(c_out, n_in)`` weight matrix (built at most once
         per dtype — this is the 'decode once' fallback, not a per-call decode)."""
-        key = np.dtype(dtype).name
+        key = self._cache_key(dtype)
         if key not in self._dense_cache:
             self._build_table()
             grouped = self._table[self._index]
@@ -255,6 +389,7 @@ class CentroidEngine:
         """Introspection for serving reports: mode, table reuse, shapes."""
         return {
             "mode": self.mode,
+            "last_mode": self.last_mode or self.mode,
             "strategy": self.strategy.value,
             "table_size": self.table_size,
             "subvectors": int(self.assignments.shape[0]),
@@ -263,6 +398,9 @@ class CentroidEngine:
             "n_in": self.n_in,
             "n_out": self.c_out,
             "gather_forward": self.gather_forward,
+            "assignments_dtype": self.assignments.dtype.name,
+            "act_levels": int(self.act_levels),
+            "lut_table_bytes": self.lut_table_bytes(),
         }
 
     # -- block layout helpers (gather-form strategies) ------------------------
@@ -330,6 +468,67 @@ class CentroidEngine:
         return np.ascontiguousarray(
             expanded.reshape(r, bc, self.d).transpose(1, 0, 2))
 
+    # -- integer/LUT cores ------------------------------------------------------
+    # Same dataflow as the centroid cores, but routing runs off the
+    # precomputed flat LUT: the gather direction reads the flattened
+    # (R*U, bc) partial-product tensor with one np.take per chunk, and the
+    # scatter direction turns routed writes into np.bincount over the flat
+    # keys, accumulating in the wide dtype.  Chunking and summation order
+    # match the centroid cores exactly, which is what makes the exact LUT
+    # mode bit-identical.
+
+    def _lut_gather_core(self, rows3: np.ndarray) -> np.ndarray:
+        """``(bc, R, d)`` operands x table -> routed ``(bc, out_width)``."""
+        table = self._table_as(rows3.dtype)
+        u = table.shape[0]
+        bc, r, _ = rows3.shape
+        flat = self._lut["flat"]
+        out_width = flat.shape[1]
+        prod = (rows3.reshape(bc * r, self.d) @ table.T).reshape(bc, r, u)
+        prod = np.ascontiguousarray(prod.transpose(1, 2, 0)).reshape(r * u, bc)
+        acc = np.zeros((out_width, bc), dtype=rows3.dtype)
+        chunk = max(1, distance_block_bytes() //
+                    max(1, out_width * bc * rows3.itemsize))
+        for lo in range(0, r, chunk):
+            acc += np.take(prod, flat[lo:lo + chunk], axis=0).sum(axis=0)
+        return acc.T
+
+    def _lut_scatter_core(self, values: np.ndarray) -> np.ndarray:
+        """``(bc, M)`` operands segment-summed via the flat-key bincount,
+        then expanded through the table -> ``(bc, R, d)``."""
+        table = self._table_as(values.dtype)
+        u = table.shape[0]
+        bc = values.shape[0]
+        flat = self._lut["flat"]
+        r, m = flat.shape
+        if values.dtype == np.float64:
+            keys = flat.ravel()
+            seg = np.empty((r * u, bc), dtype=np.float64)
+            for b in range(bc):
+                seg[:, b] = np.bincount(
+                    keys,
+                    weights=np.broadcast_to(values[b], (r, m)).ravel(),
+                    minlength=r * u)
+            seg = seg.reshape(r, u, bc)
+        else:
+            # float32: bincount accumulates internally in float64 and would
+            # break bit-identity with the centroid path — keep np.add.at
+            seg = np.zeros((r, u, bc), dtype=values.dtype)
+            np.add.at(seg, (np.arange(r)[:, None], self._lut["route"]),
+                      values.T[None, :, :])
+        expanded = seg.transpose(0, 2, 1).reshape(r * bc, u) @ table
+        return np.ascontiguousarray(
+            expanded.reshape(r, bc, self.d).transpose(1, 0, 2))
+
+    def _snap_activations(self, x: np.ndarray) -> np.ndarray:
+        """Snap to the symmetric ``2 * act_levels + 1``-point alphabet
+        (per-call max-abs scale) used by ``lut_quant``."""
+        amax = float(np.max(np.abs(x))) if x.size else 0.0
+        if amax == 0.0:
+            return x
+        scale = amax / float(self.act_levels)
+        return (np.round(x / scale) * scale).astype(x.dtype, copy=False)
+
     def _centroid_chunks(self, total: int, itemsize: int):
         """Batch-row chunks sized so the (bc, R, U) product tensor of
         either core respects the global block budget."""
@@ -375,19 +574,62 @@ class CentroidEngine:
             grad_cols[lo:hi] = self._from_blocks(blocks3)
         return grad_cols
 
+    # -- integer/LUT forward/backward ------------------------------------------
+    def _forward_lut(self, cols: np.ndarray, quant: bool) -> np.ndarray:
+        """Exact LUT forward, or (``quant``) the quantized-activation variant
+        accumulating in the wide dtype with the narrow compute dtype only at
+        the boundary."""
+        self._build_lut()
+        work = cols
+        if quant:
+            work = self._snap_activations(cols).astype(accum_dtype(), copy=False)
+        out = np.empty((work.shape[0], self.c_out), dtype=work.dtype)
+        for lo, hi in self._centroid_chunks(work.shape[0], work.itemsize):
+            if self.gather_forward:
+                out[lo:hi] = self._lut_gather_core(self._to_blocks(work[lo:hi]))
+            else:
+                partial = self._lut_scatter_core(work[lo:hi])
+                out[lo:hi] = partial.reshape(hi - lo, self.c_out)
+        return out.astype(cols.dtype, copy=False)
+
+    def _backward_lut(self, grad_out: np.ndarray, quant: bool) -> np.ndarray:
+        """LUT backward w.r.t. activations (straight-through in quant mode:
+        the upstream gradient is snapped to the same alphabet)."""
+        self._build_lut()
+        work = grad_out
+        if quant:
+            work = self._snap_activations(grad_out).astype(accum_dtype(),
+                                                           copy=False)
+        grad_cols = np.empty((work.shape[0], self.n_in), dtype=work.dtype)
+        n_go = self.c_out // self.d
+        for lo, hi in self._centroid_chunks(work.shape[0], work.itemsize):
+            if self.gather_forward:      # forward gathered -> backward scatters
+                blocks3 = self._lut_scatter_core(work[lo:hi])
+                grad_cols[lo:hi] = self._from_blocks(blocks3)
+            else:                        # OUTPUT: the transpose product gathers
+                rows3 = work[lo:hi].reshape(hi - lo, n_go, self.d)
+                grad_cols[lo:hi] = self._lut_gather_core(rows3)
+        return grad_cols.astype(grad_out.dtype, copy=False)
+
     # -- public entry points --------------------------------------------------
     def forward(self, cols: np.ndarray) -> np.ndarray:
         mode = self.choose_mode(cols.shape[0], cols.dtype)
+        self.last_mode = mode
         if mode == "dense":
             return cols @ self.weight_matrix(cols.dtype).T
+        if mode in ("lut", "lut_quant"):
+            return self._forward_lut(cols, quant=(mode == "lut_quant"))
         if self.gather_forward:
             return self._forward_gather(cols)
         return self._forward_scatter(cols)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         mode = self.choose_mode(grad_out.shape[0], grad_out.dtype)
+        self.last_mode = mode
         if mode == "dense":
             return grad_out @ self.weight_matrix(grad_out.dtype)
+        if mode in ("lut", "lut_quant"):
+            return self._backward_lut(grad_out, quant=(mode == "lut_quant"))
         if self.gather_forward:          # forward gathered -> backward scatters
             return self._backward_scatter(grad_out)
         return self._backward_gather(grad_out)

@@ -337,6 +337,10 @@ def stage_serve_eval(ctx: StageContext) -> None:
     batch_size = int(spec.get("batch_size", 8))
     num_samples = int(spec.get("num_samples", 2 * batch_size))
     mode = spec.get("mode", "auto")
+    act_levels = spec.get("act_levels")
+    # lut_quant trades exactness for speed; the stage fails if the deviation
+    # from exact compressed serving exceeds this relative-error budget
+    quant_budget = float(spec.get("quant_rel_err_budget", 0.05))
     input_shape = tuple(spec.get("input_shape", ctx.input_shape or (3, 16, 16)))
 
     rng = np.random.default_rng(int(spec.get("seed", 0)))
@@ -357,10 +361,22 @@ def stage_serve_eval(ctx: StageContext) -> None:
     for name, weight in saved_weights.items():
         modules[name].weight.copy_(weight)
 
-    with compressed_serving(ctx.model, compressed, mode=mode):
+    with compressed_serving(ctx.model, compressed, mode=mode) as swapped:
+        if act_levels is not None:
+            for module in swapped.values():
+                module.engine.act_levels = int(act_levels)
         start = time.perf_counter()
         outputs = predict_batched(ctx.model, inputs, batch_size=batch_size)
         seconds = time.perf_counter() - start
+        # resolved execution mode per layer (what `auto` actually picked)
+        # and the footprint of any LUT routing tables that were built
+        engine_modes: Dict[str, int] = {}
+        lut_table_bytes = 0
+        for module in swapped.values():
+            stats = module.engine.serving_stats()
+            resolved = stats.get("last_mode") or stats.get("mode")
+            engine_modes[resolved] = engine_modes.get(resolved, 0) + 1
+            lut_table_bytes += int(stats.get("lut_table_bytes", 0))
         # top-1 accuracy of the compressed model on the config's synthetic
         # validation split — the accuracy objective of repro.explore.  Only
         # measured when a ``data`` section is configured: its shape must
@@ -376,20 +392,38 @@ def stage_serve_eval(ctx: StageContext) -> None:
     scale = float(np.max(np.abs(reference))) or 1.0
     rel_err = (float(np.linalg.norm(outputs - original))
                / max(float(np.linalg.norm(original)), 1e-12))
+    # deviation from exact compressed serving (the dense-reconstructed
+    # reference) — zero for exact modes, bounded for lut_quant
+    rel_err_vs_exact = (float(np.linalg.norm(outputs - reference))
+                        / max(float(np.linalg.norm(reference)), 1e-12))
     ctx["serve_report"] = {
         "batch_size": batch_size,
         "num_samples": num_samples,
         "mode": mode,
+        "engine_modes": engine_modes,
+        "lut_table_bytes": int(lut_table_bytes),
         "seconds": float(seconds),
         "throughput_sps": float(num_samples / max(seconds, 1e-12)),
         "max_abs_diff": max_abs_diff,
         "outputs_match": bool(max_abs_diff <= 1e-6 * scale + 1e-9),
         "rel_err_vs_uncompressed": rel_err,
+        "rel_err_vs_exact": rel_err_vs_exact,
     }
     if val_accuracy is not None:
         ctx["serve_report"]["val_accuracy"] = val_accuracy
+    if mode == "lut_quant":
+        ctx["serve_report"]["quant_rel_err_budget"] = quant_budget
+        ctx["serve_report"]["quant_within_budget"] = bool(
+            rel_err_vs_exact <= quant_budget)
+        if rel_err_vs_exact > quant_budget:
+            raise ValueError(
+                f"lut_quant serving deviates from exact compressed outputs "
+                f"by rel err {rel_err_vs_exact:.4f} > budget "
+                f"{quant_budget:.4f} (raise serve.quant_rel_err_budget or "
+                f"serve.act_levels)")
     ctx.log("serve_eval", "run", max_abs_diff=max_abs_diff,
-            outputs_match=ctx["serve_report"]["outputs_match"])
+            outputs_match=ctx["serve_report"]["outputs_match"],
+            engine_modes=engine_modes)
 
 
 @register_stage("accel_eval", requires=("compressed",), provides=("accel_report",),

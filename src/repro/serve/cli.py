@@ -67,8 +67,18 @@ def build_parser() -> argparse.ArgumentParser:
                           help="thread replicas (default) or sharded worker "
                                "processes over a zero-copy shared-memory "
                                "arena (see README 'Sharded serving')")
-    batching.add_argument("--engine-mode", choices=("auto", "centroid", "dense"),
-                          default="auto", help="compressed-engine execution mode")
+    batching.add_argument("--engine-mode",
+                          choices=("auto", "centroid", "dense", "lut",
+                                   "lut_quant"),
+                          default=None,
+                          help="compressed-engine execution mode (default: "
+                               "the scenario serving section's engine_mode, "
+                               "else auto; lut_quant is the approximate "
+                               "quantized-activation mode)")
+    batching.add_argument("--act-levels", type=int, default=None,
+                          metavar="N",
+                          help="quantized-activation alphabet size per sign "
+                               "for lut_quant engines (default 127)")
     robustness = parser.add_argument_group("robustness")
     robustness.add_argument("--max-retries", type=int, default=None,
                             help="retry budget per request after replica "
@@ -219,12 +229,14 @@ def main(argv=None) -> int:
                   file=sys.stderr, flush=True)
             loaded.append(load_scenario(scenario_name, mode=args.engine_mode,
                                         replicas=replicas_in_process,
-                                        cache_dir=args.cache_dir))
+                                        cache_dir=args.cache_dir,
+                                        act_levels=args.act_levels))
         if args.npz:
             print(f"[serve] loading archive {args.npz!r} ({args.model}) ...",
                   file=sys.stderr, flush=True)
             loaded.append(load_npz(args.npz, args.model, mode=args.engine_mode,
-                                   replicas=replicas_in_process))
+                                   replicas=replicas_in_process,
+                                   act_levels=args.act_levels))
     except ManifestError as error:
         # a broken deploy artifact is an operator problem, not a traceback:
         # say which file (and array) and exit non-zero
@@ -314,6 +326,19 @@ def main(argv=None) -> int:
                   f"{line['throughput_rps']:.1f} req/s, latency p50 "
                   f"{lat['p50']:.2f} / p95 {lat['p95']:.2f} / "
                   f"p99 {lat['p99']:.2f} ms", file=sys.stderr)
+            engines = report.get("engines", {}).get(name, {})
+            if engines:
+                modes: Dict[str, int] = {}
+                lut_bytes = 0
+                for stats in engines.values():
+                    mode = stats.get("last_mode", stats.get("mode"))
+                    modes[mode] = modes.get(mode, 0) + 1
+                    lut_bytes += int(stats.get("lut_table_bytes", 0))
+                mode_list = ", ".join(f"{mode} x{count}" for mode, count
+                                      in sorted(modes.items()))
+                print(f"[serve] {name}: engine modes [{mode_list}], "
+                      f"LUT tables {lut_bytes / 1024:.1f} KiB",
+                      file=sys.stderr)
         print(json.dumps(report, indent=2), file=sys.stderr)
     return 0
 

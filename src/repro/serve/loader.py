@@ -87,7 +87,8 @@ class LoadedModel:
                 f"model {self.name!r} has no spawn-safe builder spec; "
                 "process workers need a scenario or model-zoo source")
         kwargs.setdefault("max_batch_size", self.policy().max_batch_size)
-        kwargs.setdefault("mode", self.meta.get("mode", "auto"))
+        if kwargs.get("mode") is None:
+            kwargs["mode"] = self.meta.get("mode", "auto")
         return ProcessReplicaPool(self.compressed, self.builder_spec,
                                   self.input_shape, workers=workers,
                                   model=self.replicas[0], **kwargs)
@@ -193,7 +194,7 @@ def replica_state_report(replicas: List[Module]) -> Dict[str, Any]:
 
 
 def _replicate(model: Module, build_fresh, count: int, compressed,
-               mode: str) -> List[Module]:
+               mode: str, act_levels: Optional[int] = None) -> List[Module]:
     """``count`` independent serving replicas of one compressed model.
 
     The first replica is the live model itself; extra replicas are fresh
@@ -220,6 +221,9 @@ def _replicate(model: Module, build_fresh, count: int, compressed,
     primary_swapped = None
     for replica in replicas:
         swapped = swap_to_compressed(replica, compressed, mode=mode)
+        if act_levels is not None:
+            for module in swapped.values():
+                module.engine.act_levels = int(act_levels)
         if primary_swapped is None:
             primary_swapped = swapped
         else:
@@ -234,13 +238,17 @@ def _replicate(model: Module, build_fresh, count: int, compressed,
     return replicas
 
 
-def load_scenario(name: str, mode: str = "auto", replicas: int = 1,
-                  cache_dir: Optional[str] = None) -> LoadedModel:
+def load_scenario(name: str, mode: Optional[str] = None, replicas: int = 1,
+                  cache_dir: Optional[str] = None,
+                  act_levels: Optional[int] = None) -> LoadedModel:
     """Compress a registered scenario's model and prepare it for serving.
 
     Runs the four core compression stages (cluster results come from the
     artifact cache when ``cache_dir`` is warm), then swaps the decode-free
-    modules into ``replicas`` independent copies.
+    modules into ``replicas`` independent copies.  ``mode`` and
+    ``act_levels`` default to the scenario serving section's ``engine_mode``
+    / ``act_levels`` keys, so a scenario can pin the LUT fast path (or the
+    quantized-activation variant) declaratively; explicit arguments win.
     """
     from repro.pipeline.config import CORE_STAGES
     from repro.pipeline.scenarios import get_scenario, run_scenario
@@ -248,9 +256,13 @@ def load_scenario(name: str, mode: str = "auto", replicas: int = 1,
     scenario = get_scenario(name)
     result = run_scenario(scenario, stages=CORE_STAGES, cache_dir=cache_dir)
     compressed = result.compressed
-    models = _replicate(compressed.model, scenario.build_model, replicas,
-                        compressed, mode)
     serving_spec = dict(scenario.pipeline.get("serving", {}) or {})
+    if mode is None:
+        mode = str(serving_spec.get("engine_mode", "auto"))
+    if act_levels is None and serving_spec.get("act_levels") is not None:
+        act_levels = int(serving_spec["act_levels"])
+    models = _replicate(compressed.model, scenario.build_model, replicas,
+                        compressed, mode, act_levels=act_levels)
     return LoadedModel(
         name=scenario.name,
         replicas=models,
@@ -325,10 +337,12 @@ def verify_npz(path: Any) -> Dict[str, Any]:
     return manifest
 
 
-def load_npz(path: str, model: str, mode: str = "auto", replicas: int = 1,
+def load_npz(path: str, model: str, mode: Optional[str] = None,
+             replicas: int = 1,
              model_kwargs: Optional[Dict[str, Any]] = None,
              input_shape: Tuple[int, ...] = (3, 16, 16),
-             name: Optional[str] = None) -> LoadedModel:
+             name: Optional[str] = None,
+             act_levels: Optional[int] = None) -> LoadedModel:
     """Serve a serialized ``.npz`` compressed-model manifest.
 
     ``model`` names a :data:`repro.nn.models.MODEL_ZOO` architecture the
@@ -342,6 +356,8 @@ def load_npz(path: str, model: str, mode: str = "auto", replicas: int = 1,
     kwargs = dict(model_kwargs or {})
     factory = get_model_factory(model)
     verify_npz(path)
+    if mode is None:
+        mode = "auto"
 
     def build_fresh() -> Module:
         return factory(**kwargs)
@@ -356,7 +372,8 @@ def load_npz(path: str, model: str, mode: str = "auto", replicas: int = 1,
         raise ManifestError(
             path, f"archive does not match the {model!r} architecture: "
                   f"{error}") from error
-    models = _replicate(live, build_fresh, replicas, compressed, mode)
+    models = _replicate(live, build_fresh, replicas, compressed, mode,
+                        act_levels=act_levels)
     return LoadedModel(
         name=name or f"{model}@{path}",
         replicas=models,

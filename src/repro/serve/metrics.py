@@ -183,7 +183,15 @@ class StatsRegistry:
 
     def __init__(self):
         self._metrics: Dict[str, ServingMetrics] = {}
+        self._info: Dict[str, Dict[str, Any]] = {}
         self._lock = threading.Lock()
+
+    def set_info(self, name: str, info: Dict[str, Any]) -> None:
+        """Attach static per-model serving info — e.g. the per-layer engine
+        report (resolved execution mode, LUT table bytes) — surfaced under
+        ``report()["engines"]``."""
+        with self._lock:
+            self._info[name] = dict(info)
 
     def for_model(self, name: str, window: Optional[int] = None) -> ServingMetrics:
         with self._lock:
@@ -195,9 +203,14 @@ class StatsRegistry:
     def report(self) -> Dict[str, Any]:
         with self._lock:
             items = list(self._metrics.items())
+            info = {name: dict(data) for name, data in self._info.items()}
         models = {name: metrics.snapshot() for name, metrics in items}
         return {
             "models": models,
+            # per-model {layer: engine stats} — resolved mode per layer
+            # (dense/centroid/lut/lut_quant), LUT table bytes, widths
+            "engines": {name: data.get("engines", {})
+                        for name, data in info.items()},
             # the per-model latency/throughput breakdown, keyed for clients
             # that only want the headline numbers per model
             "breakdown": {

@@ -137,6 +137,35 @@ class _ReplicaState:
         self.degraded = False
 
 
+#: serving_stats keys surfaced per layer in the server's engine report
+_ENGINE_STAT_KEYS = ("mode", "last_mode", "assignments_dtype",
+                     "lut_table_bytes", "table_size")
+
+
+def replica_engine_stats(replica: Module) -> Dict[str, Any]:
+    """Per-layer compressed-engine stats of one serving replica.
+
+    Thread replicas are walked in-process; process-replica proxies (which
+    expose ``info()``) report from inside their worker, so the modes shown
+    are the ones actually pinned in the serving process.  Models without
+    compressed engines yield ``{}``.
+    """
+    info_fn = getattr(replica, "info", None)
+    if callable(info_fn):
+        try:
+            return dict(info_fn().get("engines", {}))
+        except Exception:  # noqa: BLE001 - stats must never take a server down
+            return {}
+    engines: Dict[str, Any] = {}
+    for name, module in replica.named_modules():
+        engine = getattr(module, "engine", None)
+        if engine is None:
+            continue
+        stats = engine.serving_stats()
+        engines[name] = {key: stats[key] for key in _ENGINE_STAT_KEYS}
+    return engines
+
+
 class _ModelEntry:
     """Internal registry record: queue + replicas + workers + metrics."""
 
@@ -577,7 +606,14 @@ class ModelServer:
         return report
 
     def stats_report(self) -> Dict[str, Any]:
-        """JSON-able server stats: per-model latency/throughput/batch mix."""
+        """JSON-able server stats: per-model latency/throughput/batch mix
+        plus the per-layer engine report (resolved mode, LUT table bytes)."""
+        with self._lock:
+            entries = list(self._entries.items())
+        for name, entry in entries:
+            engines = replica_engine_stats(entry.replicas[0])
+            if engines:
+                self._stats.set_info(name, {"engines": engines})
         report = self._stats.report()
         with self._lock:
             report["queues"] = {name: entry.batcher.qsize()

@@ -87,6 +87,7 @@ def _build_architecture(builder: Tuple) -> Module:
 def _build_worker_model(spec: Dict[str, Any], arena: ShmArena) -> Module:
     """One serving-ready model built directly over the arena's views."""
     from repro.core.serialization import (
+        DERIVED_PREFIX,
         STATE_PREFIX,
         layers_from_serving_arrays,
     )
@@ -96,11 +97,27 @@ def _build_worker_model(spec: Dict[str, Any], arena: ShmArena) -> Module:
 
     views = arena.views
     layer_views = {name: view for name, view in views.items()
-                   if not name.startswith(STATE_PREFIX)}
+                   if not name.startswith((STATE_PREFIX, DERIVED_PREFIX))}
     layers = layers_from_serving_arrays(arena.meta["serving"], layer_views)
     model = _build_architecture(spec["builder"])
-    swap_to_compressed(model, SimpleNamespace(layers=layers),
-                       mode=spec["mode"])
+    swapped = swap_to_compressed(model, SimpleNamespace(layers=layers),
+                                 mode=spec["mode"])
+    # adopt the warmed source engines' derived tables (effective-codeword
+    # table, LUT routing tables, dtype caches) from the arena and pin each
+    # engine to the mode the source resolved — a pinned "lut"/"lut_quant"
+    # engine survives the spawn with zero table rebuilds
+    for name, info in (arena.meta.get("derived") or {}).items():
+        module = swapped.get(name)
+        if module is None:
+            continue
+        prefix = f"{DERIVED_PREFIX}{name.replace('.', '__')}::"
+        derived = {vn[len(prefix):]: view for vn, view in views.items()
+                   if vn.startswith(prefix)}
+        if derived:
+            module.engine.adopt_derived(derived)
+        module.engine.mode = info["mode"]
+        module.engine.act_levels = int(info.get("act_levels",
+                                                module.engine.act_levels))
     state = {name[len(STATE_PREFIX):]: view for name, view in views.items()
              if name.startswith(STATE_PREFIX)}
     adopt_state_views(model, state)
@@ -126,16 +143,22 @@ def _worker_info(model: Module, arena: ShmArena) -> Dict[str, Any]:
     Walks every parameter, buffer and compressed-engine array of the
     serving model and classifies its backing storage: inside the arena
     (``shared``) or private to this process.  ``private_state_bytes == 0``
-    is the sharded tier's contract — model state maps the one shared copy;
-    what remains private is derived/scratch state (tables, im2col buffers,
-    activations), which is what raw ``rss_bytes`` shows.
+    is the sharded tier's contract — model state maps the one shared copy.
+    Engine-*derived* state (effective-codeword/LUT tables, dtype caches) is
+    accounted separately: when the pool shipped it in the arena,
+    ``derived_private_bytes == 0`` proves the worker adopted the warmed
+    tables zero-copy instead of rebuilding them; what remains private is
+    scratch (im2col buffers, activations), which is what raw ``rss_bytes``
+    shows.
     """
     shared = 0
     private = 0
+    derived_shared = 0
+    derived_private = 0
     seen: set = set()
 
-    def account(array: Optional[np.ndarray]) -> None:
-        nonlocal shared, private
+    def account(array: Optional[np.ndarray], derived: bool = False) -> None:
+        nonlocal shared, private, derived_shared, derived_private
         if array is None:
             return
         array = np.asarray(array)
@@ -143,28 +166,44 @@ def _worker_info(model: Module, arena: ShmArena) -> Dict[str, Any]:
         if key in seen:
             return
         seen.add(key)
-        if arena.owns(array):
+        owned = arena.owns(array)
+        if derived:
+            if owned:
+                derived_shared += array.nbytes
+            else:
+                derived_private += array.nbytes
+        elif owned:
             shared += array.nbytes
         else:
             private += array.nbytes
 
     modes: Dict[str, int] = {}
+    engines: Dict[str, Dict[str, Any]] = {}
     for _, param in model.named_parameters():
         account(param.value)
     for _, buf in model.named_buffers():
         account(buf)
-    for _, module in model.named_modules():
+    for name, module in model.named_modules():
         engine = getattr(module, "engine", None)
         if engine is None:
             continue
         account(engine.codebook.codewords)
         account(engine.assignments)
         account(engine.mask)
+        for arr in engine.derived_arrays().values():
+            account(arr, derived=True)
         modes[engine.mode] = modes.get(engine.mode, 0) + 1
+        stats = engine.serving_stats()
+        engines[name] = {key: stats[key] for key in
+                         ("mode", "last_mode", "assignments_dtype",
+                          "lut_table_bytes", "table_size")}
     return {"pid": os.getpid(), "rss_bytes": _rss_bytes(),
             "arena_shared_bytes": int(shared),
             "private_state_bytes": int(private),
-            "engine_modes": modes}
+            "derived_shared_bytes": int(derived_shared),
+            "derived_private_bytes": int(derived_private),
+            "engine_modes": modes,
+            "engines": engines}
 
 
 def _worker_main(spec: Dict[str, Any], conn) -> None:
@@ -480,6 +519,7 @@ class ProcessReplicaPool:
         from repro.core.precision import compute_dtype, distance_block_bytes
         from repro.core.serialization import (
             STATE_PREFIX,
+            derived_serving_arrays,
             serving_arrays,
             serving_state_arrays,
         )
@@ -494,10 +534,27 @@ class ProcessReplicaPool:
 
         manifest, arrays = serving_arrays(compressed)
         state_source = model if model is not None else compressed.model
+        # when the source is a live serving model (engines swapped in), warm
+        # it at the serving shape so its engines resolve their modes and
+        # build their tables, then ship that derived state in the arena —
+        # workers adopt it zero-copy and inherit the pinned modes (including
+        # "lut"/"lut_quant") instead of re-deriving anything
+        derived_meta, derived = derived_serving_arrays(state_source,
+                                                       compressed)
+        if derived:
+            from repro.nn.serve import prepare_for_serving
+
+            prepare_for_serving(state_source, self.input_shape,
+                                int(max_batch_size), self.dtype)
+            derived_meta, derived = derived_serving_arrays(state_source,
+                                                           compressed)
+            arrays.update(derived)
         for key, value in serving_state_arrays(state_source,
                                                compressed).items():
             arrays[STATE_PREFIX + key] = value
-        self.arena = ShmArena.create(arrays, meta={"serving": manifest},
+        self.arena = ShmArena.create(arrays,
+                                     meta={"serving": manifest,
+                                           "derived": derived_meta},
                                      name=arena_name)
         self._ctx = multiprocessing.get_context(start_method)
         self.spec: Dict[str, Any] = {

@@ -45,7 +45,7 @@ class TestForwardBackwardEquivalence:
     @pytest.mark.parametrize("strategy,d,n_keep,m", STRATEGY_CONFIGS,
                              ids=[s.value for s, *_ in STRATEGY_CONFIGS])
     @pytest.mark.parametrize("store_mask", [True, False], ids=["masked", "unmasked"])
-    @pytest.mark.parametrize("mode", ["dense", "centroid", "auto"])
+    @pytest.mark.parametrize("mode", ["dense", "centroid", "lut", "auto"])
     def test_conv_matches_dense_reconstruction(self, strategy, d, n_keep, m,
                                                store_mask, mode, rng):
         compressed, reference = _compressed_conv_pair(

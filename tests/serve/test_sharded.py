@@ -212,3 +212,33 @@ class TestArenaLifecycle:
             t.join()
         for out in results:
             assert np.array_equal(out, expected)
+
+
+class TestLutDerivedZeroCopy:
+    """A pinned LUT engine mode must survive the spawn trip: workers adopt
+    the warmed routing tables from the arena (zero private derived bytes)
+    and serve bits identical to the parent's thread replica."""
+
+    def test_workers_adopt_lut_tables_zero_copy(self, requests):
+        cfg = LayerCompressionConfig(k=8, d=8, max_kmeans_iterations=2)
+        compressed = MVQCompressor(cfg).compress(resnet18_mini(**TINY))
+        replica = resnet18_mini(**TINY)
+        swap_to_compressed(replica, compressed, mode="lut")
+        replica.eval()
+        reference = predict_batched(replica, requests[:4], batch_size=4)
+        with ProcessReplicaPool(compressed, BUILDER, SHAPE, workers=1,
+                                max_batch_size=4, mode="lut",
+                                model=replica) as pool:
+            out = pool.replicas[0].forward(requests[:4])
+            info = pool.replicas[0].info()
+        assert np.array_equal(out, reference)
+        # raw compressed/model state AND engine-derived tables both resolve
+        # into the shared arena — nothing is rebuilt or copied per worker
+        assert info["private_state_bytes"] == 0
+        assert info["derived_private_bytes"] == 0
+        assert info["derived_shared_bytes"] > 0
+        assert set(info["engine_modes"]) == {"lut"}
+        sample = next(iter(info["engines"].values()))
+        assert sample["mode"] == "lut"
+        assert sample["assignments_dtype"] == "uint8"
+        assert sample["lut_table_bytes"] > 0
