@@ -60,12 +60,9 @@ DEFAULT_OBJECTIVES: Tuple[str, ...] = (
 
 
 def get_objective(name: str) -> Objective:
-    try:
-        return OBJECTIVES[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown objective {name!r}; available: {sorted(OBJECTIVES)}"
-        ) from None
+    from repro.workloads.resolving import resolve
+
+    return resolve(OBJECTIVES, name, "objective")
 
 
 def resolve_objectives(names: Iterable[str]) -> Tuple[Objective, ...]:

@@ -35,12 +35,9 @@ def register_space(space: SearchSpace, overwrite: bool = False) -> SearchSpace:
 
 
 def get_space(name: str) -> SearchSpace:
-    try:
-        return SPACES[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown search space {name!r}; available: {sorted(SPACES)}"
-        ) from None
+    from repro.workloads.resolving import resolve
+
+    return resolve(SPACES, name, "search space")
 
 
 def list_spaces() -> List[SearchSpace]:

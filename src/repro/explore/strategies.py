@@ -52,12 +52,9 @@ def register_strategy(name: str, description: str):
 
 
 def get_strategy(name: str) -> StrategyInfo:
-    try:
-        return STRATEGIES[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown strategy {name!r}; available: {sorted(STRATEGIES)}"
-        ) from None
+    from repro.workloads.resolving import resolve
+
+    return resolve(STRATEGIES, name, "strategy")
 
 
 def list_strategies() -> List[StrategyInfo]:

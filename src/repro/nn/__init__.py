@@ -18,10 +18,13 @@ from repro.nn.layers import (
     Dropout,
     Flatten,
     GlobalAvgPool2d,
+    LayerNorm,
     Linear,
     MaxPool2d,
+    MultiHeadAttention,
     ReLU,
     ReLU6,
+    SequenceMean,
     Upsample2d,
 )
 from repro.nn.losses import CrossEntropyLoss, MSELoss, Loss
@@ -54,6 +57,9 @@ __all__ = [
     "Flatten",
     "Dropout",
     "Add",
+    "LayerNorm",
+    "MultiHeadAttention",
+    "SequenceMean",
     "Upsample2d",
     "Loss",
     "CrossEntropyLoss",

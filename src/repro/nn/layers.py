@@ -351,6 +351,127 @@ class Add(Module):
         return grad_out, grad_out
 
 
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension (transformer style)."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.gamma = Parameter(np.ones(num_features), name="gamma")
+        self.beta = Parameter(np.zeros(num_features), name="beta")
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        # reductions in float64, like BatchNorm2d: normalisation statistics
+        # are accumulation-sensitive whatever dtype activations run in
+        mean = x.mean(axis=-1, keepdims=True, dtype=np.float64).astype(x.dtype)
+        var = x.var(axis=-1, keepdims=True, dtype=np.float64)
+        inv_std = (1.0 / np.sqrt(var + self.eps)).astype(x.dtype)
+        x_hat = (x - mean) * inv_std
+        self._cache = (x_hat, inv_std)
+        return self.gamma.value * x_hat + self.beta.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_hat, inv_std = self._cache
+        reduce_axes = tuple(range(grad_out.ndim - 1))
+        self.gamma.accumulate_grad(
+            (grad_out * x_hat).sum(axis=reduce_axes, dtype=np.float64))
+        self.beta.accumulate_grad(grad_out.sum(axis=reduce_axes, dtype=np.float64))
+        g = grad_out * self.gamma.value
+        g_mean = g.mean(axis=-1, keepdims=True)
+        gx_mean = (g * x_hat).mean(axis=-1, keepdims=True)
+        return inv_std * (g - g_mean - x_hat * gx_mean)
+
+
+class SequenceMean(Module):
+    """Mean over the token dimension of (batch, seq, features) tensors."""
+
+    def __init__(self):
+        super().__init__()
+        self._shape = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.mean(axis=1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        n, s, e = self._shape
+        return np.broadcast_to(grad_out[:, None, :] / s, (n, s, e)).copy()
+
+
+class MultiHeadAttention(Module):
+    """Multi-head self-attention over (batch, seq, embed) activations.
+
+    The four projections (query/key/value/output) are ordinary
+    :class:`Linear` layers, so the MVQ compressor (``include_linear=True``)
+    vector-quantizes them like any other weight matrix and the
+    compressed-domain engines serve them unchanged.  The score and context
+    GEMMs are activation-activation products and carry no weights.
+    """
+
+    def __init__(self, embed_dim: int, num_heads: int, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if embed_dim % num_heads != 0:
+            raise ValueError(
+                f"embed_dim ({embed_dim}) must be divisible by num_heads "
+                f"({num_heads})")
+        rng = rng or init.default_rng()
+        self.embed_dim = embed_dim
+        self.num_heads = num_heads
+        self.head_dim = embed_dim // num_heads
+        self.q = Linear(embed_dim, embed_dim, bias=bias, rng=rng)
+        self.k = Linear(embed_dim, embed_dim, bias=bias, rng=rng)
+        self.v = Linear(embed_dim, embed_dim, bias=bias, rng=rng)
+        self.out = Linear(embed_dim, embed_dim, bias=bias, rng=rng)
+        self._cache = None
+
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        n, s, _ = x.shape
+        return x.reshape(n, s, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _join_heads(self, x: np.ndarray) -> np.ndarray:
+        n, h, s, d = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(n, s, h * d)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if np.ndim(x) != 3:
+            raise ValueError(
+                f"attention expects (batch, seq, embed) input, got shape "
+                f"{np.shape(x)}")
+        q = self._split_heads(self.q.forward(x))       # (N, H, S, D)
+        k = self._split_heads(self.k.forward(x))
+        v = self._split_heads(self.v.forward(x))
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * scale  # (N, H, S, S)
+        scores -= scores.max(axis=-1, keepdims=True)    # stable softmax
+        attn = np.exp(scores)
+        attn /= attn.sum(axis=-1, keepdims=True)
+        context = attn @ v                              # (N, H, S, D)
+        self._cache = (q, k, v, attn, scale)
+        return self.out.forward(self._join_heads(context))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        q, k, v, attn, scale = self._cache
+        g_context = self._split_heads(self.out.backward(grad_out))
+        g_attn = g_context @ v.transpose(0, 1, 3, 2)
+        g_v = attn.transpose(0, 1, 3, 2) @ g_context
+        # softmax jacobian: dS = A * (dA - sum(dA * A))
+        g_scores = attn * (g_attn - (g_attn * attn).sum(axis=-1, keepdims=True))
+        g_q = (g_scores @ k) * scale
+        g_k = (g_scores.transpose(0, 1, 3, 2) @ q) * scale
+        grad_x = self.q.backward(self._join_heads(g_q))
+        grad_x = grad_x + self.k.backward(self._join_heads(g_k))
+        grad_x = grad_x + self.v.backward(self._join_heads(g_v))
+        return grad_x
+
+
 class Upsample2d(Module):
     """Nearest-neighbour spatial upsampling by an integer factor."""
 

@@ -31,12 +31,17 @@ MODEL_ZOO: Dict[str, Callable] = {
 
 
 def get_model_factory(name: str) -> Callable:
-    """Model-zoo factory by name, with a helpful error for typos."""
-    try:
-        return MODEL_ZOO[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown model {name!r}; available: {sorted(MODEL_ZOO)}") from None
+    """Model factory by name — deprecation shim over the unified registry.
+
+    New code should use :func:`repro.workloads.model_factory`, which also
+    resolves spec-backed workloads (``transformer_block``, the stress
+    shapes, user-registered JSON specs).  Zoo names return the *same*
+    factory objects as before — the registry is seeded from
+    :data:`MODEL_ZOO`, so outputs are bit-identical.
+    """
+    from repro.workloads.registry import model_factory
+
+    return model_factory(name)
 
 
 __all__ = [

@@ -45,8 +45,32 @@ def _jsonable(value: Any) -> Any:
     return value
 
 
+#: pipeline used when a bare workload-spec JSON is run directly; the spec's
+#: ``meta["pipeline"]`` dict overrides any of these keys
+_SPEC_SMOKE_PIPELINE = {
+    "preset": "mvq",
+    "base": {"k": 24, "max_kmeans_iterations": 10},
+    "include_linear": True,
+    "stages": ["group", "prune", "cluster", "quantize", "export",
+               "serve_eval", "accel_eval"],
+    "serve": {"batch_size": 4, "num_samples": 8},
+    "accelerator": {"setting": "EWS-CMS", "array_size": 64},
+}
+
+
 def _scenario_from_file(path: str, model: str) -> Scenario:
     data = json.loads(Path(path).read_text())
+    if "layers" in data:
+        # declarative workload spec: validate it, then wrap into a scenario
+        # that builds the model AND the accelerator table from the spec
+        from repro.workloads import WorkloadSpec
+
+        spec = WorkloadSpec.from_dict(data)
+        pipeline = dict(_SPEC_SMOKE_PIPELINE)
+        pipeline.update(spec.meta.get("pipeline", {}))
+        return Scenario(name=spec.name,
+                        description=spec.description or f"workload file {path}",
+                        model=spec.name, workload_spec=data, pipeline=pipeline)
     if "pipeline" in data:
         return Scenario.from_dict(data)
     # bare PipelineConfig dict: validate it, then wrap into an ad-hoc scenario

@@ -20,30 +20,76 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.pipeline.artifacts import ArtifactStore
 from repro.pipeline.config import DEFAULT_STAGES, PipelineConfig, _merge
 from repro.pipeline.runner import Pipeline, PipelineResult
+from repro.workloads.resolving import resolve
 
 
 @dataclass(frozen=True)
 class Scenario:
-    """One named end-to-end configuration."""
+    """One named end-to-end configuration.
+
+    The network comes from one of three sources, in precedence order:
+    ``workload_spec`` (an inline declarative spec dict), ``workload_file``
+    (a path to a spec JSON), or ``model`` (a name in the unified
+    :mod:`repro.workloads` registry — model-zoo minis and spec-backed
+    workloads alike).  When a spec drives the scenario it supplies the
+    executable model, the input shape and — unless ``workload`` pins a
+    different table — the accelerator workload, so one JSON file carries a
+    network through compress → serve → accel_eval with no per-model Python.
+    """
 
     name: str
     description: str
-    model: str = "resnet18"                       # repro.nn.models.MODEL_ZOO key
+    model: str = "resnet18"                       # repro.workloads registry key
     model_kwargs: Mapping[str, Any] = field(default_factory=dict)
     pipeline: Mapping[str, Any] = field(default_factory=dict)
-    workload: Optional[str] = None                # repro.accelerator.workloads key
+    workload: Optional[str] = None                # accelerator table key
     input_shape: Tuple[int, ...] = (3, 16, 16)
+    #: path to a declarative workload spec JSON (repro.workloads schema)
+    workload_file: Optional[str] = None
+    #: inline declarative workload spec dict (wins over ``workload_file``)
+    workload_spec: Optional[Mapping[str, Any]] = None
 
     def pipeline_config(self) -> PipelineConfig:
         return PipelineConfig.from_dict(dict(self.pipeline))
 
-    def build_model(self):
-        from repro.nn.models import get_model_factory
+    def resolve_workload_spec(self):
+        """The scenario's :class:`~repro.workloads.WorkloadSpec`, or None
+        when the scenario names a registry model instead."""
+        from repro.workloads import WorkloadSpec
 
-        return get_model_factory(self.model)(**dict(self.model_kwargs))
+        if self.workload_spec is not None:
+            return WorkloadSpec.from_dict(self.workload_spec)
+        if self.workload_file is not None:
+            return WorkloadSpec.from_file(self.workload_file)
+        return None
+
+    def effective_input_shape(self) -> Tuple[int, ...]:
+        spec = self.resolve_workload_spec()
+        return tuple(spec.input_shape) if spec is not None else tuple(self.input_shape)
+
+    def accel_workload(self) -> Optional[str]:
+        """The accelerator workload name ``accel_eval`` should price,
+        registering the scenario's spec so the name resolves."""
+        if self.workload is not None:
+            return self.workload
+        spec = self.resolve_workload_spec()
+        if spec is not None:
+            from repro.workloads import register_spec
+
+            register_spec(spec, source="user", overwrite=True)
+            return spec.name
+        return None
+
+    def build_model(self):
+        spec = self.resolve_workload_spec()
+        if spec is not None:
+            return spec.build_model(seed=int(dict(self.model_kwargs).get("seed", 0)))
+        from repro.workloads.registry import model_factory
+
+        return model_factory(self.model)(**dict(self.model_kwargs))
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "name": self.name,
             "description": self.description,
             "model": self.model,
@@ -52,6 +98,11 @@ class Scenario:
             "workload": self.workload,
             "input_shape": list(self.input_shape),
         }
+        if self.workload_file is not None:
+            data["workload_file"] = self.workload_file
+        if self.workload_spec is not None:
+            data["workload_spec"] = dict(self.workload_spec)
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
@@ -106,11 +157,7 @@ def get_scenario(name: str) -> Scenario:
             absent = ("repro", "repro.explore", "repro.explore.spaces")
             if error.name not in absent:
                 raise
-    try:
-        return SCENARIOS[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}") from None
+    return resolve(SCENARIOS, name, "scenario")
 
 
 def list_scenarios() -> List[Scenario]:
@@ -126,8 +173,9 @@ def run_scenario(name_or_scenario, stages: Optional[Sequence[str]] = None,
     config = scenario.pipeline_config()
     if cache_dir is not None and store is None:
         store = ArtifactStore(cache_dir)
-    pipeline = Pipeline(config, store=store, workload=scenario.workload,
-                        input_shape=scenario.input_shape, scenario=scenario.name)
+    pipeline = Pipeline(config, store=store, workload=scenario.accel_workload(),
+                        input_shape=scenario.effective_input_shape(),
+                        scenario=scenario.name)
     model = scenario.build_model()
     return pipeline.run(model, stages=stages)
 
@@ -242,3 +290,84 @@ for _case in "abcd":
         },
         workload="resnet18",
     ))
+
+# -- declarative-workload scenario families (spec-backed registry entries) ---
+
+register_scenario(Scenario(
+    name="transformer-block",
+    description="Declarative transformer encoder block: the attention/MLP "
+                "projections are MVQ-compressed (include_linear) and served "
+                "on the integer/LUT engine; accel_eval prices the attention "
+                "lowered to its four weight GEMMs.",
+    model="transformer_block",
+    model_kwargs={"seed": 1},
+    pipeline={
+        "preset": "mvq",
+        "base": dict(_TINY),
+        "include_linear": True,
+        "stages": list(DEFAULT_STAGES),
+        "serve": {"batch_size": 4, "num_samples": 8, "mode": "lut"},
+        "accelerator": {"setting": "EWS-CMS", "array_size": 64},
+        "serving": {"engine_mode": "lut", "max_batch_size": 8,
+                    "max_wait_ms": 2.0, "max_queue_size": 256,
+                    "overload": "shed"},
+    },
+    workload="transformer_block",
+    input_shape=(64, 32),
+))
+
+register_scenario(Scenario(
+    name="detection-simple",
+    description="SimpleDetector (ResNet backbone, class + box heads) through "
+                "compression, export and accelerator evaluation; its tuple "
+                "output uses task-specific eval instead of serve_eval.",
+    model="simple_detector",
+    model_kwargs={"num_classes": 5, "seed": 1},
+    pipeline={
+        "preset": "mvq",
+        "base": dict(_TINY),
+        "stages": ["group", "prune", "cluster", "quantize", "export",
+                   "accel_eval"],
+        "accelerator": {"setting": "EWS-CMS", "array_size": 64},
+    },
+    workload="simple_detector",
+))
+
+register_scenario(Scenario(
+    name="segmentation-deeplab",
+    description="DeepLab-lite segmenter (MobileNet-V2 backbone) end to end: "
+                "compress, export, serve the dense per-pixel logits and "
+                "price the schema-derived accelerator table.",
+    model="deeplab_lite",
+    model_kwargs={"num_classes": 4, "seed": 1},
+    pipeline={
+        "preset": "mvq",
+        "base": dict(_TINY),
+        # the 4-class 1x1 classifier has fewer subvectors than the codebook
+        # would need; keep it dense like the paper keeps final layers
+        "skip_layers": ["classifier"],
+        "stages": list(DEFAULT_STAGES),
+        "serve": {"batch_size": 4, "num_samples": 8},
+        "accelerator": {"setting": "EWS-CMS", "array_size": 64},
+    },
+    workload="deeplab_lite",
+))
+
+register_scenario(Scenario(
+    name="stress-gemm-tower",
+    description="Synthetic perf-harness stress shape: a tower of square "
+                "GEMMs compressed with include_linear and served on the "
+                "LUT engine.",
+    model="stress_gemm_tower",
+    model_kwargs={"seed": 1},
+    pipeline={
+        "preset": "mvq",
+        "base": dict(_TINY),
+        "include_linear": True,
+        "stages": list(DEFAULT_STAGES),
+        "serve": {"batch_size": 4, "num_samples": 8, "mode": "lut"},
+        "accelerator": {"setting": "EWS-CMS", "array_size": 64},
+    },
+    workload="stress_gemm_tower",
+    input_shape=(256,),
+))

@@ -70,11 +70,9 @@ def register_stage(name: str, requires: Tuple[str, ...] = (),
 
 
 def get_stage(name: str) -> StageInfo:
-    try:
-        return _REGISTRY[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown stage {name!r}; available: {sorted(_REGISTRY)}") from None
+    from repro.workloads.resolving import resolve
+
+    return resolve(_REGISTRY, name, "stage")
 
 
 def available_stages() -> Dict[str, StageInfo]:

@@ -267,7 +267,7 @@ def load_scenario(name: str, mode: Optional[str] = None, replicas: int = 1,
         name=scenario.name,
         replicas=models,
         compressed=compressed,
-        input_shape=tuple(scenario.input_shape),
+        input_shape=tuple(scenario.effective_input_shape()),
         serving_spec=serving_spec,
         builder_spec=("scenario", scenario.name),
         meta={

@@ -1,0 +1,45 @@
+"""Declarative workloads: one validated JSON spec drives the whole system.
+
+A :class:`WorkloadSpec` (ROADMAP's zigzag-style ``WorkloadFactory`` /
+``LayerNode``) describes a network as validated per-layer dicts and yields
+two factories from the same data: :meth:`~WorkloadSpec.build_model` (an
+executable :mod:`repro.nn` module that trains, compresses and serves) and
+:meth:`~WorkloadSpec.layer_shapes` (the accelerator
+:class:`~repro.accelerator.workloads.LayerShape` table).  The
+:mod:`~repro.workloads.registry` unifies these spec-backed workloads with
+the legacy model zoo and hand-written accelerator tables under one name
+space, and :func:`resolve` is the shared registry-lookup helper every named
+registry in the repo errors through.
+"""
+
+from repro.workloads.resolving import resolve
+from repro.workloads.schema import (INPUT_TAG, OP_TYPES, WEIGHT_OPS,
+                                    LayerNode, ResolvedLayer, WorkloadSpec,
+                                    WorkloadSpecError)
+from repro.workloads.builder import SpecModel
+from repro.workloads.registry import (WorkloadEntry, get_entry, list_entries,
+                                      model_factory, model_zoo, register,
+                                      register_spec, shape_factory,
+                                      shape_tables, spec_entries)
+
+__all__ = [
+    "resolve",
+    "INPUT_TAG",
+    "OP_TYPES",
+    "WEIGHT_OPS",
+    "LayerNode",
+    "ResolvedLayer",
+    "WorkloadSpec",
+    "WorkloadSpecError",
+    "SpecModel",
+    "WorkloadEntry",
+    "get_entry",
+    "list_entries",
+    "model_factory",
+    "model_zoo",
+    "register",
+    "register_spec",
+    "shape_factory",
+    "shape_tables",
+    "spec_entries",
+]

@@ -1,0 +1,110 @@
+"""Spec-driven scenarios: one JSON workload drives pipeline + accelerator."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.pipeline.cli import _scenario_from_file
+from repro.pipeline.scenarios import Scenario, get_scenario, run_scenario
+from repro.workloads import WorkloadSpec, shape_factory
+
+_SMALL_SPEC = {
+    "name": "cli_spec_net",
+    "input_shape": [3, 16, 16],
+    "layers": [
+        {"name": "stem", "op": "conv",
+         "dims": {"in_channels": 3, "out_channels": 16, "kernel_size": 3,
+                  "padding": 1},
+         "bias": False, "norm": "batch", "act": "relu", "save_as": "skip"},
+        {"name": "body", "op": "conv",
+         "dims": {"in_channels": 16, "out_channels": 16, "kernel_size": 3,
+                  "padding": 1},
+         "bias": False, "norm": "batch"},
+        {"name": "add", "op": "residual", "dims": {"from": "skip"},
+         "act": "relu"},
+        {"name": "pool", "op": "pool", "dims": {"kind": "global_avg"}},
+        {"name": "head", "op": "linear",
+         "dims": {"in_features": 16, "out_features": 4}},
+    ],
+    "meta": {"pipeline": {"stages": ["group", "prune", "cluster", "quantize",
+                                     "export", "serve_eval", "accel_eval"]}},
+}
+
+
+class TestScenarioRegistry:
+    @pytest.mark.parametrize("name", ["transformer-block", "detection-simple",
+                                      "segmentation-deeplab",
+                                      "stress-gemm-tower"])
+    def test_new_scenario_families_are_registered(self, name):
+        scenario = get_scenario(name)
+        assert scenario.workload is not None
+        # every new scenario's workload resolves to a spec-derived table
+        assert shape_factory(scenario.workload)()
+
+    def test_workload_spec_round_trips_through_to_dict(self):
+        scenario = Scenario(name="t", description="", model="cli_spec_net",
+                            workload_spec=_SMALL_SPEC, pipeline={"preset": "mvq"})
+        data = scenario.to_dict()
+        assert data["workload_spec"]["name"] == "cli_spec_net"
+        again = Scenario.from_dict(data)
+        assert again.resolve_workload_spec() == WorkloadSpec.from_dict(_SMALL_SPEC)
+        # scenarios without a spec keep their legacy dict shape
+        assert "workload_spec" not in get_scenario("quickstart-resnet18").to_dict()
+
+    def test_effective_input_shape_comes_from_the_spec(self):
+        scenario = Scenario(name="t", description="", model="cli_spec_net",
+                            workload_spec=_SMALL_SPEC, pipeline={})
+        assert scenario.effective_input_shape() == (3, 16, 16)
+        assert get_scenario("transformer-block").effective_input_shape() == (64, 32)
+
+
+class TestTransformerBlockEndToEnd:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_scenario("transformer-block")
+
+    def test_all_stages_ran(self, result):
+        ran = {e["stage"] for e in result.events if e["status"] == "run"}
+        assert {"group", "prune", "cluster", "quantize", "export",
+                "serve_eval", "accel_eval"} <= ran
+
+    def test_attention_projections_compressed(self, result):
+        layers = set(result.compressed.layers)
+        assert {name for name in layers if name.endswith((".q", ".k", ".v",
+                                                          ".out"))}
+
+    def test_served_on_the_lut_engine(self, result):
+        serve = result.artifacts["serve_report"]
+        assert serve["outputs_match"]
+        assert set(serve["engine_modes"]) == {"lut"}
+
+    def test_accelerator_prices_the_lowered_gemms(self, result):
+        accel = result.artifacts["accel_report"]
+        assert accel["workload"] == "transformer_block"
+        assert accel["efficiency_tops_w"] > 0
+
+
+class TestWorkloadFileDrivesThePipeline:
+    def test_json_file_runs_compress_serve_accel(self, tmp_path):
+        path = tmp_path / "net.json"
+        path.write_text(json.dumps(_SMALL_SPEC))
+        scenario = _scenario_from_file(str(path), model="unused")
+        assert scenario.name == "cli_spec_net"
+        result = run_scenario(scenario)
+        assert result.compressed.compression_ratio() > 1
+        assert result.artifacts["serve_report"]["outputs_match"]
+        accel = result.artifacts["accel_report"]
+        assert accel["workload"] == "cli_spec_net"
+        # the spec table and the built model went through the same run
+        spec = WorkloadSpec.from_dict(_SMALL_SPEC)
+        assert shape_factory("cli_spec_net")() == spec.layer_shapes()
+
+    def test_meta_pipeline_overrides_apply(self, tmp_path):
+        data = dict(_SMALL_SPEC,
+                    meta={"pipeline": {"stages": ["group", "prune"]}})
+        path = tmp_path / "net.json"
+        path.write_text(json.dumps(data))
+        scenario = _scenario_from_file(str(path), model="unused")
+        assert scenario.pipeline["stages"] == ["group", "prune"]

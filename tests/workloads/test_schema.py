@@ -1,0 +1,157 @@
+"""Schema validation: bad specs fail at load time naming the field."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import WorkloadSpec, WorkloadSpecError
+from repro.workloads.specs import BUILTIN_SPECS
+
+
+def _spec(layers, input_shape=(3, 8, 8), **kwargs):
+    return WorkloadSpec(name="t", input_shape=input_shape, layers=layers,
+                        **kwargs)
+
+
+_CONV = {"name": "c1", "op": "conv",
+         "dims": {"in_channels": 3, "out_channels": 8, "kernel_size": 3,
+                  "padding": 1}}
+
+
+class TestValidation:
+    def test_unknown_op(self):
+        with pytest.raises(WorkloadSpecError, match=r"layers\[0\].op.*unknown op"):
+            _spec([{"name": "x", "op": "deconv", "dims": {}}])
+
+    def test_unknown_dims_key(self):
+        bad = dict(_CONV, dims=dict(_CONV["dims"], dilation=2))
+        with pytest.raises(WorkloadSpecError,
+                           match=r"layers\[0\].dims.*does not accept"):
+            _spec([bad])
+
+    def test_missing_required_dim(self):
+        with pytest.raises(WorkloadSpecError,
+                           match=r"layers\[0\].dims.kernel_size.*requires"):
+            _spec([{"name": "c", "op": "conv",
+                    "dims": {"in_channels": 3, "out_channels": 8}}])
+
+    def test_channel_mismatch(self):
+        bad = dict(_CONV, dims=dict(_CONV["dims"], in_channels=4))
+        with pytest.raises(WorkloadSpecError,
+                           match=r"dims.in_channels.*expects 4 input channels"):
+            _spec([bad])
+
+    def test_linear_feature_mismatch(self):
+        with pytest.raises(WorkloadSpecError, match="expects 9 input features"):
+            _spec([{"name": "fc", "op": "linear",
+                    "dims": {"in_features": 9, "out_features": 2}}],
+                  input_shape=(8,))
+
+    def test_linear_rejects_feature_map(self):
+        with pytest.raises(WorkloadSpecError, match="flatten"):
+            _spec([{"name": "fc", "op": "linear",
+                    "dims": {"in_features": 192, "out_features": 2}}])
+
+    def test_residual_unsaved_tag(self):
+        with pytest.raises(WorkloadSpecError,
+                           match=r"dims.from.*unsaved tag 'skip'"):
+            _spec([_CONV, {"name": "add", "op": "residual",
+                           "dims": {"from": "skip"}}])
+
+    def test_residual_shape_mismatch(self):
+        down = {"name": "c2", "op": "conv",
+                "dims": {"in_channels": 8, "out_channels": 8, "kernel_size": 3,
+                         "stride": 2, "padding": 1}}
+        with pytest.raises(WorkloadSpecError, match="adds tag 'skip' of shape"):
+            _spec([dict(_CONV, save_as="skip"), down,
+                   {"name": "add", "op": "residual", "dims": {"from": "skip"}}])
+
+    def test_input_from_unsaved_tag(self):
+        with pytest.raises(WorkloadSpecError,
+                           match=r"input_from.*unsaved tag 'trunk'"):
+            _spec([_CONV, dict(_CONV, name="c2", input_from="trunk",
+                               dims=dict(_CONV["dims"], in_channels=8))])
+
+    def test_duplicate_layer_name(self):
+        second = dict(_CONV, dims=dict(_CONV["dims"], in_channels=8))
+        with pytest.raises(WorkloadSpecError, match="duplicate layer name 'c1'"):
+            _spec([_CONV, second])
+
+    def test_reserved_input_tag(self):
+        with pytest.raises(WorkloadSpecError, match="reserved tag"):
+            _spec([dict(_CONV, save_as="input")])
+
+    def test_attention_heads_must_divide(self):
+        with pytest.raises(WorkloadSpecError,
+                           match=r"num_heads 3 must divide embed_dim 32"):
+            _spec([{"name": "attn", "op": "attention",
+                    "dims": {"embed_dim": 32, "num_heads": 3}}],
+                  input_shape=(16, 32))
+
+    def test_error_carries_field_path(self):
+        with pytest.raises(WorkloadSpecError) as info:
+            _spec([{"name": "x", "op": "deconv"}])
+        assert info.value.field == "layers[0].op"
+        assert "layers[0].op" in str(info.value)
+
+
+class TestSerialization:
+    def test_unknown_layer_field(self):
+        with pytest.raises(WorkloadSpecError, match="unknown layer fields"):
+            WorkloadSpec.from_dict({"name": "t", "input_shape": [8],
+                                    "layers": [{"name": "fc", "op": "linear",
+                                                "units": 4}]})
+
+    def test_unknown_spec_field(self):
+        with pytest.raises(WorkloadSpecError, match="unknown workload fields"):
+            WorkloadSpec.from_dict({"name": "t", "input_shape": [8],
+                                    "layers": [], "optimizer": "sgd"})
+
+    def test_missing_required_spec_field(self):
+        with pytest.raises(WorkloadSpecError, match="input_shape"):
+            WorkloadSpec.from_dict({"name": "t", "layers": []})
+
+    def test_bad_json(self):
+        with pytest.raises(WorkloadSpecError, match="not valid JSON"):
+            WorkloadSpec.from_json("{not json")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(WorkloadSpecError, match="does not exist"):
+            WorkloadSpec.from_file(tmp_path / "nope.json")
+
+    @pytest.mark.parametrize("name", sorted(BUILTIN_SPECS))
+    def test_builtin_round_trip(self, name):
+        spec = BUILTIN_SPECS[name]()
+        again = WorkloadSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.to_dict() == spec.to_dict()
+        assert spec.macs() > 0 and spec.num_weights() > 0
+
+    def test_save_load(self, tmp_path):
+        spec = BUILTIN_SPECS["transformer_block"]()
+        path = tmp_path / "tb.json"
+        spec.save(path)
+        assert WorkloadSpec.from_file(path) == spec
+
+
+class TestLowering:
+    def test_attention_lowers_to_four_gemms(self):
+        spec = BUILTIN_SPECS["transformer_block"]()
+        names = [s.name for s in spec.layer_shapes()]
+        attn = [n for n in names if n.startswith("attn.")]
+        assert attn == ["attn.q", "attn.k", "attn.v", "attn.out"]
+        # 64 tokens map onto an 8x8 grid: per-GEMM macs = E*E*64
+        q = next(s for s in spec.layer_shapes() if s.name == "attn.q")
+        assert q.input_size == 8 and q.macs == 32 * 32 * 64
+
+    def test_non_square_sequence_is_rejected_with_suggestion(self):
+        spec = WorkloadSpec(name="t", input_shape=(60, 32), layers=[
+            {"name": "attn", "op": "attention",
+             "dims": {"embed_dim": 32, "num_heads": 4}}])
+        with pytest.raises(WorkloadSpecError, match="49 or 64"):
+            spec.layer_shapes()
+
+    def test_parameter_free_ops_do_not_appear(self):
+        spec = BUILTIN_SPECS["transformer_block"]()
+        for shape in spec.layer_shapes():
+            assert shape.num_weights > 0
