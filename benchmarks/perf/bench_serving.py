@@ -259,8 +259,8 @@ def run_sharded(smoke: bool = False) -> Dict[str, object]:
     """
     import os
 
+    from repro.core.telemetry import quantile
     from repro.serve import ProcessReplicaPool
-    from repro.serve.metrics import percentile
 
     p = QUICK if smoke else FULL
     n, max_batch = p["num_requests"], p["max_batch"]
@@ -340,9 +340,9 @@ def run_sharded(smoke: bool = False) -> Dict[str, object]:
         "open_loop": {
             "offered_rps": offered_rps,
             "achieved_rps": n / trace_elapsed,
-            "latency_ms": {"p50": percentile(latencies, 50) * 1e3,
-                           "p95": percentile(latencies, 95) * 1e3,
-                           "p99": percentile(latencies, 99) * 1e3},
+            "latency_ms": {"p50": quantile(latencies, 0.50) * 1e3,
+                           "p95": quantile(latencies, 0.95) * 1e3,
+                           "p99": quantile(latencies, 0.99) * 1e3},
             "bit_identical": bool(np.array_equal(trace_out, reference)),
         },
         "arena_nbytes": info["arena"]["nbytes"],

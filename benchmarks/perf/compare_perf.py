@@ -25,7 +25,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 if __package__ in (None, ""):  # running as a plain script
     _root = Path(__file__).resolve().parents[2]
@@ -61,6 +61,11 @@ TRACKED: Dict[str, List[str]] = {
     # times, and cache-hit correctness is already hard-gated by
     # bench_explore.check_report and the explore-smoke CI job
     "explore": ["speedup_parallel_vs_sequential"],
+    # enabled/disabled span cost: a regression that bloats the disabled
+    # fast path (the telemetry.disabled_overhead guarantee) shrinks this
+    # ratio; the absolute ns budget is hard-gated by
+    # bench_telemetry.check_report
+    "telemetry": ["overhead_ratio_on_vs_off"],
 }
 
 
@@ -88,8 +93,15 @@ def tracked_metrics(report: Dict[str, Any]) -> Dict[str, float]:
 
 
 def compare(baseline: Dict[str, Any], current: Dict[str, Any],
-            tolerance: float = 0.2) -> List[str]:
-    """Regression errors (empty when the gate passes); prints a summary."""
+            tolerance: float = 0.2,
+            sections: Optional[Sequence[str]] = None) -> List[str]:
+    """Regression errors (empty when the gate passes); prints a summary.
+
+    ``sections`` restricts the comparison to those top-level report
+    sections (e.g. ``["serving", "telemetry"]``) — for CI jobs that only
+    regenerate part of the suite; a metric outside the listed sections is
+    neither required of ``current`` nor gated.
+    """
     current_tracked = tracked_metrics(current)
     if baseline.get("mode") == current.get("mode"):
         baseline_tracked = tracked_metrics(baseline)
@@ -108,6 +120,8 @@ def compare(baseline: Dict[str, Any], current: Dict[str, Any],
 
     errors: List[str] = []
     for key in sorted(set(current_tracked) | set(baseline_tracked)):
+        if sections is not None and key.split(".", 1)[0] not in sections:
+            continue
         have = current_tracked.get(key)
         want = baseline_tracked.get(key)
         if want is None:
@@ -135,11 +149,16 @@ def main(argv=None) -> int:
                         help="freshly generated perf report")
     parser.add_argument("--tolerance", type=float, default=0.2,
                         help="allowed fractional regression (default 0.2)")
+    parser.add_argument("--sections", default=None,
+                        help="comma-separated report sections to gate "
+                             "(default: all tracked sections)")
     args = parser.parse_args(argv)
 
     baseline = json.loads(Path(args.baseline).read_text())
     current = json.loads(Path(args.current).read_text())
-    errors = compare(baseline, current, tolerance=args.tolerance)
+    sections = args.sections.split(",") if args.sections else None
+    errors = compare(baseline, current, tolerance=args.tolerance,
+                     sections=sections)
     for error in errors:
         print(f"[compare] ERROR: {error}", file=sys.stderr)
     return 1 if errors else 0

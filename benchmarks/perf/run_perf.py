@@ -33,6 +33,7 @@ from benchmarks.perf import (
     bench_inference,
     bench_pipeline,
     bench_serving,
+    bench_telemetry,
     compare_perf,
 )
 
@@ -96,6 +97,7 @@ def main(argv=None) -> int:
             **bench_serving.run(smoke=smoke),
             "sharded": bench_serving.run_sharded(smoke=smoke)}),
         ("explore", bench_explore.run),
+        ("telemetry", bench_telemetry.run),
     )
     report = {
         "schema": 1,
@@ -165,12 +167,19 @@ def main(argv=None) -> int:
           f"({explore['workers_parallel']} workers), warm cache "
           f"{explore['cache_speedup']:.2f}x, "
           f"{explore['cold_cluster_layers_cached']} cluster results reused")
+    tele = report["telemetry"]
+    print(f"[perf] telemetry: disabled span point "
+          f"{tele['disabled_ns_per_span']:.0f} ns "
+          f"(budget {tele['disabled_budget_ns']:.0f} ns), enabled "
+          f"{tele['enabled_ns_per_span']:.0f} ns, on/off ratio "
+          f"{tele['overhead_ratio_on_vs_off']:.1f}x")
 
     errors = bench_inference.check_report(inference)
     errors += bench_pipeline.check_report(pipeline)
     errors += bench_serving.check_report(serving)
     errors += bench_serving.check_sharded_report(sharded)
     errors += bench_explore.check_report(explore)
+    errors += bench_telemetry.check_report(tele)
     for error in errors:
         print(f"[perf] ERROR: {error}", file=sys.stderr)
     return 1 if errors else 0

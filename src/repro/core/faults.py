@@ -47,6 +47,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence
 
+from repro.core import telemetry
+
 FAULT_KINDS = ("error", "delay", "corrupt")
 
 
@@ -233,6 +235,10 @@ class FaultPlan:
         if fired is None:
             return payload
         rule, salt = fired
+        # every firing is visible in the trace, making chaos runs diagnosable
+        telemetry.event("fault.injected", point=point, kind=rule.kind,
+                        tag=rule.error)
+        telemetry.counter_add(f"faults.injected.{point}")
         if rule.kind == "delay":
             time.sleep(rule.delay_ms / 1e3)
             return payload

@@ -21,6 +21,7 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.core import telemetry
 from repro.explore.runner import ExplorationResult, explore, render_report
 from repro.explore.space import SearchSpace
 from repro.explore.spaces import get_space, list_spaces
@@ -106,6 +107,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     run_p.add_argument("--fault-seed", type=int, default=0,
                        help="seed of the injected fault plan (same seed = "
                             "bit-identical chaos)")
+    run_p.add_argument("--trace", default=None, metavar="OUT.json",
+                       help="record a trace of the sweep (per-candidate "
+                            "spans grouped by wave) and write it as Chrome "
+                            "trace-event JSON; OUT.jsonl is written too")
 
     sub.add_parser("list-strategies", help="print the strategy registry")
     sub.add_parser("list-spaces", help="print the search-space registry")
@@ -145,6 +150,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     else:
         space = SearchSpace.from_dict(json.loads(Path(args.space).read_text()))
 
+    tracer = telemetry.enable() if args.trace else None
+
     if args.faults > 0.0:
         from repro.core.faults import FaultPlan, FaultRule
 
@@ -171,10 +178,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                          retries=args.retries, backend=args.backend)
     _print_result(result)
 
+    telemetry_summary = None
+    if tracer is not None:
+        telemetry_summary = tracer.summary()
+        tracer.export_chrome(args.trace)
+        tracer.export_jsonl(str(Path(args.trace).with_suffix(".jsonl")))
+        telemetry.disable()
+        for line in telemetry.format_summary(telemetry_summary,
+                                             prefix="[explore]"):
+            print(line)
+        print(f"[explore] wrote trace {args.trace} "
+              f"(open at https://ui.perfetto.dev)")
+
     # write the reports even for a failed sweep: stats.errors and the
     # per-candidate records are exactly what debugging it needs
     if args.output:
-        result.save(args.output)
+        if telemetry_summary is not None:
+            report = result.report()
+            report["telemetry"] = telemetry_summary
+            Path(args.output).write_text(
+                json.dumps(report, indent=2, sort_keys=True, default=str))
+        else:
+            result.save(args.output)
         print(f"[explore] wrote {args.output}")
     if args.csv:
         Path(args.csv).write_text(result.to_csv())

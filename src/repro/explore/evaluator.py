@@ -36,6 +36,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.core import telemetry
 from repro.core.compressor import _available_cpus, layer_config_to_dict
 from repro.core.faults import active_plan, fault_point
 from repro.explore.pareto import Objective, resolve_objectives
@@ -284,8 +285,19 @@ class Evaluator:
             return tuple(config.stages)
         return EXPLORE_STAGES
 
-    def evaluate_one(self, candidate: Candidate,
-                     fidelity: float = 1.0) -> CandidateResult:
+    def evaluate_one(self, candidate: Candidate, fidelity: float = 1.0,
+                     wave: str = "leader") -> CandidateResult:
+        with telemetry.span("explore.candidate", candidate=candidate.index,
+                            wave=wave, fidelity=fidelity,
+                            proxy=fidelity < 1.0) as sp:
+            result = self._evaluate_one(candidate, fidelity)
+            sp.set_attribute("attempts", result.attempts)
+            if result.error_type is not None:
+                sp.set_attribute("error", result.error_type)
+        return result
+
+    def _evaluate_one(self, candidate: Candidate,
+                      fidelity: float = 1.0) -> CandidateResult:
         start = time.perf_counter()
         error = self.validate(candidate)
         if error is not None:
@@ -380,21 +392,25 @@ class Evaluator:
 
         backend = self._backend_used = self._resolve_backend()
         results: Dict[int, CandidateResult] = {}
-        for wave in (leaders, followers):
+        for label, wave in (("leader", leaders), ("follower", followers)):
             if not wave:
                 continue
             if self.workers <= 1 or len(wave) == 1:
                 for candidate in wave:
-                    results[candidate.index] = self.evaluate_one(candidate,
-                                                                 fidelity)
+                    results[candidate.index] = self.evaluate_one(
+                        candidate, fidelity, wave=label)
             elif backend == "process":
+                # spans of spawned evaluation workers stay worker-local
+                # (no IPC trace channel here); the parent still sees the
+                # wave structure through the store's hit/miss counters
                 for candidate, outcome in zip(
                         wave, self._evaluate_wave_process(wave, fidelity)):
                     results[candidate.index] = outcome
             else:
                 with ThreadPoolExecutor(max_workers=self.workers) as pool:
                     for candidate, outcome in zip(wave, pool.map(
-                            lambda c: self.evaluate_one(c, fidelity), wave)):
+                            lambda c: self.evaluate_one(c, fidelity,
+                                                        wave=label), wave)):
                         results[candidate.index] = outcome
         return [results[c.index] for c in candidates]
 

@@ -53,6 +53,7 @@ from typing import Any, Dict, Optional, Union
 
 import numpy as np
 
+from repro.core import telemetry
 from repro.core.faults import fault_point
 
 #: sentinel returned by :meth:`ArtifactStore.get` on a miss (``None`` is a
@@ -133,9 +134,11 @@ class _KeyLock:
     milliseconds, so the default margin is enormous).
     """
 
-    def __init__(self, path: Path, timeout_s: float = 60.0):
+    def __init__(self, path: Path, timeout_s: float = 60.0,
+                 on_takeover=None):
         self.path = path
         self.timeout_s = timeout_s
+        self.on_takeover = on_takeover
 
     def __enter__(self) -> "_KeyLock":
         deadline = time.monotonic() + self.timeout_s
@@ -155,6 +158,9 @@ class _KeyLock:
                         self.path.unlink()
                     except OSError:
                         pass
+                    else:
+                        if self.on_takeover is not None:
+                            self.on_takeover()
                     continue
                 if time.monotonic() >= deadline:
                     raise TimeoutError(
@@ -197,6 +203,7 @@ class ArtifactStore:
         self.hits = 0
         self.misses = 0
         self.corrupted = 0
+        self.lock_takeovers = 0
 
     def _path(self, key: str) -> Path:
         return self.cache_dir / f"{key}.pkl"
@@ -218,6 +225,14 @@ class ArtifactStore:
                 self.hits += 1
             else:
                 self.misses += 1
+        telemetry.counter_add(
+            "artifacts.hits" if hit else "artifacts.misses")
+
+    def _count_takeover(self) -> None:
+        with self._lock:
+            self.lock_takeovers += 1
+        telemetry.counter_add("artifacts.lock_takeovers")
+        telemetry.event("artifacts.lock_takeover")
 
     # -- read path ------------------------------------------------------------
     def _read_manifest(self, key: str) -> Optional[Dict[str, Any]]:
@@ -243,6 +258,8 @@ class ArtifactStore:
                     pass  # another process already quarantined it
         with self._lock:
             self.corrupted += 1
+        telemetry.counter_add("artifacts.quarantined")
+        telemetry.event("artifacts.quarantine", key=key, reason=reason)
 
     def _load_disk(self, key: str) -> Any:
         path = self._path(key)
@@ -292,7 +309,7 @@ class ArtifactStore:
         manifest = json.dumps({"key": key, "digest": digest,
                                "size": len(payload),
                                "writer_pid": os.getpid()}).encode()
-        with _KeyLock(self._lock_path(key)):
+        with _KeyLock(self._lock_path(key), on_takeover=self._count_takeover):
             _atomic_write(self._path(key), payload)
             _atomic_write(self._manifest_path(key), manifest)
 
@@ -329,7 +346,9 @@ class ArtifactStore:
         """Snapshot of the hit/miss/corruption counters (for sweep reports)."""
         with self._lock:
             return {"hits": self.hits, "misses": self.misses,
-                    "corrupted": self.corrupted}
+                    "corrupted": self.corrupted,
+                    "quarantined": self.corrupted,
+                    "lock_takeovers": self.lock_takeovers}
 
     def __contains__(self, key: str) -> bool:
         if key in self._memory:

@@ -22,6 +22,7 @@ from typing import Any, Optional, Sequence
 
 import numpy as np
 
+from repro.core import telemetry
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.runner import PipelineResult
 from repro.pipeline.scenarios import Scenario, list_scenarios, run_scenario
@@ -123,6 +124,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                             "clustering)")
     run_p.add_argument("--output", default=None,
                        help="write the JSON run report to this path")
+    run_p.add_argument("--trace", default=None, metavar="OUT.json",
+                       help="record a trace of the run and write it as "
+                            "Chrome trace-event JSON (open in Perfetto or "
+                            "chrome://tracing); OUT.jsonl is written too")
 
     sub.add_parser("list-scenarios", help="print the scenario registry")
     sub.add_parser("list-stages", help="print the stage registry")
@@ -150,11 +155,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     scenario = (args.scenario if args.scenario is not None
                 else _scenario_from_file(args.config, args.model))
     stages = args.stages.split(",") if args.stages else None
+    tracer = telemetry.enable() if args.trace else None
     result = run_scenario(scenario, stages=stages, cache_dir=args.cache_dir)
     _print_result(result)
 
+    store = getattr(result.context, "store", None)
+    store_stats = store.stats() if store is not None else None
+    if store_stats is not None:
+        print("[pipeline] artifact store: "
+              f"{store_stats['hits']} hits, {store_stats['misses']} misses, "
+              f"{store_stats['quarantined']} quarantined, "
+              f"{store_stats['lock_takeovers']} lock takeovers")
+
+    summary = None
+    if tracer is not None:
+        summary = tracer.summary()
+        tracer.export_chrome(args.trace)
+        tracer.export_jsonl(str(Path(args.trace).with_suffix(".jsonl")))
+        telemetry.disable()
+        for line in telemetry.format_summary(summary, prefix="[pipeline]"):
+            print(line)
+        print(f"[pipeline] wrote trace {args.trace} "
+              f"(open at https://ui.perfetto.dev)")
+
     if args.output:
         report = _jsonable(result.report())
+        if store_stats is not None:
+            report["artifact_store"] = store_stats
+        if summary is not None:
+            report["telemetry"] = _jsonable(summary)
         Path(args.output).write_text(json.dumps(report, indent=2, sort_keys=True)
                                      + "\n")
         print(f"[pipeline] wrote {args.output}")

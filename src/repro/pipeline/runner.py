@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.core import telemetry
 from repro.core.compressor import CompressedModel, MVQCompressor
 from repro.pipeline.artifacts import ArtifactStore
 from repro.pipeline.config import CORE_STAGES, PipelineConfig
@@ -38,8 +39,19 @@ def run_stage(ctx: StageContext, name: str) -> None:
     stage = get_stage(name)
     for artifact in stage.requires:
         ensure_artifact(ctx, artifact)
-    stage.func(ctx)
+    logged = len(ctx.events)
+    with telemetry.timed_span(f"pipeline.stage.{name}") as sp:
+        stage.func(ctx)
     ctx.completed.append(name)
+    # one measurement drives both the trace and the stage report: every
+    # event this stage logged gets the span's wall time, and the stage's
+    # event detail rides along as span attributes
+    for event in ctx.events[logged:]:
+        event.setdefault("seconds", round(sp.duration_s, 6))
+        for key, value in event.items():
+            if key not in ("stage", "status") and isinstance(
+                    value, (str, int, float, bool)):
+                sp.set_attribute(key, value)
 
 
 def ensure_artifact(ctx: StageContext, artifact: str) -> None:

@@ -19,14 +19,13 @@ reads, leaves the cluster cache warm).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core import precision
+from repro.core import precision, telemetry
 from repro.core.compressor import CompressedModel, LayerCompressionConfig, MVQCompressor
 from repro.pipeline.artifacts import MISS, ArtifactStore, stable_hash
 
@@ -226,7 +225,9 @@ def stage_cluster(ctx: StageContext) -> None:
                 results[name] = value
                 cached_names.append(name)
         if fresh:
-            new = comp.cluster_layerwise(targets, prepared, subset=fresh)
+            with telemetry.span("pipeline.cluster.kmeans",
+                                layers=",".join(fresh)):
+                new = comp.cluster_layerwise(targets, prepared, subset=fresh)
             results.update(new)
             if ctx.store is not None:
                 for name in fresh:
@@ -363,9 +364,13 @@ def stage_serve_eval(ctx: StageContext) -> None:
         if act_levels is not None:
             for module in swapped.values():
                 module.engine.act_levels = int(act_levels)
-        start = time.perf_counter()
-        outputs = predict_batched(ctx.model, inputs, batch_size=batch_size)
-        seconds = time.perf_counter() - start
+        # timed_span measures whether tracing is on or off, so the stage
+        # report's throughput and the trace always agree on this duration
+        with telemetry.timed_span("pipeline.serve_eval.forward",
+                                  batch_size=batch_size,
+                                  num_samples=num_samples) as sp:
+            outputs = predict_batched(ctx.model, inputs, batch_size=batch_size)
+        seconds = sp.duration_s
         # resolved execution mode per layer (what `auto` actually picked)
         # and the footprint of any LUT routing tables that were built
         engine_modes: Dict[str, int] = {}

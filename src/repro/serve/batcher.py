@@ -24,6 +24,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Deque, List, Optional
 
+from repro.core import telemetry
+
 # the batcher's failure modes live in the serving error taxonomy; re-exported
 # here because they are raised from this module's API
 from repro.serve.errors import ServerClosed, ServerOverloaded
@@ -83,7 +85,7 @@ class Request:
     """
 
     __slots__ = ("id", "payload", "enqueued_at", "completed_at", "attempts",
-                 "deadline", "_event", "_result", "_error")
+                 "deadline", "trace_tid", "_event", "_result", "_error")
 
     def __init__(self, payload: Any, request_id: Optional[Any] = None):
         self.id = next(_request_ids) if request_id is None else request_id
@@ -92,6 +94,10 @@ class Request:
         self.completed_at: Optional[float] = None
         self.attempts = 0
         self.deadline: Optional[float] = None
+        # the submitting thread's id, so the request span lands on the
+        # client's track in the trace (only stamped while tracing is on)
+        self.trace_tid: Optional[int] = (
+            threading.get_ident() if telemetry.enabled() else None)
         self._event = threading.Event()
         self._result: Any = None
         self._error: Optional[BaseException] = None

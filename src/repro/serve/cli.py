@@ -34,6 +34,7 @@ from typing import Any, Dict, Optional, TextIO, Tuple
 
 import numpy as np
 
+from repro.core import telemetry
 from repro.serve.errors import ManifestError, error_payload
 from repro.serve.loader import load_npz, load_scenario
 from repro.serve.server import FaultPolicy, ModelServer, serving_chaos_plan
@@ -104,6 +105,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "responses are awaited (default 4x batch size)")
     parser.add_argument("--stats", action="store_true",
                         help="print the final stats report to stderr")
+    parser.add_argument("--trace", default=None, metavar="OUT.json",
+                        help="record a trace of the serving session and "
+                             "write it as Chrome trace-event JSON (open in "
+                             "Perfetto or chrome://tracing); with process "
+                             "workers their spans are merged into one tree; "
+                             "OUT.jsonl is written too")
     return parser
 
 
@@ -219,6 +226,10 @@ def main(argv=None) -> int:
     if args.stdin_jsonl and args.port is not None:
         parser.error("--stdin-jsonl and --port are mutually exclusive")
 
+    # enable tracing before any pool is built: worker processes inherit the
+    # trace flag through the pool spec at construction time
+    tracer = telemetry.enable() if args.trace else None
+
     # in process mode the in-process model is only the arena's state source;
     # the serving replicas are worker processes built by the pool
     replicas_in_process = 1 if args.worker_mode == "process" else args.workers
@@ -311,8 +322,21 @@ def main(argv=None) -> int:
                     pass  # client closed the stream; shut down quietly
     finally:
         # worker processes outlive the server's drain, never its exit
+        # (pool.close() pulls worker-side spans into the trace first)
         for pool in pools:
             pool.close()
+    telemetry_summary = None
+    if tracer is not None:
+        telemetry_summary = tracer.summary()
+        tracer.export_chrome(args.trace)
+        from pathlib import Path
+        tracer.export_jsonl(str(Path(args.trace).with_suffix(".jsonl")))
+        telemetry.disable()
+        for line in telemetry.format_summary(telemetry_summary,
+                                             prefix="[serve]"):
+            print(line, file=sys.stderr)
+        print(f"[serve] wrote trace {args.trace} "
+              f"(open at https://ui.perfetto.dev)", file=sys.stderr)
     if plan is not None:
         summary = plan.summary()
         print(f"[serve] injected faults: "
@@ -320,6 +344,8 @@ def main(argv=None) -> int:
               file=sys.stderr)
     if args.stats:
         report = server.stats_report()
+        if telemetry_summary is not None:
+            report["telemetry"] = telemetry_summary
         for name, line in report["breakdown"].items():
             lat = line["latency_ms"]
             print(f"[serve] {name}: {line['requests_completed']} requests, "

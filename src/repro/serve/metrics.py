@@ -14,24 +14,17 @@ import threading
 import time
 from typing import Any, Dict, List, Optional
 
+from repro.core.telemetry import quantile
+
 
 def percentile(values: List[float], q: float) -> float:
     """The ``q``-th percentile (0-100) by linear interpolation.
 
-    A tiny re-implementation (rather than ``np.percentile``) so stats
-    snapshots never pay an array conversion for a handful of floats and the
-    serve package keeps no hard numpy dependency on the metrics path.
+    A thin wrapper over :func:`repro.core.telemetry.quantile` (stdlib-only,
+    so the serve package keeps no hard numpy dependency on the metrics
+    path) — the one shared quantile implementation of the codebase.
     """
-    if not values:
-        return 0.0
-    data = sorted(values)
-    if len(data) == 1:
-        return float(data[0])
-    pos = (len(data) - 1) * (q / 100.0)
-    lo = int(pos)
-    hi = min(lo + 1, len(data) - 1)
-    frac = pos - lo
-    return float(data[lo] * (1.0 - frac) + data[hi] * frac)
+    return quantile(values, q / 100.0)
 
 
 class ServingMetrics:

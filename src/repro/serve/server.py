@@ -54,6 +54,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.core import telemetry
 from repro.core.faults import FaultPlan, FaultRule, fault_point
 from repro.nn.module import Module
 from repro.nn.serve import forward_padded, prepare_for_serving
@@ -393,6 +394,8 @@ class ModelServer:
         if (entry.fault_policy.reject_when_unavailable
                 and entry.healthy_replicas() == 0):
             entry.metrics.record_shed()
+            telemetry.event("serve.shed", model=entry.name,
+                            reason="replicas_unavailable")
             raise ReplicaUnavailable(
                 f"model {entry.name!r}: all {len(entry.replica_states)} "
                 "replicas are quarantined")
@@ -404,6 +407,8 @@ class ModelServer:
                                         deadline_s=deadline_s)
         except ServerOverloaded:
             entry.metrics.record_shed()
+            telemetry.event("serve.shed", model=entry.name,
+                            reason="queue_full")
             raise
 
     def predict(self, name: Optional[str], x: np.ndarray,
@@ -450,6 +455,8 @@ class ModelServer:
         for request in batch:
             if request.expired(now):
                 entry.metrics.record_timeout()
+                telemetry.event("serve.timeout", model=entry.name,
+                                request=request.id, phase="queued")
                 request.set_exception(RequestTimeout(
                     f"request {request.id} missed its deadline after "
                     f"{now - request.enqueued_at:.3f}s "
@@ -475,6 +482,8 @@ class ModelServer:
         if state.degraded:
             return
         state.degraded = True
+        telemetry.event("serve.degrade", model=entry.name,
+                        replica=state.index)
         degrade = getattr(state.model, "degrade_to_dense", None)
         if degrade is not None:
             # process replicas (and any other proxy) own their degradation
@@ -493,25 +502,64 @@ class ModelServer:
         batch failed and its requests were routed to retry / typed errors.
         """
         started = time.perf_counter()
-        try:
-            stacked = np.stack([request.payload for request in batch])
+        # hot path: branch on the tracer once so the disabled run never
+        # allocates an attribute dict or a span object per batch
+        tracer = telemetry.active_tracer()
+        batch_span = (tracer.span("serve.batch",
+                                  {"model": entry.name,
+                                   "replica": state.index,
+                                   "batch_size": len(batch)})
+                      if tracer is not None else telemetry.NOOP)
+        with batch_span:
             try:
-                outputs = self._forward_replica(entry, state, stacked)
-            except EngineFault:
-                if not entry.fault_policy.degrade_on_engine_fault:
-                    raise
-                self._degrade(entry, state)
-                outputs = self._forward_replica(entry, state, stacked)
-                entry.metrics.record_degraded(len(batch))
-        except Exception as error:  # noqa: BLE001 - routed per request below
-            self._handle_batch_failure(entry, state, batch, error)
-            return False
-        entry.metrics.record_batch(len(batch))
-        for row, request in enumerate(batch):
-            request.set_result(outputs[row])
-            entry.metrics.record_request(
-                latency_s=request.completed_at - request.enqueued_at,
-                queue_wait_s=started - request.enqueued_at)
+                with (tracer.span("serve.batch.assemble")
+                      if tracer is not None else telemetry.NOOP):
+                    stacked = np.stack([request.payload for request in batch])
+                forward_span = (tracer.span("serve.forward",
+                                            {"replica": state.index})
+                                if tracer is not None else telemetry.NOOP)
+                try:
+                    with forward_span:
+                        outputs = self._forward_replica(entry, state, stacked)
+                except EngineFault:
+                    if not entry.fault_policy.degrade_on_engine_fault:
+                        raise
+                    self._degrade(entry, state)
+                    with (tracer.span("serve.forward",
+                                      {"replica": state.index,
+                                       "degraded": True})
+                          if tracer is not None else telemetry.NOOP):
+                        outputs = self._forward_replica(entry, state, stacked)
+                    entry.metrics.record_degraded(len(batch))
+            except Exception as error:  # noqa: BLE001 - routed per request below
+                self._handle_batch_failure(entry, state, batch, error)
+                return False
+            entry.metrics.record_batch(len(batch))
+            for row, request in enumerate(batch):
+                request.set_result(outputs[row])
+                entry.metrics.record_request(
+                    latency_s=request.completed_at - request.enqueued_at,
+                    queue_wait_s=started - request.enqueued_at)
+        if tracer is not None:
+            tracer.counter_add("serve.batches")
+            tracer.counter_add("serve.requests.completed", len(batch))
+            for request in batch:
+                # reconstruct the request's phases on the submitting
+                # thread's track: enqueue -> queue-wait -> execute
+                tid, thread = request.trace_tid, "client"
+                if tid is None:
+                    tid, thread = None, None
+                tracer.record_span(
+                    "serve.request", request.enqueued_at,
+                    request.completed_at, tid=tid, thread=thread,
+                    attrs={"id": request.id, "model": entry.name,
+                           "attempts": request.attempts})
+                tracer.record_span("serve.request.queue_wait",
+                                   request.enqueued_at, started,
+                                   tid=tid, thread=thread)
+                tracer.record_span("serve.request.execute", started,
+                                   request.completed_at, tid=tid,
+                                   thread=thread)
         return True
 
     def _handle_batch_failure(self, entry: _ModelEntry, state: _ReplicaState,
@@ -526,18 +574,29 @@ class ModelServer:
             request.attempts += 1
             if request.expired(now):
                 entry.metrics.record_timeout()
+                telemetry.event("serve.timeout", model=entry.name,
+                                request=request.id, phase="retry",
+                                attempts=request.attempts)
                 request.set_exception(RequestTimeout(
                     f"request {request.id} missed its deadline during retry "
                     f"(attempt {request.attempts}: "
                     f"{type(error).__name__}: {error})"))
             elif request.attempts > policy.max_retries:
                 entry.metrics.record_failure()
+                telemetry.event("serve.failed", model=entry.name,
+                                request=request.id,
+                                attempts=request.attempts,
+                                error=type(error).__name__)
                 request.set_exception(RequestFailed(
                     f"request {request.id} failed after {request.attempts} "
                     f"attempts; last error: {type(error).__name__}: {error}",
                     cause=error, attempts=request.attempts))
             else:
                 entry.metrics.record_retry()
+                telemetry.event("serve.retry", model=entry.name,
+                                request=request.id,
+                                attempts=request.attempts,
+                                error=type(error).__name__)
                 entry.batcher.requeue_later(
                     request, policy.backoff_s(request.attempts))
 
@@ -556,6 +615,9 @@ class ModelServer:
         with entry.health_lock:
             state.healthy = False
         entry.metrics.record_quarantine()
+        telemetry.event("serve.quarantine", model=entry.name,
+                        replica=state.index,
+                        consecutive_failures=state.consecutive_failures)
         rewarm_s = policy.rewarm_after_ms / 1e3
         while True:
             waited = 0.0
@@ -584,6 +646,8 @@ class ModelServer:
             state.healthy = True
         state.consecutive_failures = 0
         entry.metrics.record_restart()
+        telemetry.event("serve.restart", model=entry.name,
+                        replica=state.index)
 
     # -- stats ----------------------------------------------------------------
     def health_report(self) -> Dict[str, Any]:

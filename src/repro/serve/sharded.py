@@ -44,6 +44,7 @@ arena name does.
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import os
 import threading
@@ -53,12 +54,18 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core import telemetry
 from repro.core.faults import fault_point
 from repro.nn.module import Module
 from repro.serve.errors import EngineFault, WorkerFault
 from repro.serve.shm import ShmArena
 
 __all__ = ["ProcessReplica", "ProcessReplicaPool", "worker_chaos_plan"]
+
+#: globally unique forward sequence numbers (across replicas and pools), so
+#: a traced worker-side span is unambiguously matched to the one parent-side
+#: IPC window that observed it
+_forward_seq = itertools.count(1)
 
 
 # -- worker-process side -------------------------------------------------------
@@ -223,6 +230,13 @@ def _worker_main(spec: Dict[str, Any], conn) -> None:
     arena = None
     try:
         try:
+            if spec.get("trace"):
+                # worker-local tracer: spans are recorded against this
+                # process's perf_counter clock and shipped to the parent on
+                # a ("trace",) request, which clock-offset-corrects and
+                # merges them into the parent trace
+                telemetry.enable(
+                    process_name=f"serve-worker pid {os.getpid()}")
             set_compute_dtype(spec["compute_dtype"])
             set_distance_block_bytes(spec["distance_block_bytes"])
             arena = ShmArena.attach(spec["arena"])
@@ -241,12 +255,28 @@ def _worker_main(spec: Dict[str, Any], conn) -> None:
                 return  # parent is gone; exit quietly
             op = message[0]
             if op == "forward":
+                # the parent sends a sequence number while tracing, so the
+                # worker-side span can be matched to the parent-side IPC
+                # window when clock offsets are fitted
+                seq = message[2] if len(message) > 2 else None
+                tracer = telemetry.active_tracer()
                 try:
-                    outputs = np.asarray(model.forward(message[1]))
+                    if tracer is None:
+                        outputs = np.asarray(model.forward(message[1]))
+                    else:
+                        with tracer.span(
+                                "serve.worker.forward",
+                                {"seq": seq,
+                                 "batch": int(np.asarray(
+                                     message[1]).shape[0])}):
+                            outputs = np.asarray(model.forward(message[1]))
                     reply = ("ok", outputs)
                 except Exception as error:  # noqa: BLE001 - shipped as data
                     reply = ("err", type(error).__name__, str(error),
                              getattr(error, "code", None))
+            elif op == "trace":
+                tracer = telemetry.active_tracer()
+                reply = ("ok", tracer.drain() if tracer is not None else [])
             elif op == "degrade":
                 for _, module in model.named_modules():
                     engine = getattr(module, "engine", None)
@@ -304,6 +334,10 @@ class ProcessReplica(Module):
         self._degraded = False
         self._closed = False
         self._launched_once = False
+        # tracing: the parent-side IPC windows (t0, t1) each traced forward
+        # (keyed by its sequence number) was observed in, for clock-offset
+        # fitting when the worker's spans are collected
+        self._trace_windows: Dict[int, Tuple[float, float]] = {}
 
     # -- lifecycle -------------------------------------------------------------
     def _launch_locked(self) -> None:
@@ -417,8 +451,23 @@ class ProcessReplica(Module):
         with self._lock:
             self._ensure_alive_locked()
             fault_point("serve.worker.ipc")
-            reply = self._request_locked(("forward", np.asarray(x)),
-                                         self._pool.request_timeout_s)
+            tracer = telemetry.active_tracer()
+            if tracer is None:
+                reply = self._request_locked(("forward", np.asarray(x)),
+                                             self._pool.request_timeout_s)
+            else:
+                # the span *is* the parent-side window: send -> reply on
+                # the parent clock, guaranteed to enclose the worker-side
+                # forward span once the clock offset is fitted from it
+                seq = next(_forward_seq)
+                with tracer.span("serve.worker.ipc.forward",
+                                 {"worker": self.index, "seq": seq}):
+                    t0 = time.perf_counter()
+                    reply = self._request_locked(
+                        ("forward", np.asarray(x), seq),
+                        self._pool.request_timeout_s)
+                    t1 = time.perf_counter()
+                self._trace_windows[seq] = (t0, t1)
         if reply[0] == "ok":
             return reply[1]
         _, type_name, message, code = reply
@@ -456,6 +505,49 @@ class ProcessReplica(Module):
         report = dict(reply[1])
         report["respawns"] = self.respawns
         return report
+
+    def collect_trace(self) -> int:
+        """Pull the worker's recorded spans into the parent trace.
+
+        Drains the worker's trace buffer over the pipe, fits the
+        worker->parent clock offset from the IPC windows observed around
+        each forward (:func:`repro.core.telemetry.fit_clock_offset` — the
+        fit guarantees every corrected worker span lands strictly inside
+        its parent-side window), and merges the corrected records.  A dead
+        worker, a broken pipe, or spans with no matched window drop the
+        records cleanly — the parent trace is never corrupted.  Returns
+        the number of records merged.
+        """
+        tracer = telemetry.active_tracer()
+        if tracer is None:
+            return 0
+        with self._lock:
+            if not self._alive_locked():
+                self._trace_windows.clear()
+                return 0  # SIGKILL'd worker: its partial spans are dropped
+            try:
+                reply = self._request_locked(
+                    ("trace",), self._pool.request_timeout_s)
+            except WorkerFault:
+                self._trace_windows.clear()
+                return 0
+            windows = dict(self._trace_windows)
+            self._trace_windows.clear()
+        if reply[0] != "ok" or not reply[1]:
+            return 0
+        records = reply[1]
+        matched = []
+        for record in records:
+            seq = (record.get("args") or {}).get("seq")
+            window = windows.get(seq)
+            if window is not None and record.get("ph") == "X":
+                matched.append((window[0], window[1], record["ts"],
+                                record["ts"] + record["dur"]))
+        offset = telemetry.fit_clock_offset(matched)
+        if offset is None:
+            return 0  # no forward observed both sides: cannot place them
+        return tracer.merge(records, clock_offset_s=offset,
+                            process_name=f"serve-worker-{self.index}")
 
     def kill(self) -> None:
         """SIGKILL the worker (chaos/testing); next forward re-spawns it.
@@ -566,6 +658,9 @@ class ProcessReplicaPool:
             "dtype": self.dtype.name,
             "compute_dtype": compute_dtype().name,
             "distance_block_bytes": distance_block_bytes(),
+            # workers record their own spans when the parent is tracing at
+            # pool-construction time (enable tracing before building pools)
+            "trace": telemetry.enabled(),
         }
         self.replicas: List[ProcessReplica] = [
             ProcessReplica(self, index) for index in range(workers)]
@@ -604,10 +699,17 @@ class ProcessReplicaPool:
             "respawns": sum(r.respawns for r in self.replicas),
         }
 
+    def collect_traces(self) -> int:
+        """Merge every live worker's spans into the parent trace."""
+        return sum(replica.collect_trace() for replica in self.replicas)
+
     def close(self) -> None:
         if self._closed:
             return
         self._closed = True
+        if self.spec.get("trace") and telemetry.enabled():
+            # last chance to pull worker-side spans before the workers stop
+            self.collect_traces()
         for replica in self.replicas:
             replica.close()
         self.arena.close()

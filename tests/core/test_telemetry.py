@@ -1,0 +1,311 @@
+"""Unit tests for :mod:`repro.core.telemetry` (tracing + metrics core)."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import telemetry
+
+
+@pytest.fixture(autouse=True)
+def _no_global_tracer():
+    """Every test starts and ends with tracing disabled."""
+    telemetry.disable()
+    yield
+    telemetry.disable()
+
+
+# -- quantile (the shared percentile implementation) ---------------------------
+
+class TestQuantile:
+    def test_matches_numpy_percentile(self):
+        rng = np.random.default_rng(7)
+        values = rng.normal(size=257).tolist()
+        for q in (0.0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0):
+            assert telemetry.quantile(values, q) == pytest.approx(
+                np.percentile(values, q * 100.0), abs=1e-12)
+
+    def test_single_value(self):
+        assert telemetry.quantile([3.5], 0.99) == 3.5
+
+    def test_unsorted_input(self):
+        assert telemetry.quantile([9.0, 1.0, 5.0], 0.5) == 5.0
+
+    def test_empty_returns_zero(self):
+        # matches the serving-metrics convention: no samples -> 0.0
+        assert telemetry.quantile([], 0.5) == 0.0
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError):
+            telemetry.quantile([1.0], 1.5)
+
+
+# -- spans, nesting, buffer ----------------------------------------------------
+
+class TestTracer:
+    def test_span_records_complete_event(self):
+        tracer = telemetry.Tracer()
+        with tracer.span("work", {"k": 8}) as sp:
+            sp.set_attribute("extra", True)
+        (record,) = tracer.records()
+        assert record["ph"] == "X"
+        assert record["name"] == "work"
+        assert record["dur"] >= 0
+        assert record["args"] == {"k": 8, "extra": True}
+        assert record["parent"] is None
+
+    def test_nested_spans_link_parents(self):
+        tracer = telemetry.Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.records()  # inner finishes first
+        assert inner["name"] == "inner"
+        assert inner["parent"] == outer["id"]
+        assert outer["parent"] is None
+        # the child's window sits inside the parent's
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"]
+
+    def test_parent_stack_is_thread_local(self):
+        tracer = telemetry.Tracer()
+        seen = {}
+
+        def other():
+            with tracer.span("other-thread"):
+                seen["parent"] = tracer.current_span()
+
+        with tracer.span("main-thread"):
+            t = threading.Thread(target=other)
+            t.start()
+            t.join()
+        by_name = {r["name"]: r for r in tracer.records()}
+        assert by_name["other-thread"]["parent"] is None
+        assert by_name["other-thread"]["tid"] != by_name["main-thread"]["tid"]
+
+    def test_exception_pops_stack_and_flags_error(self):
+        tracer = telemetry.Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        (record,) = tracer.records()
+        assert record["args"].get("error") == "RuntimeError"
+        assert tracer.current_span() is None
+
+    def test_buffer_is_bounded_and_counts_drops(self):
+        tracer = telemetry.Tracer(buffer_size=16)
+        for i in range(50):
+            with tracer.span(f"s{i}"):
+                pass
+        assert len(tracer.records()) == 16
+        assert tracer.dropped == 34
+        # the newest records survive, the oldest are evicted
+        assert tracer.records()[-1]["name"] == "s49"
+
+    def test_counters_and_gauges(self):
+        tracer = telemetry.Tracer()
+        tracer.counter_add("hits")
+        tracer.counter_add("hits", 2)
+        tracer.gauge_set("depth", 7)
+        summary = tracer.summary()
+        assert summary["counters"]["hits"] == 3
+        assert summary["gauges"]["depth"] == 7
+
+    def test_record_span_explicit_window(self):
+        tracer = telemetry.Tracer()
+        tracer.record_span("queue_wait", 10.0, 10.5, tid=42,
+                           thread="client", attrs={"id": 1})
+        (record,) = tracer.records()
+        assert record["ts"] == 10.0
+        assert record["dur"] == 0.5
+        assert record["tid"] == 42
+        assert record["thread"] == "client"
+
+    def test_record_span_clamps_negative_duration(self):
+        tracer = telemetry.Tracer()
+        tracer.record_span("skewed", 10.0, 9.0)
+        assert tracer.records()[0]["dur"] == 0.0
+
+    def test_event_and_drain(self):
+        tracer = telemetry.Tracer()
+        tracer.event("fault.injected", {"point": "x"})
+        records = tracer.drain()
+        assert len(records) == 1 and records[0]["ph"] == "i"
+        assert tracer.records() == []
+
+
+# -- exporters -----------------------------------------------------------------
+
+class TestExport:
+    def _traced(self):
+        tracer = telemetry.Tracer(process_name="test-proc")
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        tracer.event("tick")
+        return tracer
+
+    def test_chrome_trace_validates(self):
+        trace = self._traced().chrome_trace()
+        assert telemetry.validate_chrome_trace(trace) == []
+
+    def test_chrome_trace_has_metadata_and_tracks(self, tmp_path):
+        tracer = self._traced()
+        out = tmp_path / "trace.json"
+        tracer.export_chrome(out)
+        data = json.loads(out.read_text())
+        phases = [e["ph"] for e in data["traceEvents"]]
+        assert "M" in phases and "X" in phases and "i" in phases
+        names = [e["args"]["name"] for e in data["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "process_name"]
+        assert "test-proc" in names
+
+    def test_chrome_trace_ts_rebased_to_epoch(self):
+        data = self._traced().chrome_trace()
+        ts = [e["ts"] for e in data["traceEvents"] if e["ph"] != "M"]
+        assert all(t >= 0 for t in ts)
+        assert ts == sorted(ts)
+
+    def test_jsonl_export_has_summary_tail(self, tmp_path):
+        tracer = self._traced()
+        tracer.counter_add("n", 5)
+        out = tmp_path / "trace.jsonl"
+        tracer.export_jsonl(out)
+        lines = [json.loads(line)
+                 for line in out.read_text().splitlines()]
+        assert lines[-1]["ph"] == "summary"
+        assert lines[-1]["counters"] == {"n": 5}
+        assert sum(1 for l in lines if l.get("ph") == "X") == 2
+
+    def test_validate_rejects_bad_traces(self):
+        assert telemetry.validate_chrome_trace({"traceEvents": "nope"})
+        assert telemetry.validate_chrome_trace(
+            {"traceEvents": [{"ph": "X", "name": "a", "pid": 1, "tid": 1,
+                              "ts": 5.0, "dur": -1.0}]})
+        assert telemetry.validate_chrome_trace(
+            {"traceEvents": [{"ph": "B", "name": "a", "pid": 1, "tid": 1,
+                              "ts": 0.0}]})  # unbalanced B
+
+
+# -- cross-process merge -------------------------------------------------------
+
+class TestMerge:
+    def test_merge_shifts_clock_and_drops_parent_links(self):
+        parent = telemetry.Tracer()
+        child = telemetry.Tracer()
+        with child.span("remote"):
+            pass
+        records = child.drain()
+        before = records[0]["ts"]
+        merged = parent.merge(records, clock_offset_s=100.0,
+                              process_name="worker-0")
+        assert merged == 1
+        (record,) = parent.records()
+        assert record["ts"] == pytest.approx(before + 100.0)
+        assert record["parent"] is None
+
+    def test_fit_clock_offset_brackets_child_in_parent(self):
+        # parent saw the IPC window [10, 20] on its clock; the child's
+        # clock says it worked [1010.2, 1019.8] — offset should be ~ -1000
+        windows = [(10.0, 20.0, 1010.2, 1019.8)]
+        offset = telemetry.fit_clock_offset(windows)
+        assert offset is not None
+        assert 10.0 <= 1010.2 + offset
+        assert 1019.8 + offset <= 20.0
+
+    def test_fit_clock_offset_empty(self):
+        assert telemetry.fit_clock_offset([]) is None
+
+
+# -- module-level API: disabled fast path --------------------------------------
+
+class TestGlobalAPI:
+    def test_disabled_span_is_shared_noop(self):
+        assert not telemetry.enabled()
+        sp = telemetry.span("anything", k=1)
+        assert sp is telemetry.NOOP
+        # the no-op accepts the full Span surface
+        with sp as inner:
+            inner.set_attribute("x", 1)
+        assert telemetry.current_span() is None
+
+    def test_disabled_event_and_counters_are_noops(self):
+        telemetry.event("e", a=1)
+        telemetry.counter_add("c")
+        telemetry.gauge_set("g", 2)
+        telemetry.record_span("r", 0.0, 1.0)
+        assert telemetry.active_tracer() is None
+
+    def test_timed_span_measures_even_when_disabled(self):
+        with telemetry.timed_span("stage") as sp:
+            pass
+        assert sp.duration_s >= 0.0
+
+    def test_tracing_context_restores_previous(self):
+        with telemetry.tracing() as outer:
+            assert telemetry.active_tracer() is outer
+            with telemetry.tracing() as inner:
+                assert telemetry.active_tracer() is inner
+            assert telemetry.active_tracer() is outer
+        assert telemetry.active_tracer() is None
+
+    def test_enabled_spans_record_through_module_api(self):
+        with telemetry.tracing() as tracer:
+            with telemetry.span("outer", stage="s"):
+                with telemetry.span("inner"):
+                    pass
+            telemetry.event("tick")
+        records = tracer.records()
+        assert [r["name"] for r in records] == ["inner", "outer", "tick"]
+        assert records[1]["args"] == {"stage": "s"}
+
+    def test_traced_decorator(self):
+        @telemetry.traced("custom.name")
+        def f(x):
+            return x + 1
+
+        assert f(1) == 2  # disabled: plain call
+        with telemetry.tracing() as tracer:
+            assert f(2) == 3
+        assert tracer.records()[0]["name"] == "custom.name"
+
+    def test_span_points_are_registered(self):
+        assert "pipeline.stage.<name>" in telemetry.SPAN_POINTS
+        assert "serve.request" in telemetry.SPAN_POINTS
+        assert "serve.worker.forward" in telemetry.SPAN_POINTS
+        assert "explore.candidate" in telemetry.SPAN_POINTS
+        assert "fault.injected" in telemetry.EVENT_POINTS
+
+
+# -- summary -------------------------------------------------------------------
+
+class TestSummary:
+    def test_summary_tree_inclusive_exclusive(self):
+        tracer = telemetry.Tracer()
+        with tracer.span("parent"):
+            with tracer.span("child"):
+                pass
+        summary = tracer.summary()
+        spans = summary["spans"]
+        assert spans["child"]["parent"] == "parent"
+        assert spans["parent"]["parent"] is None
+        assert spans["parent"]["exclusive_ms"] <= spans["parent"]["total_ms"]
+        assert summary["records"] == 2
+
+    def test_format_summary_renders_tree(self):
+        tracer = telemetry.Tracer()
+        with tracer.span("parent"):
+            with tracer.span("child"):
+                pass
+        tracer.counter_add("hits", 3)
+        lines = telemetry.format_summary(tracer.summary(), prefix="[t]")
+        text = "\n".join(lines)
+        assert "parent" in text and "child" in text and "hits" in text
+        # the child renders indented deeper than its parent
+        child_line = next(l for l in lines if "child" in l)
+        parent_line = next(l for l in lines if "parent" in l)
+        assert child_line.index("child") > parent_line.index("parent")

@@ -1,0 +1,171 @@
+"""Cross-process trace merging for the sharded serving tier.
+
+Worker spans are recorded worker-side, shipped back over the existing IPC
+channel, clock-offset-corrected, and merged so one sharded request renders
+as a single Chrome-trace tree.  These tests pin the properties the merge
+must keep: spans survive the spawn round-trip, corrected worker spans land
+strictly inside the client-side IPC windows that bracket them, and a
+SIGKILL'd worker's partial spans are dropped cleanly (never a corrupt
+trace).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import LayerCompressionConfig, MVQCompressor, telemetry
+from repro.nn.models import resnet18_mini
+from repro.serve import BatchPolicy, ModelServer, ProcessReplicaPool
+
+TINY = {"num_classes": 3, "seed": 1, "width": 8}
+BUILDER = ("factory", resnet18_mini, dict(TINY))
+SHAPE = (3, 8, 8)
+
+
+def _tiny_compressed():
+    cfg = LayerCompressionConfig(k=8, d=8, max_kmeans_iterations=2)
+    return MVQCompressor(cfg).compress(resnet18_mini(**TINY))
+
+
+@pytest.fixture(scope="module")
+def compressed():
+    return _tiny_compressed()
+
+
+@pytest.fixture()
+def tracer():
+    """A live global tracer; pools built inside inherit trace=True."""
+    tracer = telemetry.enable(process_name="test-client")
+    yield tracer
+    telemetry.disable()
+
+
+def _spans(tracer, name=None):
+    records = [r for r in tracer.records() if r["ph"] == "X"]
+    if name is not None:
+        records = [r for r in records if r["name"] == name]
+    return records
+
+
+class TestWorkerSpansSurviveSpawn:
+    def test_forward_ships_worker_spans_back(self, compressed, tracer):
+        pool = ProcessReplicaPool(compressed, BUILDER, SHAPE, workers=1,
+                                  max_batch_size=4)
+        try:
+            assert pool.spec.get("trace") is True
+            x = np.random.default_rng(0).standard_normal((2, *SHAPE))
+            pool.replicas[0].forward(x)
+            merged = pool.collect_traces()
+        finally:
+            pool.close()
+        assert merged >= 1
+        worker = _spans(tracer, "serve.worker.forward")
+        assert len(worker) == 1
+        # recorded in the worker process, merged into the client buffer
+        assert worker[0]["pid"] != tracer.pid
+        assert worker[0]["args"]["batch"] == 2
+
+    def test_clock_offset_corrected_parent_encloses_child(self, compressed,
+                                                          tracer):
+        pool = ProcessReplicaPool(compressed, BUILDER, SHAPE, workers=2,
+                                  max_batch_size=4)
+        try:
+            rng = np.random.default_rng(1)
+            for _ in range(3):
+                for replica in pool.replicas:
+                    replica.forward(rng.standard_normal((2, *SHAPE)))
+            pool.collect_traces()
+        finally:
+            pool.close()
+        ipc = {r["args"]["seq"]: r
+               for r in _spans(tracer, "serve.worker.ipc.forward")}
+        worker = _spans(tracer, "serve.worker.forward")
+        assert len(ipc) == 6 and len(worker) == 6
+        for span in worker:
+            window = ipc[span["args"]["seq"]]
+            # strict enclosure: the corrected worker span sits inside the
+            # client-side IPC window that carried it
+            assert window["ts"] <= span["ts"]
+            assert span["ts"] + span["dur"] <= window["ts"] + window["dur"]
+
+    def test_merged_trace_validates(self, compressed, tracer):
+        pool = ProcessReplicaPool(compressed, BUILDER, SHAPE, workers=2,
+                                  max_batch_size=4)
+        try:
+            x = np.random.default_rng(2).standard_normal((4, *SHAPE))
+            for replica in pool.replicas:
+                replica.forward(x)
+            pool.collect_traces()
+        finally:
+            pool.close()
+        trace = tracer.chrome_trace()
+        assert telemetry.validate_chrome_trace(trace) == []
+        pids = {e["pid"] for e in trace["traceEvents"] if e["ph"] != "M"}
+        assert len(pids) == 3  # client + 2 worker processes
+
+
+class TestKilledWorker:
+    def test_sigkilled_worker_spans_dropped_cleanly(self, compressed, tracer):
+        pool = ProcessReplicaPool(compressed, BUILDER, SHAPE, workers=1,
+                                  max_batch_size=4)
+        try:
+            replica = pool.replicas[0]
+            replica.forward(
+                np.random.default_rng(3).standard_normal((2, *SHAPE)))
+            replica.kill()
+            # the dead worker's buffered spans are unreachable: collect
+            # must drop them cleanly, not raise or corrupt the trace
+            merged = replica.collect_trace()
+            assert merged == 0
+        finally:
+            pool.close()
+        assert _spans(tracer, "serve.worker.forward") == []
+        assert telemetry.validate_chrome_trace(tracer.chrome_trace()) == []
+
+
+class TestEndToEndRequestTree:
+    def test_single_request_renders_one_tree_across_processes(
+            self, compressed, tracer):
+        """The acceptance criterion: one traced request through the
+        sharded tier spans the client thread, the batcher, and the worker
+        process in a single validated Chrome trace."""
+        pool = ProcessReplicaPool(compressed, BUILDER, SHAPE, workers=1,
+                                  max_batch_size=4)
+        server = ModelServer()
+        pool.register_with(server, "tiny",
+                           policy=BatchPolicy(max_batch_size=4,
+                                              max_wait_ms=2.0))
+        try:
+            with server:
+                x = np.random.default_rng(4).standard_normal(SHAPE)
+                server.predict("tiny", x)
+        finally:
+            pool.close()  # flushes the worker's spans into the tracer
+
+        names = {r["name"] for r in _spans(tracer)}
+        assert {"serve.request", "serve.request.queue_wait",
+                "serve.request.execute", "serve.batch",
+                "serve.batch.assemble", "serve.forward",
+                "serve.worker.ipc.forward",
+                "serve.worker.forward"} <= names
+
+        trace = tracer.chrome_trace()
+        assert telemetry.validate_chrome_trace(trace) == []
+        events = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        by_name = {e["name"]: e for e in events}
+        # client thread, batcher thread, worker process are distinct tracks
+        assert by_name["serve.request"]["tid"] != by_name["serve.batch"]["tid"]
+        assert by_name["serve.worker.forward"]["pid"] != tracer.pid
+        # queue-wait + execute tile the request window
+        request = by_name["serve.request"]
+        wait, execute = (by_name["serve.request.queue_wait"],
+                         by_name["serve.request.execute"])
+        assert request["ts"] <= wait["ts"]
+        assert wait["ts"] + wait["dur"] <= execute["ts"] + 1e-3
+        assert (execute["ts"] + execute["dur"]
+                <= request["ts"] + request["dur"] + 1e-3)
+        # the worker's forward lands inside the batch's forward window
+        forward, worker = by_name["serve.forward"], by_name["serve.worker.forward"]
+        assert forward["ts"] <= worker["ts"]
+        assert worker["ts"] + worker["dur"] <= forward["ts"] + forward["dur"]
